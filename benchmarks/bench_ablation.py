@@ -1,0 +1,26 @@
+"""Ablation benches: each optimization's standalone contribution.
+
+DESIGN.md calls for ablation benches beyond the paper's cumulative
+staging: every Cell optimization is removed alone from the fully
+optimized configuration, and each removal must hurt.
+"""
+
+from repro.harness import run_experiment
+
+
+def test_ablation(benchmark, show):
+    result = benchmark(run_experiment, "ablation")
+    show("ablation")
+    result.assert_shape()
+
+
+def test_ablation_ordering(benchmark, executor):
+    """The paper's surprise (section 5.2.5), as standalone deltas: the
+    conditional cast matters more than FP vectorization, and the SDK
+    exp() dwarfs both."""
+    results = benchmark(executor.ablation)
+    full = results["full"]
+    delta = {k: v - full for k, v in results.items() if k != "full"}
+    assert delta["without_sdk_exp"] > delta["without_int_conditionals"]
+    assert delta["without_int_conditionals"] > delta["without_vectorize"]
+    assert delta["without_vectorize"] > delta["without_double_buffering"]

@@ -1,0 +1,9 @@
+"""Bench for the alignment-length scaling projection (section 5.2.4)."""
+
+from repro.harness import run_experiment
+
+
+def test_alignment_scaling(benchmark, show):
+    result = benchmark(run_experiment, "alignment_scaling")
+    show("alignment_scaling")
+    result.assert_shape()

@@ -1,0 +1,9 @@
+"""Bench for the paper's section 7 headline claims."""
+
+from repro.harness import run_experiment
+
+
+def test_conclusion(benchmark, show):
+    result = benchmark(run_experiment, "conclusion")
+    show("conclusion")
+    result.assert_shape()

@@ -1,0 +1,35 @@
+"""Benches for the beyond-the-paper extension experiments.
+
+Covers the paper's forward-looking remarks, priced by the model:
+single-precision arithmetic (section 6), the code-overlay tax avoided
+in section 5.2.4, the second chip of the BSC blade, and CAT-vs-Gamma
+rate heterogeneity.
+"""
+
+from repro.harness import run_experiment
+
+
+def test_single_precision(benchmark, show):
+    result = benchmark(run_experiment, "single_precision")
+    show("single_precision")
+    result.assert_shape()
+
+
+def test_overlays(benchmark, show):
+    result = benchmark(run_experiment, "overlays")
+    show("overlays")
+    result.assert_shape()
+
+
+def test_dual_cell(benchmark, show):
+    result = benchmark(run_experiment, "dual_cell")
+    show("dual_cell")
+    result.assert_shape()
+
+
+def test_cat_vs_gamma(benchmark, show):
+    result = benchmark.pedantic(
+        run_experiment, args=("cat_vs_gamma",), rounds=2, iterations=1
+    )
+    show("cat_vs_gamma")
+    result.assert_shape()

@@ -1,0 +1,30 @@
+"""Regenerates Figure 3: Cell (MGPS) vs IBM Power5 vs 2x Intel Xeon.
+
+Prints the three execution-time series over the paper's bootstrap
+sweep (1, 8, 16, 32, 64, 128) and asserts the paper's claims: Cell
+wins everywhere, by >2x over the dual Xeon and ~9-10 % over Power5.
+"""
+
+from repro.harness import run_experiment
+from repro.port import paperdata as P
+
+
+def test_figure3(benchmark, show):
+    result = benchmark(run_experiment, "figure3")
+    show("figure3")
+    result.assert_shape()
+
+
+def test_figure3_series_shapes(benchmark, executor):
+    series = benchmark(executor.figure3)
+    by_name = {s.platform: s for s in series}
+    cell = by_name["Cell (MGPS)"].seconds
+    p5 = by_name["IBM Power5"].seconds
+    xeon = by_name["2x Intel Xeon (HT)"].seconds
+    assert by_name["Cell (MGPS)"].bootstraps == tuple(P.FIGURE3_BOOTSTRAPS)
+    # Each platform scales ~linearly from 32 -> 128 bootstraps.
+    for seq in (cell, p5, xeon):
+        assert abs(seq[-1] / seq[3] - 128 / 32) < 1e-6
+    # Crossover ordering at every point.
+    for c, p, x in zip(cell, p5, xeon):
+        assert c < p < x

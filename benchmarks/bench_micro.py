@@ -1,0 +1,30 @@
+"""Component-level micro-benchmarks (paper sections 5.2.4 / 5.2.6 / 5.2.7).
+
+These drive the discrete-event Cell components directly: PPE<->SPE
+signalling round trips (mailbox vs direct memory), DMA strip-mining
+with and without double buffering, and local-store footprint checks.
+They are the experiments that calibrate/validate the per-offload
+constants of the analytic cost model.
+"""
+
+from repro.harness import run_experiment
+
+
+def test_micro_comm(benchmark, show):
+    result = benchmark.pedantic(
+        run_experiment, args=("micro_comm",), rounds=2, iterations=1
+    )
+    show("micro_comm")
+    result.assert_shape()
+
+
+def test_micro_dma(benchmark, show):
+    result = benchmark(run_experiment, "micro_dma")
+    show("micro_dma")
+    result.assert_shape()
+
+
+def test_micro_localstore(benchmark, show):
+    result = benchmark(run_experiment, "micro_localstore")
+    show("micro_localstore")
+    result.assert_shape()

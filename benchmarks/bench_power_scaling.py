@@ -1,0 +1,17 @@
+"""Benches for the power-efficiency and EDTLP-scaling experiments."""
+
+from repro.harness import run_experiment
+
+
+def test_power_efficiency(benchmark, show):
+    result = benchmark(run_experiment, "power_efficiency")
+    show("power_efficiency")
+    result.assert_shape()
+
+
+def test_edtlp_scaling(benchmark, show):
+    result = benchmark.pedantic(
+        run_experiment, args=("edtlp_scaling",), rounds=2, iterations=1
+    )
+    show("edtlp_scaling")
+    result.assert_shape()

@@ -1,0 +1,38 @@
+"""Regenerates the section 5.2 profile: the real search workload.
+
+Benchmarks the actual instrumented tree search (the reproduction's
+equivalent of profiling RAxML with gprof) plus the trace-summary and
+cost-model construction steps of the pipeline.
+"""
+
+from repro.harness import run_experiment
+from repro.harness.datasets import TRACE_PROFILES, quick_alignment
+from repro.phylo import infer_tree
+from repro.port import CellCostModel, Tracer
+
+
+def test_profile_experiment(benchmark, show):
+    result = benchmark(run_experiment, "profile")
+    show("profile")
+    result.assert_shape()
+
+
+def test_instrumented_search(benchmark):
+    """One full traced tree search (the trace generator itself)."""
+    patterns = quick_alignment().compress()
+    config = TRACE_PROFILES["quick"]["search"]
+
+    def run():
+        tracer = Tracer()
+        infer_tree(patterns, config=config, seed=0, tracer=tracer)
+        return tracer.summary()
+
+    summary = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert summary.newview_count > 100
+    assert summary.makenewz_count > 10
+
+
+def test_cost_model_construction(benchmark, trace):
+    """Deriving all calibrated components from the paper tables."""
+    model = benchmark(CellCostModel, trace)
+    assert model.canonical.newview_count == 230_500

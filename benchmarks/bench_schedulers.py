@@ -1,0 +1,34 @@
+"""Discrete-event scheduler benchmarks (EDTLP / LLP / MGPS cross-checks).
+
+Benchmarks the full event-driven runs — master-worker MPI messages,
+PPE queueing with SMT contention, per-offload context switches, SPE
+execution — and asserts they agree with the closed forms used for the
+headline tables.
+"""
+
+from repro.harness import run_experiment
+
+
+def test_schedulers_devs_experiment(benchmark, show):
+    result = benchmark.pedantic(
+        run_experiment, args=("schedulers_devs",), rounds=2, iterations=1
+    )
+    show("schedulers_devs")
+    result.assert_shape()
+
+
+def test_edtlp_devs_8_workers(benchmark, executor):
+    result = benchmark.pedantic(
+        executor.edtlp_devs, args=(8,), rounds=3, iterations=1
+    )
+    analytic = executor.model.edtlp_total_s(8)
+    assert abs(result.makespan_s - analytic) / analytic < 0.15
+    assert result.ppe_utilization > 0.9  # the paper's PPE bottleneck
+
+
+def test_llp_devs_full_split(benchmark, executor):
+    result = benchmark.pedantic(
+        executor.llp_devs, args=(1, 8), rounds=3, iterations=1
+    )
+    analytic = executor.model.llp_task_s(8)
+    assert abs(result.makespan_s - analytic) / analytic < 0.10

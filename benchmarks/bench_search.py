@@ -1,0 +1,63 @@
+"""Application-side benchmarks: the phylogenetics substrate itself.
+
+Not a paper table — these time the reproduction's real algorithm
+components (parsimony starting trees, branch smoothing, SPR rounds) so
+regressions in the workload generator are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    GammaRates,
+    LikelihoodEngine,
+    SearchConfig,
+    default_gtr,
+    fitch_score,
+    stepwise_addition_tree,
+)
+from repro.harness.datasets import quick_alignment
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return quick_alignment().compress()
+
+
+def test_stepwise_addition_starting_tree(benchmark, patterns):
+    tree = benchmark(
+        stepwise_addition_tree, patterns, np.random.default_rng(0)
+    )
+    tree.validate()
+
+
+def test_fitch_score(benchmark, patterns):
+    tree = stepwise_addition_tree(patterns, np.random.default_rng(1))
+    score = benchmark(fitch_score, tree, patterns)
+    assert score > 0
+
+
+def test_branch_smoothing_pass(benchmark, patterns):
+    tree = stepwise_addition_tree(patterns, np.random.default_rng(2))
+    model = default_gtr().with_frequencies(patterns.base_frequencies())
+    engine = LikelihoodEngine(patterns, model, GammaRates(0.7, 4), tree)
+
+    def smooth():
+        return engine.optimize_all_branches(passes=1)
+
+    lnl = benchmark.pedantic(smooth, rounds=3, iterations=1)
+    assert np.isfinite(lnl)
+    engine.detach()
+
+
+def test_full_tree_evaluation_cold_cache(benchmark, patterns):
+    tree = stepwise_addition_tree(patterns, np.random.default_rng(3))
+    model = default_gtr().with_frequencies(patterns.base_frequencies())
+
+    def evaluate_cold():
+        engine = LikelihoodEngine(patterns, model, GammaRates(0.7, 4), tree)
+        value = engine.evaluate()
+        engine.detach()
+        return value
+
+    assert np.isfinite(benchmark(evaluate_cold))

@@ -1,0 +1,9 @@
+"""Regenerates Table 1 of the paper (see repro.harness.experiments)."""
+
+from repro.harness import run_experiment
+
+
+def test_table1(benchmark, show):
+    result = benchmark(run_experiment, "table1")
+    show("table1")
+    result.assert_shape()

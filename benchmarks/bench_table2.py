@@ -1,0 +1,9 @@
+"""Regenerates Table 2 of the paper (see repro.harness.experiments)."""
+
+from repro.harness import run_experiment
+
+
+def test_table2(benchmark, show):
+    result = benchmark(run_experiment, "table2")
+    show("table2")
+    result.assert_shape()

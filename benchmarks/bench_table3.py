@@ -1,0 +1,9 @@
+"""Regenerates Table 3 of the paper (see repro.harness.experiments)."""
+
+from repro.harness import run_experiment
+
+
+def test_table3(benchmark, show):
+    result = benchmark(run_experiment, "table3")
+    show("table3")
+    result.assert_shape()

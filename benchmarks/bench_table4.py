@@ -1,0 +1,9 @@
+"""Regenerates Table 4 of the paper (see repro.harness.experiments)."""
+
+from repro.harness import run_experiment
+
+
+def test_table4(benchmark, show):
+    result = benchmark(run_experiment, "table4")
+    show("table4")
+    result.assert_shape()

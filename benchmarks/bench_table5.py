@@ -1,0 +1,9 @@
+"""Regenerates Table 5 of the paper (see repro.harness.experiments)."""
+
+from repro.harness import run_experiment
+
+
+def test_table5(benchmark, show):
+    result = benchmark(run_experiment, "table5")
+    show("table5")
+    result.assert_shape()

@@ -1,0 +1,9 @@
+"""Regenerates Table 6 of the paper (see repro.harness.experiments)."""
+
+from repro.harness import run_experiment
+
+
+def test_table6(benchmark, show):
+    result = benchmark(run_experiment, "table6")
+    show("table6")
+    result.assert_shape()

@@ -1,0 +1,9 @@
+"""Regenerates Table 7 of the paper (see repro.harness.experiments)."""
+
+from repro.harness import run_experiment
+
+
+def test_table7(benchmark, show):
+    result = benchmark(run_experiment, "table7")
+    show("table7")
+    result.assert_shape()

@@ -1,0 +1,34 @@
+"""Regenerates Table 8 (MGPS dynamic scheduling) — analytic and DEVS.
+
+The benchmarked callables are (a) the closed-form MGPS composition used
+for the headline numbers and (b) the full discrete-event run (EDTLP
+batches over the master-worker MPI layer + LLP tail), which exercises
+the Cell component simulator end to end.
+"""
+
+from repro.harness import run_experiment
+from repro.port import paperdata as P
+
+
+def test_table8_analytic(benchmark, show):
+    result = benchmark(run_experiment, "table8")
+    show("table8")
+    result.assert_shape()
+
+
+def test_table8_devs_mgps_32_bootstraps(benchmark, executor):
+    result = benchmark.pedantic(
+        executor.mgps_devs, args=(32,), rounds=2, iterations=1
+    )
+    paper = P.TABLE8[32]
+    assert abs(result.makespan_s - paper) / paper < 0.20
+    assert result.edtlp_tasks == 32
+
+
+def test_table8_devs_single_bootstrap_llp(benchmark, executor):
+    result = benchmark.pedantic(
+        executor.mgps_devs, args=(1,), rounds=3, iterations=1
+    )
+    paper = P.TABLE8[1]
+    assert abs(result.makespan_s - paper) / paper < 0.20
+    assert result.llp_tasks == 1

@@ -1,0 +1,17 @@
+"""Model-validation benches: bottom-up estimates and DEVS cross-checks."""
+
+from repro.harness import run_experiment
+
+
+def test_firstprinciples(benchmark, show):
+    result = benchmark(run_experiment, "firstprinciples")
+    show("firstprinciples")
+    result.assert_shape()
+
+
+def test_static_devs(benchmark, show):
+    result = benchmark.pedantic(
+        run_experiment, args=("static_devs",), rounds=2, iterations=1
+    )
+    show("static_devs")
+    result.assert_shape()

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_table*.py`` / ``bench_figure3.py`` file regenerates one
+table or figure of the paper: it benchmarks the code that produces the
+numbers, prints the paper-vs-measured rows, and asserts the paper's
+qualitative shape claims.  The workload trace (one instrumented tree
+search) is computed once per session and cached.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import get_trace, render_experiment, run_experiment
+from repro.port import PortExecutor
+
+
+@pytest.fixture(scope="session")
+def trace():
+    return get_trace("quick")
+
+
+@pytest.fixture(scope="session")
+def executor(trace):
+    return PortExecutor(trace, devs_batches_per_task=24)
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print an experiment's paper-vs-measured block once per session."""
+    shown = set()
+
+    def _show(name: str):
+        if name not in shown:
+            shown.add(name)
+            print()
+            print(render_experiment(run_experiment(name)))
+
+    return _show

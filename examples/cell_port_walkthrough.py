@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The paper's optimization story, stage by stage (Tables 1-7).
+
+Traces one real tree search, then prices the traced workload on the
+simulated Cell under each cumulative optimization stage, printing the
+same rows the paper's tables report and the per-stage improvement.
+
+Run:  python examples/cell_port_walkthrough.py
+"""
+
+from repro.harness import get_trace
+from repro.port import PortExecutor, paperdata, stage
+
+STORY = [
+    ("table1a", "whole application on the PPE (baseline)"),
+    ("table1b", "newview() naively offloaded to one SPE"),
+    ("table2", "+ SDK exp() numerical implementation"),
+    ("table3", "+ integer-cast & vectorized scaling conditional"),
+    ("table4", "+ double-buffered DMA (2 KB transfers)"),
+    ("table5", "+ SIMD vectorization of the likelihood loops"),
+    ("table6", "+ direct memory-to-memory communication"),
+    ("table7", "+ makenewz() and evaluate() offloaded too"),
+]
+
+
+def main() -> None:
+    print("tracing one search on the synthetic 42_SC stand-in ...")
+    executor = PortExecutor(get_trace("quick"))
+    model = executor.model
+
+    header = f"{'stage':<10} {'configuration':<48} {'1w/1b':>8} {'2w/32b':>9} {'step':>7}"
+    print()
+    print(header)
+    print("-" * len(header))
+    previous = None
+    for table, description in STORY:
+        one = model.stage_total_s(table, 1, 1)
+        big = model.stage_total_s(table, 2, 32)
+        if previous is None or table == "table1b":
+            step = "-"
+        else:
+            step = f"{(1 - one / previous) * 100:+.1f}%"
+        print(f"{table:<10} {description:<48} {one:>7.1f}s {big:>8.1f}s {step:>7}")
+        previous = one
+
+    print("\nderived per-task newview components (seconds, canonical task):")
+    print(f"  exp():        {model.nv_exp_lib_s:6.2f} -> {model.nv_exp_sdk_s:.2f} (SDK)")
+    print(f"  conditional:  {model.nv_cond_float_s:6.2f} -> {model.nv_cond_int_s:.2f} (int cast)")
+    print(f"  DMA wait:     {model.nv_dma_wait_s:6.2f} -> 0.00 (double buffering)")
+    print(f"  loops:        {model.nv_loops_scalar_s:6.2f} -> {model.nv_loops_vector_s:.2f} (SIMD)")
+    print(f"  per-offload:  {model.comm_mailbox_per_offload * 1e6:6.2f}us -> "
+          f"{model.comm_direct_per_offload * 1e6:.2f}us (direct comm)")
+
+    print("\nthe paper's punchlines, reproduced:")
+    naive = model.stage_total_s("table1b", 1, 1) / model.stage_total_s("table1a", 1, 1)
+    print(f"  * naive offload makes things {naive:.1f}x WORSE")
+    best = 1 - model.stage_total_s("table7", 1, 1) / model.stage_total_s("table1a", 1, 1)
+    print(f"  * one fully optimized SPE beats the PPE by {best * 100:.0f}%")
+    cond = 1 - model.stage_total_s("table3", 1, 1) / model.stage_total_s("table2", 1, 1)
+    simd = 1 - model.stage_total_s("table5", 1, 1) / model.stage_total_s("table4", 1, 1)
+    print(f"  * vectorizing the CONDITIONAL ({cond * 100:.0f}%) beats "
+          f"vectorizing the FP code ({simd * 100:.0f}%)")
+
+    print("\npaper-vs-model, all table cells:")
+    for table, cells in model.paper_comparison().items():
+        rows = ", ".join(
+            f"{key}: {paper:.0f}/{mine:.0f}"
+            for key, (paper, mine) in sorted(cells.items())
+        )
+        print(f"  {table}: {rows}")
+
+
+if __name__ == "__main__":
+    main()

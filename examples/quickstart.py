@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: infer a maximum-likelihood tree with repro.phylo.
+
+This is the application side of the reproduction — the RAxML-style
+workflow on its own, no Cell simulation involved:
+
+1. obtain an alignment (here: simulated, but FASTA/PHYLIP files work),
+2. compress it into weighted site patterns,
+3. build a randomized stepwise-addition parsimony starting tree,
+4. run rapid hill climbing (lazy SPR) under GTR+Gamma,
+5. print the tree and its log likelihood.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.phylo import (
+    Alignment,
+    SearchConfig,
+    infer_tree,
+    synthetic_dataset,
+)
+
+
+def main() -> None:
+    # --- 1. an alignment ---------------------------------------------------
+    # Real data would load with Alignment.from_fasta("my.fasta") or
+    # Alignment.from_phylip("my.phy"); here we simulate 12 taxa x 800
+    # sites of DNA under GTR+Gamma so the example is self-contained.
+    alignment = synthetic_dataset(n_taxa=12, n_sites=800, seed=7)
+    print(f"alignment: {alignment.n_taxa} taxa x {alignment.n_sites} sites")
+
+    # --- 2. pattern compression --------------------------------------------
+    patterns = alignment.compress()
+    print(
+        f"compressed to {patterns.n_patterns} site patterns "
+        f"({alignment.n_sites / patterns.n_patterns:.1f}x smaller kernels)"
+    )
+
+    # --- 3-4. one full inference -------------------------------------------
+    # infer_tree = parsimony starting tree + branch smoothing + SPR hill
+    # climbing.  The default model is GTR with empirical base frequencies
+    # and four discrete Gamma rate categories (RAxML's defaults).
+    result = infer_tree(
+        patterns,
+        config=SearchConfig(initial_radius=2, max_radius=4, max_rounds=4),
+        seed=0,
+    )
+
+    # --- 5. results ----------------------------------------------------------
+    print(f"\nlog likelihood : {result.log_likelihood:.4f}")
+    print(f"SPR rounds     : {result.search.rounds}")
+    print(f"moves accepted : {result.search.accepted_moves} "
+          f"(of {result.search.evaluated_moves} evaluated)")
+    print(f"newview calls  : {result.newview_calls}")
+    print(f"\nbest tree (newick):\n{result.newick}")
+
+
+if __name__ == "__main__":
+    main()

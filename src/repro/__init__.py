@@ -1,0 +1,31 @@
+"""repro — reproduction of *RAxML-Cell: Parallel Phylogenetic Tree
+Inference on the Cell Broadband Engine* (Blagojevic et al., IPPS 2007).
+
+Subpackages
+-----------
+``repro.phylo``
+    A working maximum-likelihood phylogenetics library (the application
+    the paper ports): alignments, substitution models, the
+    ``newview``/``evaluate``/``makenewz`` kernel trio, parsimony starting
+    trees, SPR hill climbing, bootstrapping.
+``repro.cell``
+    A discrete-event simulator of the Cell Broadband Engine: PPE, SPEs
+    with 256 KB local stores, MFC DMA engines, the EIB, and mailboxes.
+``repro.platforms``
+    Execution-time models for the comparison platforms of the paper's
+    Figure 3 (Intel Xeon with HyperThreading, IBM Power5).
+``repro.sched``
+    The paper's scheduling models: simulated MPI master-worker, EDTLP,
+    LLP, and the dynamic multigrain scheduler MGPS.
+``repro.port``
+    The RAxML-Cell port itself: the seven staged optimizations, the
+    calibrated kernel cost model, workload tracing, and the executor
+    that turns a real search trace into simulated execution times.
+``repro.harness``
+    One entry point per paper table/figure, with paper-vs-measured
+    reporting (see EXPERIMENTS.md).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["phylo", "cell", "platforms", "sched", "port", "harness"]

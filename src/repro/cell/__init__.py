@@ -1,0 +1,71 @@
+"""Discrete-event simulator of the Cell Broadband Engine.
+
+The paper's hardware platform — a 3.2 GHz Cell blade with one PPE and
+eight SPEs — is not available to a Python reproduction, so this package
+models it: local stores with byte accounting, MFC DMA queues with the
+architected size/alignment/list rules, the four-ring EIB with bandwidth
+arbitration, mailbox vs. direct-memory signalling, and the dual-SMT PPE
+with calibrated contention.  See DESIGN.md section 2 for the
+substitution argument and calibration sources.
+"""
+
+from .blade import CellBlade, CellChip
+from .devsim import (
+    Event,
+    Get,
+    Process,
+    Put,
+    Release,
+    Request,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+    Timeout,
+    Wait,
+)
+from .eib import EIB
+from .localstore import BufferPool, LocalStore, LocalStoreOverflow
+from .mailbox import DirectSignal, Mailbox
+from .mfc import DMACommand, DMAError, MFC
+from .ppe import PPE
+from .spe import SPE, KernelInvocation
+from .spu_cost import NewviewWorkload, SPUCostEstimate, estimate_newview
+from .timeline import occupancy_row, render_timeline
+from .timing import CellTiming, DEFAULT_TIMING
+
+__all__ = [
+    "CellBlade",
+    "CellChip",
+    "Event",
+    "Get",
+    "Process",
+    "Put",
+    "Release",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "Wait",
+    "EIB",
+    "BufferPool",
+    "LocalStore",
+    "LocalStoreOverflow",
+    "DirectSignal",
+    "Mailbox",
+    "DMACommand",
+    "DMAError",
+    "MFC",
+    "PPE",
+    "SPE",
+    "KernelInvocation",
+    "NewviewWorkload",
+    "SPUCostEstimate",
+    "estimate_newview",
+    "occupancy_row",
+    "render_timeline",
+    "CellTiming",
+    "DEFAULT_TIMING",
+]

@@ -1,0 +1,76 @@
+"""A simulated Cell blade: PPE + 8 SPEs + EIB (x1 or x2 chips).
+
+All results in the paper come from one processor of a dual-Cell blade at
+the Barcelona Supercomputing Center (section 5): 3.2 GHz, 512 MB XDR.
+:class:`CellBlade` wires the component models together and is the
+platform object the schedulers in :mod:`repro.sched` drive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .devsim import Simulator
+from .eib import EIB
+from .ppe import PPE
+from .spe import SPE
+from .timing import CellTiming, DEFAULT_TIMING
+
+__all__ = ["CellChip", "CellBlade"]
+
+
+class CellChip:
+    """One Cell processor: a PPE, eight SPEs, and their EIB."""
+
+    def __init__(self, sim: Simulator, timing: CellTiming = DEFAULT_TIMING,
+                 chip_index: int = 0):
+        self.sim = sim
+        self.timing = timing
+        self.chip_index = chip_index
+        self.eib = EIB(sim, timing)
+        self.ppe = PPE(sim, timing)
+        self.spes: List[SPE] = [
+            SPE(sim, self.eib, index=i, timing=timing)
+            for i in range(timing.n_spes)
+        ]
+
+    def load_all_spe_threads(self, code_bytes: int = None) -> None:
+        """Spawn-and-bind the offloaded-code thread on every SPE."""
+        for spe in self.spes:
+            spe.load_offloaded_code(code_bytes)
+
+    def utilization_report(self) -> Dict[str, float]:
+        """Busy fractions of each component at the current sim time."""
+        report = {
+            "ppe": self.ppe.utilization(),
+            "eib": self.eib.utilization(),
+        }
+        for spe in self.spes:
+            report[f"spe{spe.index}"] = spe.utilization()
+        return report
+
+
+class CellBlade:
+    """A blade with one or two Cell chips sharing a simulator clock."""
+
+    def __init__(self, n_chips: int = 1, timing: CellTiming = DEFAULT_TIMING):
+        if n_chips not in (1, 2):
+            raise ValueError("Cell blades have 1 or 2 chips")
+        self.sim = Simulator()
+        self.timing = timing
+        self.chips: List[CellChip] = [
+            CellChip(self.sim, timing, chip_index=i) for i in range(n_chips)
+        ]
+
+    @property
+    def chip(self) -> CellChip:
+        """The first chip (the paper uses a single processor)."""
+        return self.chips[0]
+
+    @property
+    def all_spes(self) -> List[SPE]:
+        return [spe for chip in self.chips for spe in chip.spes]
+
+    def run(self, until=None) -> float:
+        """Advance the simulation; returns the final simulated time."""
+        return self.sim.run(until=until)

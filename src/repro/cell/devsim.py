@@ -1,0 +1,357 @@
+"""Discrete-event simulation core.
+
+A compact process-based simulator (in the style of SimPy, implemented
+from scratch): *processes* are Python generators that yield requests —
+time-outs, waits on events, FIFO-resource acquisitions, or store
+get/puts — and the :class:`Simulator` interleaves them on a virtual
+clock.  All Cell components (MFC DMA queues, mailboxes, the EIB, PPE
+threads, SPEs) and the task-level schedulers are built on this core.
+
+Determinism: events at equal times fire in scheduling order (a strictly
+increasing sequence number breaks ties), so simulations are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Event",
+    "Timeout",
+    "Wait",
+    "Request",
+    "Release",
+    "Get",
+    "Put",
+    "Resource",
+    "Store",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulation API."""
+
+
+class Event:
+    """A one-shot event processes can wait on; carries a value."""
+
+    __slots__ = ("sim", "value", "triggered", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.value: Any = None
+        self.triggered = False
+        self._waiters: List["Process"] = []
+        self.name = name
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the event, waking all waiters at the current time."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim._schedule_resume(process, value)
+
+    def add_waiter(self, process: "Process") -> None:
+        if self.triggered:
+            self.sim._schedule_resume(process, self.value)
+        else:
+            self._waiters.append(process)
+
+
+# -- yieldable request objects -------------------------------------------------
+
+
+class Timeout:
+    """``yield Timeout(delay)`` — resume after *delay* time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+
+
+class Wait:
+    """``yield Wait(event)`` — resume when *event* triggers; returns its value."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        self.event = event
+
+
+class Request:
+    """``yield Request(resource)`` — acquire one unit (FIFO)."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+
+class Release:
+    """``yield Release(resource)`` — give back one unit."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+
+class Get:
+    """``yield Get(store)`` — pop the next item (blocks while empty)."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        self.store = store
+
+
+class Put:
+    """``yield Put(store, item)`` — push an item (blocks while full)."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any):
+        self.store = store
+        self.item = item
+
+
+class Resource:
+    """A counted FIFO resource (e.g. an SPE, a PPE hardware thread)."""
+
+    __slots__ = ("sim", "capacity", "in_use", "_queue", "name")
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue: List["Process"] = []
+        self.name = name
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def _request(self, process: "Process") -> None:
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.sim._schedule_resume(process, self)
+        else:
+            self._queue.append(process)
+
+    def _release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            # Hand the unit straight to the next waiter.
+            process = self._queue.pop(0)
+            self.sim._schedule_resume(process, self)
+        else:
+            self.in_use -= 1
+
+
+class Store:
+    """A FIFO item queue with optional capacity (e.g. a mailbox)."""
+
+    __slots__ = ("sim", "capacity", "items", "_getters", "_putters", "name")
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None,
+                 name: str = ""):
+        self.sim = sim
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._getters: List["Process"] = []
+        self._putters: List[Tuple["Process", Any]] = []
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def _get(self, process: "Process") -> None:
+        if self.items:
+            item = self.items.pop(0)
+            self.sim._schedule_resume(process, item)
+            if self._putters and not self.is_full:
+                putter, pending = self._putters.pop(0)
+                self.items.append(pending)
+                self.sim._schedule_resume(putter, None)
+        else:
+            self._getters.append(process)
+
+    def _put(self, process: "Process", item: Any) -> None:
+        if self._getters:
+            getter = self._getters.pop(0)
+            self.sim._schedule_resume(getter, item)
+            self.sim._schedule_resume(process, None)
+        elif not self.is_full:
+            self.items.append(item)
+            self.sim._schedule_resume(process, None)
+        else:
+            self._putters.append((process, item))
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put from outside a process context."""
+        if self._getters:
+            getter = self._getters.pop(0)
+            self.sim._schedule_resume(getter, item)
+            return True
+        if not self.is_full:
+            self.items.append(item)
+            return True
+        return False
+
+
+class Process:
+    """A running generator; ``done_event`` triggers with its return value."""
+
+    __slots__ = ("sim", "generator", "done_event", "name", "finished",
+                 "daemon")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "",
+                 daemon: bool = False):
+        self.sim = sim
+        self.generator = generator
+        self.done_event = Event(sim, name=f"done:{name}")
+        self.name = name
+        self.finished = False
+        #: daemons (e.g. MFC command servers) run forever by design and
+        #: are excluded from quiescence diagnostics.
+        self.daemon = daemon
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            request = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.done_event.succeed(stop.value)
+            return
+        if isinstance(request, Timeout):
+            self.sim._schedule_at(self.sim.now + request.delay, self, None)
+        elif isinstance(request, Wait):
+            request.event.add_waiter(self)
+        elif isinstance(request, Request):
+            request.resource._request(self)
+        elif isinstance(request, Release):
+            request.resource._release()
+            self.sim._schedule_resume(self, None)
+        elif isinstance(request, Get):
+            request.store._get(self)
+        elif isinstance(request, Put):
+            request.store._put(self, request.item)
+        elif isinstance(request, Process):
+            # yield another process == wait for its completion
+            request.done_event.add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {request!r}"
+            )
+
+
+class Simulator:
+    """The virtual clock and event queue."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable, Any]] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+        self._processes: List[Process] = []
+
+    # -- construction helpers ---------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def resource(self, capacity: int, name: str = "") -> Resource:
+        return Resource(self, capacity, name)
+
+    def store(self, capacity: Optional[int] = None, name: str = "") -> Store:
+        return Store(self, capacity, name)
+
+    def spawn(self, generator: Generator, name: str = "",
+              daemon: bool = False) -> Process:
+        """Start a new process; its first step runs at the current time.
+
+        ``daemon=True`` marks perpetual service loops (excluded from
+        :meth:`unfinished_processes`).
+        """
+        process = Process(self, generator, name, daemon=daemon)
+        self._processes.append(process)
+        self._schedule_at(self.now, process, None)
+        return process
+
+    def unfinished_processes(self) -> List[Process]:
+        """Processes that have not run to completion.
+
+        After :meth:`run` drains the event queue, any process still
+        here is *blocked* — waiting on an event that will never fire, a
+        store nobody fills, or a resource nobody releases.  The usual
+        cause is a deadlocked protocol; :meth:`assert_quiescent` turns
+        that silence into a diagnosable error.
+        """
+        return [p for p in self._processes if not p.finished and not p.daemon]
+
+    def assert_quiescent(self) -> None:
+        """Raise if blocked processes remain after the queue drained."""
+        blocked = self.unfinished_processes()
+        if blocked:
+            names = ", ".join(p.name or "<anonymous>" for p in blocked[:10])
+            raise SimulationError(
+                f"{len(blocked)} process(es) blocked at t={self.now}: "
+                f"{names}"
+            )
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callback (no process context)."""
+        if time < self.now:
+            raise SimulationError("cannot schedule in the past")
+        heapq.heappush(
+            self._heap, (time, next(self._sequence), lambda _value: fn(), None)
+        )
+
+    # -- internal scheduling ------------------------------------------------
+
+    def _schedule_at(self, time: float, process: Process, value: Any) -> None:
+        heapq.heappush(
+            self._heap, (time, next(self._sequence), process._step, value)
+        )
+
+    def _schedule_resume(self, process: Process, value: Any) -> None:
+        self._schedule_at(self.now, process, value)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Drain the event queue; returns the final simulated time."""
+        while self._heap:
+            time, _seq, fn, value = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            self.events_processed += 1
+            if max_events is not None and self.events_processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events — runaway simulation?"
+                )
+            fn(value)
+        return self.now

@@ -1,0 +1,135 @@
+"""SPE local store model: 256 KB of software-managed memory.
+
+The local store is the unified instruction+data memory of an SPU (paper
+section 4): code, stack, heap, and DMA staging buffers all compete for
+the same 256 KB.  The paper leans on this constraint twice: the three
+offloaded functions total 117 KB of code (leaving 139 KB free), and the
+likelihood-vector strip-mining buffer is deliberately kept at 2 KB so
+the ``newview()`` recursion cannot overflow the store (section 5.2.4).
+
+This model does byte-accurate segment accounting and raises
+:class:`LocalStoreOverflow` when an allocation would not fit — the same
+failure that would force manual code overlays on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["LocalStore", "LocalStoreOverflow", "BufferPool"]
+
+
+class LocalStoreOverflow(MemoryError):
+    """An allocation exceeded the SPE's local store capacity."""
+
+
+@dataclass
+class _Segment:
+    label: str
+    n_bytes: int
+
+
+class LocalStore:
+    """Byte-accounted allocation of one SPE's local store."""
+
+    def __init__(self, capacity_bytes: int = 256 * 1024):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._segments: Dict[str, _Segment] = {}
+        self.high_water_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(s.n_bytes for s in self._segments.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def reserve(self, label: str, n_bytes: int) -> None:
+        """Allocate a named segment; raises on overflow or relabeling."""
+        if n_bytes < 0:
+            raise ValueError("segment size must be non-negative")
+        if label in self._segments:
+            raise ValueError(f"segment {label!r} already reserved")
+        if n_bytes > self.free_bytes:
+            raise LocalStoreOverflow(
+                f"segment {label!r} needs {n_bytes} B but only "
+                f"{self.free_bytes} B of {self.capacity_bytes} B remain "
+                "(code overlays would be required)"
+            )
+        self._segments[label] = _Segment(label, n_bytes)
+        self.high_water_bytes = max(self.high_water_bytes, self.used_bytes)
+
+    def release(self, label: str) -> None:
+        """Free a named segment."""
+        try:
+            del self._segments[label]
+        except KeyError:
+            raise KeyError(f"no segment {label!r} to release") from None
+
+    def resize(self, label: str, n_bytes: int) -> None:
+        """Grow or shrink an existing segment (e.g. the heap)."""
+        if label not in self._segments:
+            raise KeyError(f"no segment {label!r}")
+        current = self._segments[label].n_bytes
+        if n_bytes - current > self.free_bytes:
+            raise LocalStoreOverflow(
+                f"resizing {label!r} to {n_bytes} B exceeds local store"
+            )
+        self._segments[label].n_bytes = n_bytes
+        self.high_water_bytes = max(self.high_water_bytes, self.used_bytes)
+
+    def segments(self) -> Dict[str, int]:
+        """Snapshot of current segment sizes."""
+        return {label: seg.n_bytes for label, seg in self._segments.items()}
+
+
+class BufferPool:
+    """DMA staging buffers carved out of a local store.
+
+    Double buffering (paper section 5.2.4) uses a pool of two buffers: one
+    being computed on while the other is filled by the MFC.  The paper's
+    tuned size is 2 KB per buffer — enough for 16 loop iterations of
+    likelihood-vector data.
+    """
+
+    def __init__(self, store: LocalStore, n_buffers: int, buffer_bytes: int,
+                 label: str = "dma-buffers"):
+        if n_buffers < 1:
+            raise ValueError("need at least one buffer")
+        self.store = store
+        self.n_buffers = n_buffers
+        self.buffer_bytes = buffer_bytes
+        self.label = label
+        store.reserve(label, n_buffers * buffer_bytes)
+        self._free: List[int] = list(range(n_buffers))
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def acquire(self) -> int:
+        """Take a buffer index; raises if none are free."""
+        if not self._free:
+            raise LocalStoreOverflow(
+                f"all {self.n_buffers} buffers of pool {self.label!r} in use"
+            )
+        return self._free.pop(0)
+
+    def release_buffer(self, index: int) -> None:
+        if index in self._free or not (0 <= index < self.n_buffers):
+            raise ValueError(f"bad buffer index {index}")
+        self._free.append(index)
+
+    def close(self) -> None:
+        """Return the pool's bytes to the local store."""
+        self.store.release(self.label)
+
+    def iterations_per_fill(self, bytes_per_iteration: int) -> int:
+        """How many loop iterations one buffer fill covers (paper: 16)."""
+        if bytes_per_iteration <= 0:
+            raise ValueError("bytes_per_iteration must be positive")
+        return self.buffer_bytes // bytes_per_iteration

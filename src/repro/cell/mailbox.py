@@ -1,0 +1,96 @@
+"""PPE <-> SPE signalling: mailboxes and direct memory signals.
+
+The paper's section 5.2.6 contrasts two signalling mechanisms:
+
+* **Mailboxes** — the architected channel interface: a 4-entry inbound
+  mailbox (PPE -> SPU) and a 1-entry outbound mailbox (SPU -> PPE).
+  PPE-side mailbox access goes through MMIO and is slow.
+* **Direct memory signalling** — the PPE writes a word straight into
+  the SPE's local store (and the SPE commits results straight to main
+  memory); the SPU busy-waits on the word.  This cut total RAxML time
+  by 2-11 %, growing with parallelism.
+
+Both are modelled here with latencies from :class:`CellTiming`, so the
+micro-benchmarks can measure the per-offload signalling gap that the
+cost model's calibration uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .devsim import Get, Put, Simulator, Store, Timeout
+from .timing import CellTiming, DEFAULT_TIMING
+
+__all__ = ["Mailbox", "DirectSignal"]
+
+
+class Mailbox:
+    """An SPE mailbox pair (4-entry inbound, 1-entry outbound)."""
+
+    INBOUND_DEPTH = 4
+    OUTBOUND_DEPTH = 1
+
+    def __init__(self, sim: Simulator, timing: CellTiming = DEFAULT_TIMING,
+                 name: str = "mbox"):
+        self.sim = sim
+        self.timing = timing
+        self.inbound: Store = sim.store(self.INBOUND_DEPTH, name=f"{name}-in")
+        self.outbound: Store = sim.store(self.OUTBOUND_DEPTH, name=f"{name}-out")
+        self.ppe_writes = 0
+        self.spe_reads = 0
+
+    # PPE side (slow MMIO path) ------------------------------------------------
+
+    def ppe_write(self, value: Any) -> Generator:
+        """PPE pushes a message to the SPU inbound mailbox (blocks if full)."""
+        yield Timeout(self.timing.mailbox_latency_s)
+        yield Put(self.inbound, value)
+        self.ppe_writes += 1
+
+    def ppe_read(self) -> Generator:
+        """PPE pops the SPU outbound mailbox (blocks while empty)."""
+        yield Timeout(self.timing.mailbox_latency_s)
+        value = yield Get(self.outbound)
+        return value
+
+    # SPU side (fast channel path) ------------------------------------------------
+
+    def spe_read(self) -> Generator:
+        """SPU pops its inbound mailbox (blocks while empty)."""
+        value = yield Get(self.inbound)
+        self.spe_reads += 1
+        return value
+
+    def spe_write(self, value: Any) -> Generator:
+        """SPU pushes to its outbound mailbox (blocks if un-drained)."""
+        yield Put(self.outbound, value)
+
+
+class DirectSignal:
+    """Direct memory-to-memory signalling (the optimized path).
+
+    The writer pays a small store latency; the reader polls a word.  The
+    model charges the poll interval once (the average residual wait of a
+    busy-wait loop) rather than simulating every poll iteration.
+    """
+
+    def __init__(self, sim: Simulator, timing: CellTiming = DEFAULT_TIMING,
+                 name: str = "signal"):
+        self.sim = sim
+        self.timing = timing
+        self.name = name
+        self._slot: Store = sim.store(name=f"{name}-word")
+        self.writes = 0
+
+    def write(self, value: Any) -> Generator:
+        """Store a value into the watched word."""
+        yield Timeout(self.timing.direct_signal_latency_s)
+        yield Put(self._slot, value)
+        self.writes += 1
+
+    def wait(self) -> Generator:
+        """Busy-wait until a value arrives; returns it."""
+        value = yield Get(self._slot)
+        yield Timeout(self.timing.spe_poll_interval_s)
+        return value

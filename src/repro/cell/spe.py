@@ -1,0 +1,126 @@
+"""Synergistic Processing Element: SPU + local store + MFC channels.
+
+An SPE bundles the compute engine (SPU), its 256 KB local store, its MFC
+DMA queue and its signalling endpoints (paper section 4).  Offloaded
+work arrives as :class:`KernelInvocation` descriptors whose duration the
+caller computes (see :mod:`repro.port.profilemodel`); the SPE model
+charges the time, tracks busy/idle accounting, and exposes the DMA and
+signalling machinery for communication-accurate simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from .devsim import Simulator, Timeout
+from .eib import EIB
+from .localstore import LocalStore
+from .mailbox import DirectSignal, Mailbox
+from .mfc import MFC
+from .timing import CellTiming, DEFAULT_TIMING
+
+__all__ = ["SPE", "KernelInvocation"]
+
+
+@dataclass(frozen=True)
+class KernelInvocation:
+    """One offloaded function execution, pre-costed by the cost model."""
+
+    kernel: str  # "newview" | "makenewz" | "evaluate"
+    compute_s: float  # SPU busy time
+    dma_bytes_in: int = 0  # likelihood-vector strip-mining traffic
+    dma_bytes_out: int = 0
+    dma_wait_s: float = 0.0  # explicit stall (0 with double buffering)
+
+
+class SPE:
+    """One synergistic processing element on the simulated blade."""
+
+    def __init__(self, sim: Simulator, eib: EIB, index: int,
+                 timing: CellTiming = DEFAULT_TIMING):
+        self.sim = sim
+        self.timing = timing
+        self.index = index
+        self.local_store = LocalStore(timing.local_store_bytes)
+        self.mfc = MFC(sim, eib, timing, name=f"spe{index}-mfc")
+        self.mailbox = Mailbox(sim, timing, name=f"spe{index}")
+        self.signal = DirectSignal(sim, timing, name=f"spe{index}")
+        self.busy_time = 0.0
+        self.kernel_count = 0
+        self._thread_loaded = False
+        #: (start, end, kernel) spans for timeline rendering (capped).
+        self.spans = []
+        self.max_spans = 20_000
+
+    # -- thread lifecycle ----------------------------------------------------
+
+    def load_offloaded_code(self, code_bytes: Optional[int] = None) -> None:
+        """Load the offloaded-function module into the local store.
+
+        Models the paper's single-module decision (section 5.2.7): the
+        code is loaded once at thread creation and stays resident, so
+        its footprint (117 KB for all three functions) is paid in local
+        store, not in repeated loads.
+        """
+        if self._thread_loaded:
+            raise RuntimeError("SPE thread already loaded")
+        code = self.timing.offloaded_code_bytes if code_bytes is None else code_bytes
+        self.local_store.reserve("code", code)
+        self.local_store.reserve("stack", 16 * 1024)
+        self._thread_loaded = True
+
+    @property
+    def thread_loaded(self) -> bool:
+        return self._thread_loaded
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, invocation: KernelInvocation,
+                double_buffering: bool = True,
+                buffer_bytes: int = 2 * 1024) -> Generator:
+        """Process-generator: run one offloaded kernel invocation.
+
+        DMA traffic is strip-mined through ``buffer_bytes`` chunks (the
+        paper's tuned 2 KB).  With double buffering the transfers overlap
+        compute and only a residual ``dma_wait_s`` (normally zero) is
+        charged; without it, the SPU stalls for each chunk's round trip.
+        """
+        if not self._thread_loaded:
+            raise RuntimeError("offloaded code not loaded on this SPE")
+        start = self.sim.now
+        total_bytes = invocation.dma_bytes_in + invocation.dma_bytes_out
+        if total_bytes > 0:
+            chunk = max(16, min(buffer_bytes, self.timing.dma_max_transfer_bytes))
+            n_chunks = max(1, -(-total_bytes // chunk))
+            if double_buffering:
+                # Transfers stream in tag group 1 while compute proceeds;
+                # only the explicitly modelled residual wait stalls.
+                for _ in range(n_chunks):
+                    self.mfc.dma_get(chunk, tag=1)
+                yield Timeout(invocation.compute_s)
+                if invocation.dma_wait_s > 0:
+                    yield Timeout(invocation.dma_wait_s)
+                yield from self.mfc.wait_tag(1)
+            else:
+                # Synchronous strip-mining: fetch, wait, compute, repeat.
+                compute_per_chunk = invocation.compute_s / n_chunks
+                for _ in range(n_chunks):
+                    self.mfc.dma_get(chunk, tag=1)
+                    yield from self.mfc.wait_tag(1)
+                    yield Timeout(compute_per_chunk)
+                if invocation.dma_wait_s > 0:
+                    yield Timeout(invocation.dma_wait_s)
+        else:
+            yield Timeout(invocation.compute_s + invocation.dma_wait_s)
+        self.busy_time += self.sim.now - start
+        self.kernel_count += 1
+        if len(self.spans) < self.max_spans:
+            self.spans.append((start, self.sim.now, invocation.kernel))
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Busy fraction since simulation start (or over *elapsed*)."""
+        elapsed = self.sim.now if elapsed is None else elapsed
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / elapsed

@@ -1,0 +1,121 @@
+"""First-principles SPU cycle estimation for the likelihood kernels.
+
+The cost model of :mod:`repro.port.profilemodel` derives its component
+times from the paper's measured tables.  This module approaches the
+same quantities from below: given the instruction-level workload of one
+``newview()`` invocation (the paper quotes 25,554 DP FLOPs, ~150
+``exp()`` calls, a 228-iteration large loop with an 8-comparison
+scaling conditional), estimate cycles from the SPU's architected issue
+rates.  The ``firstprinciples`` experiment compares the two views; the
+gap is the sustained-vs-peak inefficiency of in-order SPUs on
+pointer-heavy code, which the estimator deliberately does not model.
+
+Instruction-cost assumptions (documented, order-of-magnitude):
+
+* DP floating point: 2 ops per 6 cycles, x2 SIMD when vectorized
+  (paper section 4).
+* ``exp()``: the math-library double-precision software exponential
+  costs thousands of cycles on an SPU (no DP divide/branch hints);
+  the Cell SDK numerical version costs on the order of a hundred.
+* DP comparison: the SPU has **no** double-precision compare
+  instruction — it is emulated in software (tens of cycles), which is
+  precisely why the paper's integer cast wins; integer compares are
+  single-cycle and SIMD-able.
+* Mispredicted branches: ~20 cycles (paper section 5.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .timing import CellTiming, DEFAULT_TIMING
+
+__all__ = ["NewviewWorkload", "SPUCostEstimate", "estimate_newview"]
+
+#: Software-emulated DP comparison cost (cycles per compare).
+DP_COMPARE_CYCLES = 25.0
+#: Integer comparison cost after the cast (cycles, amortized over SIMD).
+INT_COMPARE_CYCLES = 1.0
+#: Math-library double exp() on the SPU (cycles per call).
+EXP_LIBRARY_CYCLES = 4000.0
+#: Cell SDK numerical exp() (cycles per call; a pipelined polynomial).
+EXP_SDK_CYCLES = 100.0
+#: Comparisons per scaling-conditional evaluation (4 ABS + 4 compares).
+COMPARES_PER_CHECK = 8
+#: Branch misprediction probability assumed for the float conditional.
+BRANCH_MISS_RATE = 0.5
+
+
+@dataclass(frozen=True)
+class NewviewWorkload:
+    """Instruction-level description of one ``newview()`` invocation.
+
+    Defaults are the paper's ``42_SC`` figures (sections 5.2.2-5.2.5).
+    """
+
+    fp_ops: int = 25_554
+    exp_calls: int = 150
+    large_loop_iterations: int = 228
+    n_categories: int = 4
+
+    @property
+    def conditional_checks(self) -> int:
+        """The scaling check runs once per pattern per category."""
+        return self.large_loop_iterations * self.n_categories
+
+
+@dataclass(frozen=True)
+class SPUCostEstimate:
+    """Per-invocation cycle/second breakdown from issue rates."""
+
+    cycles: Dict[str, float]
+    timing: CellTiming
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.cycles.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timing.cycles(self.total_cycles)
+
+    def seconds(self, component: str) -> float:
+        return self.timing.cycles(self.cycles[component])
+
+
+def estimate_newview(
+    workload: NewviewWorkload = NewviewWorkload(),
+    vectorized: bool = False,
+    sdk_exp: bool = False,
+    int_conditionals: bool = False,
+    timing: CellTiming = DEFAULT_TIMING,
+) -> SPUCostEstimate:
+    """Bottom-up cycle estimate of one ``newview()`` under a config."""
+    # Floating-point issue: 2 DP ops per 6 cycles; SIMD doubles that.
+    dp_per_cycle = timing.dp_ops_per_issue / timing.dp_issue_interval_cycles
+    if vectorized:
+        dp_per_cycle *= timing.dp_simd_width
+    fp_cycles = workload.fp_ops / dp_per_cycle
+
+    exp_cycles = workload.exp_calls * (
+        EXP_SDK_CYCLES if sdk_exp else EXP_LIBRARY_CYCLES
+    )
+
+    checks = workload.conditional_checks
+    if int_conditionals:
+        cond_cycles = checks * COMPARES_PER_CHECK * INT_COMPARE_CYCLES
+    else:
+        cond_cycles = checks * (
+            COMPARES_PER_CHECK * DP_COMPARE_CYCLES
+            + BRANCH_MISS_RATE * timing.branch_miss_penalty_cycles
+        )
+
+    return SPUCostEstimate(
+        cycles={
+            "fp": fp_cycles,
+            "exp": exp_cycles,
+            "conditional": cond_cycles,
+        },
+        timing=timing,
+    )

@@ -1,0 +1,83 @@
+"""ASCII occupancy timelines of simulated Cell runs.
+
+Renders the busy/idle pattern of the PPE and each SPE over a completed
+simulation as a character chart — the textual equivalent of the Gantt
+plots used to explain schedulers.  Each column is a time bucket; its
+character encodes the bucket's busy fraction (`` ``, ``.``, ``:``,
+``#`` for 0 / <50 / <90 / >=90 %).  The scheduling examples use this to
+*show* EDTLP's PPE saturation and LLP's fan-out rather than just assert
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .blade import CellChip
+
+__all__ = ["occupancy_row", "render_timeline"]
+
+_LEVELS = " .:#"
+
+Span = Tuple[float, float, str]
+
+
+def occupancy_row(spans: Sequence[Span], horizon: float,
+                  width: int = 72) -> str:
+    """One resource's occupancy chart over ``[0, horizon]``."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if width < 1:
+        raise ValueError("width must be positive")
+    bucket = horizon / width
+    busy = [0.0] * width
+    for start, end, _label in spans:
+        if end <= start:
+            continue
+        first = min(int(start / bucket), width - 1)
+        last = min(int(end / bucket - 1e-12), width - 1)
+        for b in range(first, last + 1):
+            lo = max(start, b * bucket)
+            hi = min(end, (b + 1) * bucket)
+            busy[b] += max(hi - lo, 0.0)
+    out = []
+    for value in busy:
+        fraction = min(value / bucket, 1.0)
+        if fraction <= 0.0:
+            out.append(_LEVELS[0])
+        elif fraction < 0.5:
+            out.append(_LEVELS[1])
+        elif fraction < 0.9:
+            out.append(_LEVELS[2])
+        else:
+            out.append(_LEVELS[3])
+    return "".join(out)
+
+
+def render_timeline(chip: CellChip, horizon: Optional[float] = None,
+                    width: int = 72, spes: Optional[Sequence[int]] = None
+                    ) -> str:
+    """Timeline of a chip's PPE and SPEs after a simulation has run.
+
+    ``horizon`` defaults to the current simulated time; ``spes`` selects
+    SPE indices (default: all that did any work).
+    """
+    horizon = chip.sim.now if horizon is None else horizon
+    if horizon <= 0:
+        return "(no simulated time elapsed)"
+    lines: List[str] = []
+    scale = (
+        f"0{' ' * (width - len(f'{horizon:.3g}s') - 1)}{horizon:.3g}s"
+    )
+    lines.append(f"{'':>6} {scale}")
+    lines.append(f"{'ppe':>6} {occupancy_row(chip.ppe.spans, horizon, width)}")
+    indices = (
+        [s.index for s in chip.spes if s.spans] if spes is None else spes
+    )
+    for index in indices:
+        spe = chip.spes[index]
+        lines.append(
+            f"{f'spe{index}':>6} {occupancy_row(spe.spans, horizon, width)}"
+        )
+    lines.append(f"{'':>6} (busy fraction per column: ' '=0  .<50%  :<90%  #>=90%)")
+    return "\n".join(lines)

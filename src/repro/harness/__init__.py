@@ -1,0 +1,27 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from .datasets import full_alignment, get_cat_trace, get_trace, quick_alignment
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    Row,
+    ShapeCheck,
+    run_all_experiments,
+    run_experiment,
+)
+from .report import render_experiment, render_report
+
+__all__ = [
+    "full_alignment",
+    "get_cat_trace",
+    "get_trace",
+    "quick_alignment",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Row",
+    "ShapeCheck",
+    "run_all_experiments",
+    "run_experiment",
+    "render_experiment",
+    "render_report",
+]

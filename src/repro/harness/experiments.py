@@ -1,0 +1,1206 @@
+"""One entry point per paper table/figure, with paper-vs-measured rows.
+
+Every experiment returns an :class:`ExperimentResult` whose rows pair
+the paper's reported value with the reproduction's measured/simulated
+value and whose *shape checks* encode the paper's qualitative claims
+(who wins, roughly by how much, what grows with what).  EXPERIMENTS.md
+is generated from these results; the benchmark suite asserts the shape
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cell import CellBlade, DirectSignal, KernelInvocation, LocalStore
+from ..cell.timing import DEFAULT_TIMING
+from ..port import PortExecutor, paperdata as P, stage
+from .datasets import get_trace
+
+__all__ = [
+    "Row",
+    "ShapeCheck",
+    "ExperimentResult",
+    "run_experiment",
+    "run_all_experiments",
+    "EXPERIMENTS",
+]
+
+
+@dataclass(frozen=True)
+class Row:
+    """One paper-vs-measured data point."""
+
+    label: str
+    paper: Optional[float]
+    measured: float
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        if self.paper is None or self.paper == 0:
+            return None
+        return (self.measured - self.paper) / self.paper
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim from the paper, evaluated."""
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ExperimentResult:
+    """A completed experiment: rows + shape checks + commentary."""
+
+    experiment: str
+    title: str
+    rows: List[Row]
+    checks: List[ShapeCheck]
+    notes: str = ""
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def assert_shape(self) -> None:
+        failed = [c for c in self.checks if not c.passed]
+        if failed:
+            details = "; ".join(f"{c.claim} ({c.detail})" for c in failed)
+            raise AssertionError(
+                f"{self.experiment}: shape checks failed: {details}"
+            )
+
+
+def _executor(profile: str) -> PortExecutor:
+    return PortExecutor(get_trace(profile))
+
+
+def _cells_rows(executor: PortExecutor, table: str) -> List[Row]:
+    rows = []
+    for key, paper_value in P.TABLES[table].items():
+        measured = executor.model.stage_total_s(table, *key)
+        rows.append(Row(f"{key[0]}w/{key[1]}b", paper_value, measured))
+    return rows
+
+
+def _improvement(executor: PortExecutor, later: str, earlier: str,
+                 key=(1, 1)) -> float:
+    """Fractional time reduction of stage *later* vs stage *earlier*."""
+    t_new = executor.model.stage_total_s(later, *key)
+    t_old = executor.model.stage_total_s(earlier, *key)
+    return 1.0 - t_new / t_old
+
+
+# ---------------------------------------------------------------------------
+# table experiments
+# ---------------------------------------------------------------------------
+
+
+def experiment_table1(profile: str = "quick") -> ExperimentResult:
+    """Table 1: PPE baseline (a) and naive newview offload (b)."""
+    ex = _executor(profile)
+    rows = [
+        Row(f"PPE-only {r.label}", r.paper, r.measured)
+        for r in _cells_rows(ex, "table1a")
+    ] + [
+        Row(f"naive-offload {r.label}", r.paper, r.measured)
+        for r in _cells_rows(ex, "table1b")
+    ]
+    checks = []
+    for key in P.TABLES["table1a"]:
+        a = ex.model.stage_total_s("table1a", *key)
+        b = ex.model.stage_total_s("table1b", *key)
+        checks.append(
+            ShapeCheck(
+                f"naive offload is slower than PPE-only at {key}",
+                b > a,
+                f"{b:.1f}s vs {a:.1f}s",
+            )
+        )
+    ratio = (
+        ex.model.stage_total_s("table1b", 1, 1)
+        / ex.model.stage_total_s("table1a", 1, 1)
+    )
+    checks.append(
+        ShapeCheck(
+            "naive offload costs 2-3x the PPE baseline (1w/1b)",
+            2.0 <= ratio <= 3.2,
+            f"ratio {ratio:.2f}",
+        )
+    )
+    return ExperimentResult(
+        "table1",
+        "Table 1: PPE-only vs naive newview() offload",
+        rows,
+        checks,
+        notes=(
+            "Merely moving newview() to an SPE hurts: the math-library "
+            "exp(), mispredicted scaling conditionals, synchronous DMA "
+            "and mailbox signalling dominate."
+        ),
+    )
+
+
+def _stage_experiment(
+    table: str,
+    previous: str,
+    title: str,
+    claim_range: Tuple[float, float],
+    claim_text: str,
+    profile: str = "quick",
+    extra_checks: Optional[Callable[[PortExecutor, List[ShapeCheck]], None]] = None,
+) -> ExperimentResult:
+    ex = _executor(profile)
+    rows = _cells_rows(ex, table)
+    checks = []
+    lo, hi = claim_range
+    for key in P.TABLES[table]:
+        gain = _improvement(ex, table, previous, key)
+        checks.append(
+            ShapeCheck(
+                f"{claim_text} at {key[0]}w/{key[1]}b",
+                lo <= gain <= hi,
+                f"reduction {gain * 100:.1f}% (paper band "
+                f"{lo * 100:.0f}-{hi * 100:.0f}%)",
+            )
+        )
+    if extra_checks is not None:
+        extra_checks(ex, checks)
+    return ExperimentResult(table, title, rows, checks)
+
+
+def experiment_table2(profile: str = "quick") -> ExperimentResult:
+    """Table 2: SDK exp() replaces the math-library exponential."""
+    return _stage_experiment(
+        "table2",
+        "table1b",
+        "Table 2: SDK exp() numerical implementation",
+        (0.33, 0.45),
+        "SDK exp() cuts 37-41% of execution time",
+        profile,
+    )
+
+
+def experiment_table3(profile: str = "quick") -> ExperimentResult:
+    """Table 3: integer-cast + vectorized scaling conditionals."""
+    return _stage_experiment(
+        "table3",
+        "table2",
+        "Table 3: casting/vectorizing the scaling conditional",
+        (0.15, 0.25),
+        "integer conditionals cut 19-21% of execution time",
+        profile,
+    )
+
+
+def experiment_table4(profile: str = "quick") -> ExperimentResult:
+    """Table 4: double buffering overlaps DMA with compute."""
+    return _stage_experiment(
+        "table4",
+        "table3",
+        "Table 4: double buffering (2 KB transfers)",
+        (0.02, 0.08),
+        "double buffering cuts 4-5% of execution time",
+        profile,
+    )
+
+
+def experiment_table5(profile: str = "quick") -> ExperimentResult:
+    """Table 5: SIMD vectorization of the FP loops."""
+
+    def extra(ex: PortExecutor, checks: List[ShapeCheck]) -> None:
+        cond_gain = _improvement(ex, "table3", "table2")
+        vec_gain = _improvement(ex, "table5", "table4")
+        checks.append(
+            ShapeCheck(
+                "control-statement vectorization beats FP vectorization "
+                "(the paper's surprise)",
+                cond_gain > vec_gain,
+                f"conditionals {cond_gain * 100:.1f}% vs SIMD "
+                f"{vec_gain * 100:.1f}%",
+            )
+        )
+
+    return _stage_experiment(
+        "table5",
+        "table4",
+        "Table 5: SIMD vectorization of the likelihood loops",
+        (0.07, 0.16),
+        "vectorization cuts 9-13% of execution time",
+        profile,
+        extra_checks=extra,
+    )
+
+
+def experiment_table6(profile: str = "quick") -> ExperimentResult:
+    """Table 6: direct memory-to-memory PPE<->SPE communication."""
+
+    def extra(ex: PortExecutor, checks: List[ShapeCheck]) -> None:
+        gain_small = _improvement(ex, "table6", "table5", (1, 1))
+        gain_big = _improvement(ex, "table6", "table5", (2, 32))
+        checks.append(
+            ShapeCheck(
+                "the communication optimization scales with parallelism",
+                gain_big > gain_small,
+                f"1w/1b saves {gain_small * 100:.1f}%, 2w/32b saves "
+                f"{gain_big * 100:.1f}%",
+            )
+        )
+
+    return _stage_experiment(
+        "table6",
+        "table5",
+        "Table 6: direct memory-to-memory communication",
+        (0.01, 0.12),
+        "direct communication cuts 2-11% of execution time",
+        profile,
+        extra_checks=extra,
+    )
+
+
+def experiment_table7(profile: str = "quick") -> ExperimentResult:
+    """Table 7: makenewz() and evaluate() offloaded too."""
+
+    def extra(ex: PortExecutor, checks: List[ShapeCheck]) -> None:
+        spe = ex.model.stage_total_s("table7", 1, 1)
+        ppe = ex.model.stage_total_s("table1a", 1, 1)
+        checks.append(
+            ShapeCheck(
+                "one fully offloaded SPE beats the sequential PPE by ~25%",
+                0.18 <= 1.0 - spe / ppe <= 0.32,
+                f"{(1.0 - spe / ppe) * 100:.1f}% faster",
+            )
+        )
+        gain_big = _improvement(ex, "table7", "table6", (2, 32))
+        checks.append(
+            ShapeCheck(
+                "offloading gains grow with parallelism (up to ~47%)",
+                gain_big >= _improvement(ex, "table7", "table6", (1, 1)) - 0.02,
+                f"2w/32b saves {gain_big * 100:.1f}%",
+            )
+        )
+
+    return _stage_experiment(
+        "table7",
+        "table6",
+        "Table 7: all three kernels offloaded (single SPE module)",
+        (0.28, 0.42),
+        "offloading all three functions cuts 31-38%",
+        profile,
+        extra_checks=extra,
+    )
+
+
+def experiment_table8(profile: str = "quick") -> ExperimentResult:
+    """Table 8: the dynamic MGPS scheduler."""
+    ex = _executor(profile)
+    rows = [
+        Row(f"{b} bootstraps", paper_value, ex.model.mgps_total_s(b))
+        for b, paper_value in P.TABLE8.items()
+    ]
+    checks = []
+    llp_gain = 1.0 - ex.model.mgps_total_s(1) / ex.model.stage_total_s(
+        "table7", 1, 1
+    )
+    checks.append(
+        ShapeCheck(
+            "LLP cuts ~36% of the one-bootstrap run",
+            0.30 <= llp_gain <= 0.42,
+            f"{llp_gain * 100:.1f}%",
+        )
+    )
+    edtlp_gain = 1.0 - ex.model.mgps_total_s(32) / ex.model.stage_total_s(
+        "table7", 2, 32
+    )
+    checks.append(
+        ShapeCheck(
+            "EDTLP+MGPS cuts up to ~63% at 32 bootstraps",
+            0.55 <= edtlp_gain <= 0.70,
+            f"{edtlp_gain * 100:.1f}%",
+        )
+    )
+    scaling = ex.model.mgps_total_s(32) / ex.model.mgps_total_s(8)
+    checks.append(
+        ShapeCheck(
+            "MGPS scales ~linearly in bootstraps (32b/8b ~ 4x)",
+            3.5 <= scaling <= 4.5,
+            f"ratio {scaling:.2f}",
+        )
+    )
+    return ExperimentResult(
+        "table8",
+        "Table 8: dynamic multigrain scheduling (MGPS)",
+        rows,
+        checks,
+        notes=(
+            "MGPS runs eight EDTLP workers while task-level parallelism "
+            "lasts and switches the stragglers to loop-level parallelism."
+        ),
+    )
+
+
+def experiment_figure3(profile: str = "quick") -> ExperimentResult:
+    """Figure 3: Cell vs IBM Power5 vs 2x Intel Xeon."""
+    ex = _executor(profile)
+    series = {s.platform: s for s in ex.figure3()}
+    cell = series["Cell (MGPS)"]
+    p5 = series["IBM Power5"]
+    xeon = series["2x Intel Xeon (HT)"]
+    rows = []
+    for s in (cell, p5, xeon):
+        for b, seconds in zip(s.bootstraps, s.seconds):
+            rows.append(Row(f"{s.platform} @ {b}b", None, seconds))
+    checks = []
+    for i, b in enumerate(cell.bootstraps):
+        checks.append(
+            ShapeCheck(
+                f"Cell beats both platforms at {b} bootstraps",
+                cell.seconds[i] < p5.seconds[i]
+                and cell.seconds[i] < xeon.seconds[i],
+                f"cell {cell.seconds[i]:.0f}s, p5 {p5.seconds[i]:.0f}s, "
+                f"xeon {xeon.seconds[i]:.0f}s",
+            )
+        )
+    i_last = len(cell.bootstraps) - 1
+    xeon_ratio = xeon.seconds[i_last] / cell.seconds[i_last]
+    checks.append(
+        ShapeCheck(
+            "Cell beats the dual Xeon by more than a factor of two",
+            xeon_ratio > 2.0,
+            f"ratio {xeon_ratio:.2f} at {cell.bootstraps[i_last]} bootstraps",
+        )
+    )
+    p5_ratio = p5.seconds[i_last] / cell.seconds[i_last]
+    checks.append(
+        ShapeCheck(
+            "Cell beats the Power5 by ~9-10%",
+            1.05 <= p5_ratio <= 1.15,
+            f"ratio {p5_ratio:.3f}",
+        )
+    )
+    return ExperimentResult(
+        "figure3",
+        "Figure 3: RAxML on Cell vs Power5 vs Xeon",
+        rows,
+        checks,
+        notes=(
+            "The Xeon curve uses two processors (four HT contexts), the "
+            "modification the paper says favours the Xeon; Power5 runs "
+            "four MPI ranks (2 cores x 2 SMT)."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# profile & micro experiments
+# ---------------------------------------------------------------------------
+
+
+def experiment_profile(profile: str = "quick") -> ExperimentResult:
+    """Section 5.2's gprof profile: call counts and function mix."""
+    summary = get_trace(profile)
+    ex = PortExecutor(summary)
+    canonical = ex.model.canonical
+    rows = [
+        Row("newview calls / task (canonical)", P.NEWVIEW_CALLS,
+            float(canonical.newview_count)),
+        Row("newview share of PPE time", P.PROFILE_SHARES["newview"],
+            P.PROFILE_SHARES["newview"]),  # calibration anchor
+        Row("avg newview time at table-6 stage (us)", P.NEWVIEW_AVG_S * 1e6,
+            ex.model.newview_kernel_s(stage("table6"))
+            / canonical.newview_count * 1e6),
+        Row("makenewz calls / task (canonical)", None,
+            float(canonical.makenewz_count)),
+        Row("evaluate calls / task (canonical)", None,
+            float(canonical.evaluate_count)),
+        Row("mean Newton iterations per makenewz", None,
+            canonical.mean_makenewz_iterations),
+        Row("tip-case fraction of newview calls", None,
+            canonical.tip_case_fraction()),
+    ]
+    avg_us = (
+        ex.model.newview_kernel_s(stage("table6"))
+        / canonical.newview_count
+        * 1e6
+    )
+    checks = [
+        ShapeCheck(
+            "newview dominates the kernel mix",
+            canonical.newview_count
+            > canonical.makenewz_count + canonical.evaluate_count,
+            f"{canonical.newview_count} vs "
+            f"{canonical.makenewz_count + canonical.evaluate_count}",
+        ),
+        ShapeCheck(
+            "fine granularity: optimized newview averages ~71 us "
+            "(within 2x)",
+            35.0 <= avg_us <= 142.0,
+            f"{avg_us:.0f} us",
+        ),
+        ShapeCheck(
+            "makenewz converges in a few Newton iterations",
+            1.0 <= canonical.mean_makenewz_iterations <= 12.0,
+            f"{canonical.mean_makenewz_iterations:.1f}",
+        ),
+    ]
+    return ExperimentResult(
+        "profile",
+        "Section 5.2: kernel profile of one 42_SC-class search",
+        rows,
+        checks,
+        notes=(
+            "The PPE share split (76.8/19.16/2.37%) is a calibration "
+            "input, not a measurement; call counts and iteration "
+            "statistics come from the reproduction's real search."
+        ),
+    )
+
+
+def experiment_micro_comm() -> ExperimentResult:
+    """Section 5.2.6 micro: mailbox vs direct signalling round trips.
+
+    Measured on the discrete-event Cell components (not the analytic
+    model), then compared with the cost-model constants derived from
+    Tables 5/6.
+    """
+    ex = _executor("quick")
+    model = ex.model
+
+    def round_trip(use_mailbox: bool, repetitions: int = 1000) -> float:
+        blade = CellBlade(n_chips=1)
+        spe = blade.chip.spes[0]
+        spe.load_offloaded_code()
+        reply = DirectSignal(blade.sim, name="reply")
+
+        def ppe_side():
+            for i in range(repetitions):
+                if use_mailbox:
+                    yield from spe.mailbox.ppe_write(i)
+                    yield from spe.mailbox.ppe_read()
+                else:
+                    yield from spe.signal.write(i)
+                    yield from reply.wait()
+
+        def spe_side():
+            while True:
+                if use_mailbox:
+                    yield from spe.mailbox.spe_read()
+                    yield from spe.mailbox.spe_write("done")
+                else:
+                    yield from spe.signal.wait()
+                    yield from reply.write("done")
+
+        blade.sim.spawn(spe_side(), name="spe")
+        blade.sim.spawn(ppe_side(), name="ppe")
+        blade.sim.run(until=10.0)
+        return blade.sim.now / repetitions
+
+    mailbox_rt = round_trip(True)
+    direct_rt = round_trip(False)
+    rows = [
+        Row("mailbox round trip (us, component sim)",
+            model.comm_mailbox_per_offload * 1e6, mailbox_rt * 1e6),
+        Row("direct-signal round trip (us, component sim)",
+            model.comm_direct_per_offload * 1e6, direct_rt * 1e6),
+    ]
+    checks = [
+        ShapeCheck(
+            "direct signalling is several times cheaper than mailboxes",
+            mailbox_rt / direct_rt > 2.0,
+            f"ratio {mailbox_rt / direct_rt:.1f}",
+        ),
+        ShapeCheck(
+            "component-level mailbox cost within 2.5x of the "
+            "table-derived constant",
+            0.4 <= mailbox_rt / model.comm_mailbox_per_offload <= 2.5,
+            f"{mailbox_rt * 1e6:.2f} vs "
+            f"{model.comm_mailbox_per_offload * 1e6:.2f} us",
+        ),
+    ]
+    return ExperimentResult(
+        "micro_comm",
+        "Section 5.2.6 micro: PPE<->SPE signalling cost",
+        rows,
+        checks,
+    )
+
+
+def experiment_micro_dma() -> ExperimentResult:
+    """Section 5.2.4 micro: double buffering hides the DMA wait."""
+    times = {}
+    for double_buffering in (False, True):
+        blade = CellBlade(n_chips=1)
+        spe = blade.chip.spes[0]
+        spe.load_offloaded_code()
+
+        def run():
+            # One strip-mined likelihood loop: 64 KB of vectors through
+            # 2 KB buffers around 500 us of compute.
+            invocation = KernelInvocation(
+                "newview", compute_s=500e-6, dma_bytes_in=64 * 1024
+            )
+            yield from spe.execute(
+                invocation, double_buffering=double_buffering,
+                buffer_bytes=2 * 1024,
+            )
+
+        blade.sim.spawn(run(), name="kernel")
+        times[double_buffering] = blade.sim.run()
+    saved = 1.0 - times[True] / times[False]
+    rows = [
+        Row("synchronous strip-mining (us)", None, times[False] * 1e6),
+        Row("double-buffered (us)", None, times[True] * 1e6),
+        Row("DMA wait share hidden", P.SECTION52_FRACTIONS["dma_wait_share"],
+            saved),
+    ]
+    checks = [
+        ShapeCheck(
+            "double buffering strictly reduces kernel time",
+            times[True] < times[False],
+            f"{times[True] * 1e6:.0f} vs {times[False] * 1e6:.0f} us",
+        ),
+    ]
+    return ExperimentResult(
+        "micro_dma",
+        "Section 5.2.4 micro: DMA double buffering",
+        rows,
+        checks,
+    )
+
+
+def experiment_micro_localstore() -> ExperimentResult:
+    """Section 5.2.7: the 117 KB module fits; 139 KB remain."""
+    store = LocalStore(DEFAULT_TIMING.local_store_bytes)
+    store.reserve("code", DEFAULT_TIMING.offloaded_code_bytes)
+    free_kb = store.free_bytes / 1024
+    rows = [
+        Row("free local store after code load (KB)", 139.0, free_kb),
+    ]
+    # The 2 KB double-buffering pool must also fit with room to spare.
+    store.reserve("stack", 16 * 1024)
+    store.reserve("dma-buffers", 2 * 2 * 1024)
+    checks = [
+        ShapeCheck(
+            "the three-function module leaves ~139 KB free",
+            abs(free_kb - 139.0) < 1.0,
+            f"{free_kb:.0f} KB",
+        ),
+        ShapeCheck(
+            "stack + double buffers still fit",
+            store.free_bytes > 0,
+            f"{store.free_bytes / 1024:.0f} KB left",
+        ),
+    ]
+    return ExperimentResult(
+        "micro_localstore",
+        "Section 5.2.7: local-store footprint of the offloaded module",
+        rows,
+        checks,
+    )
+
+
+def experiment_ablation(profile: str = "quick") -> ExperimentResult:
+    """Single-flag ablations at the fully optimized endpoint."""
+    ex = _executor(profile)
+    results = ex.ablation()
+    full = results["full"]
+    rows = [Row("full optimization (1w/1b)", P.TABLES["table7"][(1, 1)], full)]
+    for key, value in results.items():
+        if key == "full":
+            continue
+        rows.append(Row(key, None, value))
+    checks = [
+        ShapeCheck(
+            f"removing {key.replace('without_', '')} hurts",
+            value > full,
+            f"{value:.1f}s vs {full:.1f}s",
+        )
+        for key, value in results.items()
+        if key != "full"
+    ]
+    return ExperimentResult(
+        "ablation",
+        "Ablation: each optimization removed alone from the full stack",
+        rows,
+        checks,
+        notes=(
+            "Not in the paper (which stages cumulatively); quantifies "
+            "each optimization's standalone contribution."
+        ),
+    )
+
+
+def experiment_schedulers_devs(profile: str = "quick") -> ExperimentResult:
+    """Cross-check: discrete-event schedulers vs the analytic forms."""
+    ex = _executor(profile)
+    pairs = [
+        ("EDTLP, 8 bootstraps", ex.model.edtlp_total_s(8),
+         ex.edtlp_devs(8).makespan_s),
+        ("LLP, 1 task x 8 SPEs", ex.model.llp_task_s(8),
+         ex.llp_devs(1, 8).makespan_s),
+        ("MGPS, 12 bootstraps", ex.model.mgps_total_s(12),
+         ex.mgps_devs(12).makespan_s),
+    ]
+    rows = [Row(label, analytic, devs) for label, analytic, devs in pairs]
+    checks = [
+        ShapeCheck(
+            f"{label}: DEVS within 15% of the analytic form",
+            abs(devs - analytic) / analytic < 0.15,
+            f"{devs:.1f} vs {analytic:.1f}s",
+        )
+        for label, analytic, devs in pairs
+    ]
+    return ExperimentResult(
+        "schedulers_devs",
+        "Discrete-event scheduler runs vs closed forms",
+        rows,
+        checks,
+        notes=(
+            "The DEVS runs model PPE queueing, SMT contention, context "
+            "switches and master-worker messaging explicitly; agreement "
+            "validates the closed forms used for the headline tables."
+        ),
+    )
+
+
+def experiment_firstprinciples(profile: str = "quick") -> ExperimentResult:
+    """Bottom-up SPU cycle estimates vs the table-derived components.
+
+    The table-derived components include every sustained-execution
+    effect (dependency stalls, loads/stores, dual-issue limits); the
+    issue-rate estimator deliberately excludes them, so it must come in
+    *below* the derived values, within an in-order-SPU-plausible
+    inefficiency factor.
+    """
+    from ..cell import NewviewWorkload, estimate_newview
+
+    ex = _executor(profile)
+    model = ex.model
+    n = float(model.canonical.newview_count)
+    workload = NewviewWorkload()
+
+    pairs = []  # (component label, bottom-up s/call, derived s/call)
+    est_scalar = estimate_newview(workload, vectorized=False)
+    est_vec = estimate_newview(workload, vectorized=True)
+    pairs.append(("loops scalar", est_scalar.seconds("fp"),
+                  model.nv_loops_scalar_s / n))
+    pairs.append(("loops SIMD", est_vec.seconds("fp"),
+                  model.nv_loops_vector_s / n))
+    pairs.append(("exp() library",
+                  estimate_newview(workload).seconds("exp"),
+                  model.nv_exp_lib_s / n))
+    pairs.append(("exp() SDK",
+                  estimate_newview(workload, sdk_exp=True).seconds("exp"),
+                  model.nv_exp_sdk_s / n))
+    pairs.append(("conditional (float)",
+                  est_scalar.seconds("conditional"),
+                  model.nv_cond_float_s / n))
+    pairs.append(("conditional (int)",
+                  estimate_newview(workload, int_conditionals=True)
+                  .seconds("conditional"),
+                  model.nv_cond_int_s / n))
+
+    rows = []
+    checks = []
+    for label, bottom_up, derived in pairs:
+        rows.append(Row(f"{label}: derived (us/call)", None, derived * 1e6))
+        rows.append(Row(f"{label}: issue-rate (us/call)", None,
+                        bottom_up * 1e6))
+        ratio = derived / bottom_up
+        checks.append(
+            ShapeCheck(
+                f"{label}: derived within [0.7x, 15x] of the issue-rate "
+                "floor",
+                0.7 <= ratio <= 15.0,
+                f"sustained/peak factor {ratio:.1f}",
+            )
+        )
+    # Ordering preserved: the estimator must reproduce which component
+    # dominates at each stage.
+    unopt = estimate_newview(workload)
+    checks.append(
+        ShapeCheck(
+            "issue-rate view agrees that library exp() dominates the "
+            "unoptimized kernel",
+            unopt.cycles["exp"] > unopt.cycles["fp"],
+            f"exp {unopt.cycles['exp']:.0f} vs fp {unopt.cycles['fp']:.0f} "
+            "cycles",
+        )
+    )
+    return ExperimentResult(
+        "firstprinciples",
+        "Validation: SPU issue-rate estimates vs table-derived components",
+        rows,
+        checks,
+        notes=(
+            "Instruction-cost assumptions documented in "
+            "repro/cell/spu_cost.py; the residual factor is sustained-"
+            "vs-peak inefficiency on an in-order SPU."
+        ),
+    )
+
+
+def experiment_static_devs(profile: str = "quick") -> ExperimentResult:
+    """Cross-check: static-mapping DEVS runs vs the Tables 1-7 forms."""
+    ex = _executor(profile)
+    cases = [("table1b", 1, 1), ("table1b", 2, 8), ("table6", 2, 8),
+             ("table7", 2, 8)]
+    rows = []
+    checks = []
+    for table, workers, bootstraps in cases:
+        analytic = ex.model.stage_total_s(table, workers, bootstraps)
+        devs = ex.static_devs(table, workers, bootstraps)
+        label = f"{table} {workers}w/{bootstraps}b"
+        rows.append(Row(f"{label} (analytic)", None, analytic))
+        rows.append(Row(f"{label} (DEVS)", None, devs.makespan_s))
+        checks.append(
+            ShapeCheck(
+                f"{label}: DEVS within 10% of the closed form",
+                abs(devs.makespan_s - analytic) / analytic < 0.10,
+                f"{devs.makespan_s:.1f} vs {analytic:.1f}s",
+            )
+        )
+    return ExperimentResult(
+        "static_devs",
+        "Discrete-event static mapping vs the Tables 1-7 closed forms",
+        rows,
+        checks,
+        notes=(
+            "The DEVS runs interleave PPE/SPE quanta on the simulator; "
+            "SMT contention emerges from the shared PPE resource rather "
+            "than a multiplier."
+        ),
+    )
+
+
+def experiment_single_precision(profile: str = "quick") -> ExperimentResult:
+    """Section 6 projection: SP arithmetic widens Cell's margin."""
+    ex = _executor(profile)
+    model = ex.model
+    data = ex.single_precision_projection()
+    full = stage("table7")
+    kernel_dp = model.newview_kernel_s(full)
+    kernel_sp = model.newview_kernel_s(full, single_precision=True)
+    # The compute-bound regime: one task, loop-parallelized (Table 8's
+    # 1-bootstrap row); the Power5 runs the same single task.
+    cell_dp_1 = data["cell_dp"][0]
+    cell_sp_1 = data["cell_sp"][0]
+    p5_sp_1 = data["power5_sp"][0]
+    p5_dp_1 = _executor(profile).figure3()[1].seconds[0]
+    rows = [
+        Row("SPE SP/DP arithmetic factor", None,
+            model.sp_arithmetic_speedup()),
+        Row("newview kernel DP -> SP (s/task)", None, kernel_sp),
+        Row("Cell DP @ 1b (s)", None, cell_dp_1),
+        Row("Cell SP @ 1b (s)", None, cell_sp_1),
+        Row("Power5 SP @ 1b (s)", None, p5_sp_1),
+        Row("Cell SP @ 128b (s)", None, data["cell_sp"][-1]),
+        Row("Cell DP @ 128b (s)", None, data["cell_dp"][-1]),
+    ]
+    dp_margin = p5_dp_1 / cell_dp_1
+    sp_margin = p5_sp_1 / cell_sp_1
+    checks = [
+        ShapeCheck(
+            "SP widens the Cell-vs-Power5 margin in the compute-bound "
+            "regime (the paper's claim)",
+            sp_margin > dp_margin,
+            f"{dp_margin:.2f}x (DP) -> {sp_margin:.2f}x (SP) at 1 bootstrap",
+        ),
+        ShapeCheck(
+            "SP shrinks the SPE kernel by 2.5-4x",
+            2.5 <= kernel_dp / kernel_sp <= 4.0,
+            f"{kernel_dp / kernel_sp:.2f}x",
+        ),
+        ShapeCheck(
+            "at high task parallelism SP gains vanish: EDTLP is "
+            "PPE-bound (a modelled consequence the paper does not state)",
+            abs(data["cell_sp"][-1] - data["cell_dp"][-1])
+            < 0.05 * data["cell_dp"][-1],
+            f"{data['cell_sp'][-1]:.0f}s vs {data['cell_dp'][-1]:.0f}s "
+            "at 128 bootstraps",
+        ),
+    ]
+    return ExperimentResult(
+        "single_precision",
+        "Extension: single-precision projection (paper section 6 remark)",
+        rows,
+        checks,
+        notes=(
+            "Not measured in the paper ('the use of single-precision "
+            "arithmetic would widen the margin'); projected from the "
+            "SPU issue-rate and SIMD-width ratios.  The projection also "
+            "exposes a caveat: once eight EDTLP workers saturate the "
+            "PPE, faster SPE kernels cannot shorten the makespan."
+        ),
+    )
+
+
+def experiment_dual_cell(profile: str = "quick") -> ExperimentResult:
+    """Extension: using both chips of the dual-Cell blade."""
+    ex = _executor(profile)
+    data = ex.dual_cell_projection()
+    rows = [
+        Row(f"{b}b: one chip (s)", None, one)
+        for b, (one, _two) in data.items()
+    ] + [
+        Row(f"{b}b: two chips (s)", None, two)
+        for b, (_one, two) in data.items()
+    ]
+    one128, two128 = data[128]
+    one1, two1 = data[1]
+    checks = [
+        ShapeCheck(
+            "two chips approach 2x at high task parallelism",
+            1.9 <= one128 / two128 <= 2.05,
+            f"{one128 / two128:.2f}x at 128 bootstraps",
+        ),
+        ShapeCheck(
+            "a single bootstrap cannot use the second chip",
+            abs(one1 - two1) < 1e-9,
+            f"{one1:.1f}s either way",
+        ),
+    ]
+    return ExperimentResult(
+        "dual_cell",
+        "Extension: both processors of the BSC dual-Cell blade",
+        rows,
+        checks,
+        notes="The paper uses one processor of the blade (section 5).",
+    )
+
+
+def experiment_overlays(profile: str = "quick") -> ExperimentResult:
+    """Section 5.2.4's avoided alternative: code overlays, priced."""
+    ex = _executor(profile)
+    model = ex.model
+    base = model.stage_total_s("table7", 1, 1)
+    fits = model.overlay_penalty_s(117 * 1024)
+    oversized = model.overlay_penalty_s(300 * 1024)
+    rows = [
+        Row("117 KB module: overlay penalty (s/task)", 0.0, fits),
+        Row("300 KB module: overlay penalty (s/task)", None, oversized),
+        Row("300 KB module: task-time inflation", None,
+            (base + oversized) / base),
+    ]
+    checks = [
+        ShapeCheck(
+            "the paper's 117 KB module needs no overlays",
+            fits == 0.0,
+            f"{fits:.3f}s",
+        ),
+        ShapeCheck(
+            "an oversized module pays a real overlay tax (swap traffic "
+            "plus the lost double buffering)",
+            oversized > 0.05 * base,
+            f"{oversized:.1f}s per task "
+            f"({oversized / base * 100:.0f}% of the task)",
+        ),
+    ]
+    return ExperimentResult(
+        "overlays",
+        "Extension: the code-overlay tax the paper engineered around",
+        rows,
+        checks,
+        notes=(
+            "Section 5.2.4: 'recursive function calls in general "
+            "necessitate the use of manually managed code overlays'; "
+            "the authors kept the module at 117 KB to avoid this cost."
+        ),
+    )
+
+
+def experiment_cat_vs_gamma(profile: str = "quick") -> ExperimentResult:
+    """Extension: CAT vs Gamma rate heterogeneity on the SPE."""
+    from .datasets import get_cat_trace
+
+    ex = _executor(profile)
+    projection = ex.cat_projection(get_cat_trace())
+    rows = [
+        Row("Gamma task (s)", None, projection["gamma_task_s"]),
+        Row("CAT task (s)", None, projection["cat_task_s"]),
+        Row("CAT speedup", None, projection["speedup"]),
+        Row("pattern-category ratio (CAT/Gamma)", 0.25,
+            projection["patterncat_ratio"]),
+    ]
+    checks = [
+        ShapeCheck(
+            "CAT quarters the likelihood-loop volume",
+            0.2 <= projection["patterncat_ratio"] <= 0.3,
+            f"{projection['patterncat_ratio']:.3f}",
+        ),
+        ShapeCheck(
+            "CAT speeds tasks up 2-4x (the known RAxML CAT/GAMMA gap)",
+            2.0 <= projection["speedup"] <= 4.0,
+            f"{projection['speedup']:.2f}x",
+        ),
+    ]
+    return ExperimentResult(
+        "cat_vs_gamma",
+        "Extension: CAT vs Gamma rate heterogeneity (paper section 5.2.5)",
+        rows,
+        checks,
+        notes=(
+            "The paper's loops cover 'each distinct rate category of "
+            "the CAT or Gamma models'; the CAT trace comes from a real "
+            "CAT-mode search with per-site rates estimated on the "
+            "parsimony starting tree."
+        ),
+    )
+
+
+def experiment_alignment_scaling(profile: str = "quick") -> ExperimentResult:
+    """Section 5.2.4's loop-size remark, quantified.
+
+    Task time vs distinct-pattern count: the likelihood loops scale
+    linearly with alignment length (the paper quotes up to 50,000
+    iterations for large inputs) over a fixed per-call floor.
+    """
+    ex = _executor(profile)
+    counts = (57, 114, 228, 912, 3648, 50_000 // 4)
+    times = ex.alignment_length_projection(counts)
+    rows = [
+        Row(f"{c} patterns: task time (s)", None, times[c]) for c in counts
+    ]
+    # Affine check: time(4x patterns) < 4x time but > 2x time at the
+    # canonical point (loops dominate but a floor exists).
+    r_up = times[912] / times[228]
+    checks = [
+        ShapeCheck(
+            "task time grows monotonically with alignment length",
+            all(times[a] < times[b] for a, b in zip(counts, counts[1:])),
+            "",
+        ),
+        ShapeCheck(
+            "scaling is affine: 4x patterns costs 2-4x the time",
+            2.0 <= r_up <= 4.0,
+            f"{r_up:.2f}x",
+        ),
+        ShapeCheck(
+            "tiny alignments are floor-bound (residual + exp + comm)",
+            times[57] > 0.3 * times[228],
+            f"{times[57]:.1f}s vs {times[228]:.1f}s",
+        ),
+    ]
+    return ExperimentResult(
+        "alignment_scaling",
+        "Section 5.2.4: task time vs alignment length (loop trip count)",
+        rows,
+        checks,
+        notes=(
+            "The 12,500-pattern point corresponds to the paper's "
+            "'up to 50,000 iterations' remark (50,000 pattern-category "
+            "iterations at 4 Gamma categories)."
+        ),
+    )
+
+
+def experiment_power_efficiency(profile: str = "quick") -> ExperimentResult:
+    """Section 6's closing argument: performance per watt.
+
+    The paper notes Cell's small absolute margin over the Power5 (9-10%)
+    understates its advantage because Cell draws 27-43 W against the
+    Power5's reported 150 W.  Energy = makespan x nominal power for the
+    128-bootstrap Figure 3 endpoint.
+    """
+    ex = _executor(profile)
+    series = {s.platform: s for s in ex.figure3()}
+    cell_s = series["Cell (MGPS)"].seconds[-1]
+    p5_s = series["IBM Power5"].seconds[-1]
+    xeon_s = series["2x Intel Xeon (HT)"].seconds[-1]
+    watts = P.POWER_WATTS
+    cell_w = watts["cell_max"]  # worst case for Cell
+    cell_energy = cell_s * cell_w / 3600.0  # watt-hours
+    p5_energy = p5_s * watts["power5"] / 3600.0
+    xeon_energy = xeon_s * 2 * watts["xeon_per_chip"] / 3600.0
+    rows = [
+        Row("Cell energy @128b (Wh, at 43 W)", None, cell_energy),
+        Row("Power5 energy @128b (Wh, at 150 W)", None, p5_energy),
+        Row("2x Xeon energy @128b (Wh)", None, xeon_energy),
+        Row("Cell perf/W advantage over Power5", None,
+            p5_energy / cell_energy),
+        Row("Cell perf/W advantage over 2x Xeon", None,
+            xeon_energy / cell_energy),
+    ]
+    checks = [
+        ShapeCheck(
+            "Cell's perf/W beats the Power5 by >3x even at its maximum "
+            "power draw",
+            p5_energy / cell_energy > 3.0,
+            f"{p5_energy / cell_energy:.1f}x",
+        ),
+        ShapeCheck(
+            "Cell's perf/W beats the dual Xeon by >5x",
+            xeon_energy / cell_energy > 5.0,
+            f"{xeon_energy / cell_energy:.1f}x",
+        ),
+    ]
+    return ExperimentResult(
+        "power_efficiency",
+        "Section 6: performance per watt (the paper's closing argument)",
+        rows,
+        checks,
+        notes=(
+            "Power figures: paper-quoted 27-43 W (Cell, we charge the "
+            "maximum) and 150 W (Power5); the Xeon TDP is a public "
+            "figure, not from the paper."
+        ),
+    )
+
+
+def experiment_edtlp_scaling(profile: str = "quick") -> ExperimentResult:
+    """How EDTLP scales from 2 to 8 oversubscribed workers.
+
+    Quantifies the paper's section 5.1 motivation ("two MPI processes
+    do not expose enough task-level parallelism for all 8 SPEs") and
+    the saturation that keeps the 8-worker speedup at ~2.65x instead of
+    4x.  Uses the discrete-event scheduler.
+    """
+    ex = _executor(profile)
+    results = {
+        w: ex.edtlp_devs(8, n_workers=w) for w in (2, 4, 8)
+    }
+    rows = []
+    for w, r in results.items():
+        rows.append(Row(f"{w} workers: makespan (s)", None, r.makespan_s))
+        rows.append(Row(f"{w} workers: mean SPE utilization", None,
+                        r.mean_spe_utilization))
+        rows.append(Row(f"{w} workers: PPE utilization", None,
+                        r.ppe_utilization))
+    speedup = results[2].makespan_s / results[8].makespan_s
+    rows.append(Row("8-vs-2-worker speedup", None, speedup))
+    checks = [
+        ShapeCheck(
+            "more workers always help",
+            results[2].makespan_s > results[4].makespan_s
+            > results[8].makespan_s,
+            f"{results[2].makespan_s:.0f} > {results[4].makespan_s:.0f} > "
+            f"{results[8].makespan_s:.0f}s",
+        ),
+        ShapeCheck(
+            "8 workers fall well short of the ideal 4x over 2 workers "
+            "(the paper's 2.65x observation)",
+            2.0 <= speedup <= 3.3,
+            f"{speedup:.2f}x",
+        ),
+        ShapeCheck(
+            "SPE utilization drops as the PPE saturates",
+            results[8].mean_spe_utilization
+            < results[2].mean_spe_utilization,
+            f"{results[2].mean_spe_utilization:.2f} -> "
+            f"{results[8].mean_spe_utilization:.2f}",
+        ),
+    ]
+    return ExperimentResult(
+        "edtlp_scaling",
+        "EDTLP worker-count scaling (paper sections 5.1/5.3)",
+        rows,
+        checks,
+    )
+
+
+def experiment_conclusion(profile: str = "quick") -> ExperimentResult:
+    """Section 7's headline numbers, assembled from the pipeline.
+
+    "Starting from an optimized version of RAxML for conventional
+    uniprocessors and multiprocessors, we were able to boost performance
+    on Cell by more than a factor of five and bring it to a higher level
+    than the best performance achieved by the leading current multicore
+    processors."
+    """
+    ex = _executor(profile)
+    model = ex.model
+    naive = model.stage_total_s("table1b", 1, 1)
+    final_single = model.mgps_total_s(1)
+    rows = [
+        Row("naive Cell port, 1 bootstrap (s)", 106.37, naive),
+        Row("fully optimized + MGPS, 1 bootstrap (s)", 17.6, final_single),
+        Row("optimization-journey speedup", None, naive / final_single),
+    ]
+    p5 = None
+    for series in ex.figure3():
+        if series.platform == "IBM Power5":
+            p5 = series
+    cell128 = model.mgps_total_s(128)
+    checks = [
+        ShapeCheck(
+            "the optimization journey gains more than a factor of five",
+            naive / final_single > 5.0,
+            f"{naive / final_single:.2f}x",
+        ),
+        ShapeCheck(
+            "the final Cell port beats the leading multicore (Power5)",
+            cell128 < p5.seconds[-1],
+            f"{cell128:.0f}s vs {p5.seconds[-1]:.0f}s at 128 bootstraps",
+        ),
+        ShapeCheck(
+            "every one of the seven optimizations contributes "
+            "(cumulative staging strictly improves)",
+            all(
+                model.stage_total_s(later, 1, 1)
+                < model.stage_total_s(earlier, 1, 1)
+                for earlier, later in zip(
+                    ["table1b", "table2", "table3", "table4", "table5",
+                     "table6"],
+                    ["table2", "table3", "table4", "table5", "table6",
+                     "table7"],
+                )
+            ),
+            "",
+        ),
+    ]
+    return ExperimentResult(
+        "conclusion",
+        "Section 7: the paper's headline claims, end to end",
+        rows,
+        checks,
+    )
+
+
+#: Registry of all experiments (id -> callable).
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": experiment_table1,
+    "table2": experiment_table2,
+    "table3": experiment_table3,
+    "table4": experiment_table4,
+    "table5": experiment_table5,
+    "table6": experiment_table6,
+    "table7": experiment_table7,
+    "table8": experiment_table8,
+    "figure3": experiment_figure3,
+    "profile": experiment_profile,
+    "micro_comm": experiment_micro_comm,
+    "micro_dma": experiment_micro_dma,
+    "micro_localstore": experiment_micro_localstore,
+    "ablation": experiment_ablation,
+    "schedulers_devs": experiment_schedulers_devs,
+    "firstprinciples": experiment_firstprinciples,
+    "static_devs": experiment_static_devs,
+    "power_efficiency": experiment_power_efficiency,
+    "edtlp_scaling": experiment_edtlp_scaling,
+    "alignment_scaling": experiment_alignment_scaling,
+    "conclusion": experiment_conclusion,
+    "single_precision": experiment_single_precision,
+    "dual_cell": experiment_dual_cell,
+    "overlays": experiment_overlays,
+    "cat_vs_gamma": experiment_cat_vs_gamma,
+}
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn()
+
+
+def run_all_experiments() -> List[ExperimentResult]:
+    """Run the complete evaluation (EXPERIMENTS.md content)."""
+    return [fn() for fn in EXPERIMENTS.values()]

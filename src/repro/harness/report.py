@@ -1,0 +1,116 @@
+"""Text rendering of experiment results (paper-vs-measured tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .experiments import ExperimentResult, run_all_experiments
+
+__all__ = ["render_experiment", "render_report", "render_markdown", "main"]
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000:
+        return f"{value:.0f}"
+    if magnitude >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """One experiment as a fixed-width text block."""
+    lines: List[str] = []
+    lines.append(f"== {result.title} [{result.experiment}] ==")
+    if result.notes:
+        lines.append(f"   {result.notes}")
+    width = max((len(r.label) for r in result.rows), default=10) + 2
+    lines.append(
+        f"   {'metric'.ljust(width)}{'paper':>12}{'measured':>12}{'delta':>9}"
+    )
+    for row in result.rows:
+        err = row.relative_error
+        delta = f"{err * 100:+.1f}%" if err is not None else "-"
+        lines.append(
+            f"   {row.label.ljust(width)}{_fmt(row.paper):>12}"
+            f"{_fmt(row.measured):>12}{delta:>9}"
+        )
+    for check in result.checks:
+        mark = "PASS" if check.passed else "FAIL"
+        detail = f" — {check.detail}" if check.detail else ""
+        lines.append(f"   [{mark}] {check.claim}{detail}")
+    return "\n".join(lines)
+
+
+def render_report(results: Optional[Iterable[ExperimentResult]] = None) -> str:
+    """The full evaluation report."""
+    if results is None:
+        results = run_all_experiments()
+    results = list(results)
+    blocks = [render_experiment(r) for r in results]
+    passed = sum(1 for r in results if r.all_passed)
+    header = (
+        "RAxML-Cell reproduction — full evaluation\n"
+        f"{passed}/{len(results)} experiments pass all shape checks\n"
+    )
+    return header + "\n\n".join(blocks) + "\n"
+
+
+def render_markdown(results: Optional[Iterable[ExperimentResult]] = None) -> str:
+    """The full evaluation as GitHub-flavoured markdown.
+
+    ``python -m repro.harness.report --markdown`` regenerates the
+    numeric sections of EXPERIMENTS.md.
+    """
+    if results is None:
+        results = run_all_experiments()
+    results = list(results)
+    out: List[str] = []
+    passed = sum(1 for r in results if r.all_passed)
+    out.append("# RAxML-Cell reproduction — evaluation report")
+    out.append("")
+    out.append(
+        f"**{passed}/{len(results)} experiments pass all "
+        f"{sum(len(r.checks) for r in results)} shape checks.**"
+    )
+    for result in results:
+        out.append("")
+        out.append(f"## {result.title}")
+        if result.notes:
+            out.append("")
+            out.append(f"> {result.notes}")
+        out.append("")
+        out.append("| metric | paper | measured | delta |")
+        out.append("|---|---|---|---|")
+        for row in result.rows:
+            err = row.relative_error
+            delta = f"{err * 100:+.1f}%" if err is not None else "—"
+            out.append(
+                f"| {row.label} | {_fmt(row.paper)} | "
+                f"{_fmt(row.measured)} | {delta} |"
+            )
+        out.append("")
+        for check in result.checks:
+            mark = "✅" if check.passed else "❌"
+            detail = f" — {check.detail}" if check.detail else ""
+            out.append(f"- {mark} {check.claim}{detail}")
+    out.append("")
+    return "\n".join(out)
+
+
+def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
+    import sys
+
+    argv = sys.argv[1:] if argv is None else argv
+    if "--markdown" in argv:
+        print(render_markdown())
+    else:
+        print(render_report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

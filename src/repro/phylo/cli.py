@@ -1,0 +1,232 @@
+"""Command-line interface for the phylogenetics library.
+
+RAxML-flavoured usage::
+
+    python -m repro.phylo.cli infer -s data.phy -n 3 -b 10 -o out.nwk
+    python -m repro.phylo.cli simulate --taxa 42 --sites 1167 -o synth.fasta
+    python -m repro.phylo.cli distances -s data.fasta --method ml --nj
+    python -m repro.phylo.cli report
+
+``infer`` runs the full workflow of the paper's section 3.1: ``-n``
+independent searches from randomized stepwise-addition parsimony
+starting trees plus ``-b`` non-parametric bootstraps, then maps support
+values onto the best tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .alignment import Alignment
+from .distances import distance_matrix, neighbor_joining
+from .inference import run_full_analysis
+from .models import GTR, HKY85, JC69, K80
+from .rates import GammaRates
+from .search import SearchConfig
+from .simulate import synthetic_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-phylo",
+        description="Maximum-likelihood phylogenetic inference "
+        "(RAxML-Cell reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    infer = sub.add_parser("infer", help="run tree searches + bootstraps")
+    infer.add_argument("-s", "--sequences", required=True,
+                       help="alignment file (FASTA or PHYLIP)")
+    infer.add_argument("-n", "--runs", type=int, default=1,
+                       help="independent inferences (default 1)")
+    infer.add_argument("-b", "--bootstraps", type=int, default=0,
+                       help="bootstrap replicates (default 0)")
+    infer.add_argument("-m", "--model", default="GTR",
+                       choices=["GTR", "JC69", "K80", "HKY85"],
+                       help="substitution model (default GTR, empirical "
+                       "base frequencies; ignored with --aa, which uses "
+                       "Poisson+F)")
+    infer.add_argument("--aa", action="store_true",
+                       help="treat the input as amino-acid sequences")
+    infer.add_argument("--alpha", type=float, default=1.0,
+                       help="Gamma shape (default 1.0)")
+    infer.add_argument("--categories", type=int, default=4,
+                       help="Gamma rate categories (default 4)")
+    infer.add_argument("--radius", type=int, default=3,
+                       help="initial SPR rearrangement radius (default 3)")
+    infer.add_argument("--max-radius", type=int, default=6,
+                       help="maximum SPR radius (default 6)")
+    infer.add_argument("--rounds", type=int, default=8,
+                       help="maximum SPR rounds (default 8)")
+    infer.add_argument("--seed", type=int, default=0, help="RNG seed")
+    infer.add_argument("--draw", action="store_true",
+                       help="print an ASCII cladogram of the best tree")
+    infer.add_argument("-o", "--output",
+                       help="write the best tree (newick) here; with "
+                       "bootstraps, internal nodes carry support labels")
+
+    simulate = sub.add_parser("simulate", help="generate a synthetic "
+                              "alignment (42_SC-style)")
+    simulate.add_argument("--taxa", type=int, default=42)
+    simulate.add_argument("--sites", type=int, default=1167)
+    simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument("--format", choices=["fasta", "phylip"],
+                          default="fasta")
+    simulate.add_argument("-o", "--output", help="output file (default "
+                          "stdout)")
+
+    distances = sub.add_parser("distances", help="pairwise distances / "
+                               "neighbor-joining tree")
+    distances.add_argument("-s", "--sequences", required=True)
+    distances.add_argument("--method", choices=["jc", "ml"], default="jc")
+    distances.add_argument("--nj", action="store_true",
+                           help="print a neighbor-joining tree instead of "
+                           "the matrix")
+
+    sub.add_parser("report", help="run the full paper-vs-measured report")
+    return parser
+
+
+def _load_alignment(path: str, amino_acids: bool = False):
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if amino_acids:
+        from .protein import ProteinAlignment
+
+        if stripped.startswith(">"):
+            return ProteinAlignment.from_fasta(text)
+        return ProteinAlignment.from_phylip(text)
+    if stripped.startswith(">"):
+        return Alignment.from_fasta(text)
+    return Alignment.from_phylip(text)
+
+
+def _model_for(name: str, patterns):
+    if name == "GTR":
+        return GTR((1.0, 2.5, 1.0, 1.0, 2.5, 1.0),
+                   tuple(patterns.base_frequencies()))
+    if name == "JC69":
+        return JC69()
+    if name == "K80":
+        return K80()
+    if name == "HKY85":
+        return HKY85(2.0, tuple(patterns.base_frequencies()))
+    raise ValueError(f"unknown model {name}")
+
+
+def _cmd_infer(args) -> int:
+    alignment = _load_alignment(args.sequences, amino_acids=args.aa)
+    patterns = alignment.compress()
+    kind = "AA" if args.aa else "DNA"
+    print(f"alignment: {alignment.n_taxa} taxa x {alignment.n_sites} "
+          f"{kind} sites ({patterns.n_patterns} patterns)")
+    config = SearchConfig(
+        initial_radius=args.radius,
+        max_radius=args.max_radius,
+        max_rounds=args.rounds,
+    )
+    if args.aa:
+        from .inference import default_model_for
+
+        model = default_model_for(patterns)
+    else:
+        model = _model_for(args.model, patterns)
+    analysis = run_full_analysis(
+        patterns,
+        n_inferences=args.runs,
+        n_bootstraps=args.bootstraps,
+        model=model,
+        rate_model=GammaRates(args.alpha, args.categories),
+        config=config,
+        seed=args.seed,
+    )
+    for result in analysis.inferences:
+        marker = "  *best*" if result is analysis.best else ""
+        print(f"inference {result.replicate}: "
+              f"lnL = {result.log_likelihood:.4f}{marker}")
+    if analysis.bootstraps:
+        print(f"bootstraps: {len(analysis.bootstraps)}")
+        for split, support in sorted(analysis.supports.items(),
+                                     key=lambda kv: -kv[1]):
+            print(f"  support {support * 100:5.1f}%  "
+                  f"{{{','.join(sorted(split))}}}")
+    print(f"best tree:\n{analysis.best.newick}")
+    if args.draw:
+        from .drawing import ascii_tree
+        from .tree import Tree
+
+        print()
+        print(ascii_tree(Tree.from_newick(analysis.best.newick)))
+    if args.output:
+        out_newick = analysis.best.newick
+        if analysis.bootstraps:
+            from .drawing import newick_with_support
+            from .tree import Tree
+
+            out_newick = newick_with_support(
+                Tree.from_newick(analysis.best.newick), analysis.supports
+            )
+        with open(args.output, "w") as fh:
+            fh.write(out_newick + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    alignment = synthetic_dataset(n_taxa=args.taxa, n_sites=args.sites,
+                                  seed=args.seed)
+    text = (alignment.to_fasta() if args.format == "fasta"
+            else alignment.to_phylip())
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({args.taxa} taxa x {args.sites} sites, "
+              f"{alignment.compress().n_patterns} patterns)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_distances(args) -> int:
+    alignment = _load_alignment(args.sequences)
+    patterns = alignment.compress()
+    matrix = distance_matrix(patterns, method=args.method)
+    if args.nj:
+        tree = neighbor_joining(matrix, patterns.taxa)
+        print(tree.to_newick())
+        return 0
+    width = max(len(t) for t in patterns.taxa) + 2
+    print("".ljust(width) + "".join(t.rjust(10) for t in patterns.taxa))
+    for i, name in enumerate(patterns.taxa):
+        row = "".join(f"{matrix[i, j]:10.4f}" for j in range(patterns.n_taxa))
+        print(name.ljust(width) + row)
+    return 0
+
+
+def _cmd_report(_args) -> int:
+    from ..harness.report import render_report
+
+    print(render_report())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "infer": _cmd_infer,
+        "simulate": _cmd_simulate,
+        "distances": _cmd_distances,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

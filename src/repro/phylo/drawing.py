@@ -1,0 +1,105 @@
+"""Tree presentation: ASCII rendering and annotated newick output.
+
+Small utilities a downstream user expects from a tree-inference
+package: terminal-friendly cladograms (used by the CLI) and newick
+serialization with bootstrap support values attached to internal
+branches (the standard way RAxML publishes its ``bipartitions`` file).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from .tree import Branch, Node, Tree
+
+__all__ = ["ascii_tree", "newick_with_support"]
+
+
+def ascii_tree(tree: Tree, width: int = 60) -> str:
+    """Render an unrooted tree as an ASCII cladogram.
+
+    The tree is displayed rooted at an arbitrary inner node (branch
+    lengths scale the horizontal extent; the display root is marked).
+    """
+    root = next((n for n in tree.nodes if not n.is_tip), tree.nodes[0])
+
+    # Depth (cumulative branch length) of every node from the root.
+    depths: Dict[int, float] = {root.index: 0.0}
+    order: List[tuple] = []  # (node, entry) pre-order
+    stack = [(root, None)]
+    while stack:
+        node, entry = stack.pop()
+        order.append((node, entry))
+        for branch in node.branches:
+            if branch is not entry:
+                child = branch.other(node)
+                depths[child.index] = depths[node.index] + branch.length
+                stack.append((child, branch))
+
+    max_depth = max(depths.values()) or 1.0
+    scale = max(width - 20, 10) / max_depth
+
+    lines: List[str] = []
+
+    def render(node: Node, entry: Optional[Branch], prefix: str,
+               is_last: bool) -> None:
+        connector = "" if entry is None else ("`-- " if is_last else "|-- ")
+        length = 0.0 if entry is None else entry.length
+        bar = "-" * max(int(round(length * scale)), 0)
+        label = node.name if node.is_tip else "+"
+        if entry is None:
+            lines.append(f"{label}  (display root)")
+        else:
+            lines.append(f"{prefix}{connector}{bar}{label}")
+        children = [b for b in node.branches if b is not entry]
+        child_prefix = prefix + ("    " if is_last or entry is None else "|   ")
+        for i, branch in enumerate(children):
+            render(branch.other(node), branch, child_prefix,
+                   i == len(children) - 1)
+
+    render(root, None, "", True)
+    return "\n".join(lines)
+
+
+def newick_with_support(
+    tree: Tree,
+    supports: Dict[FrozenSet[str], float],
+    digits: int = 6,
+    percent: bool = True,
+) -> str:
+    """Newick with bootstrap supports as internal-node labels.
+
+    ``supports`` maps canonical bipartitions (as produced by
+    :meth:`Tree.bipartitions` / :func:`repro.phylo.support_values`) to
+    values in ``[0, 1]``.  Matching internal branches get the support
+    as a node label (RAxML's bipartition-file convention); percentages
+    are rounded integers when ``percent`` is true.
+    """
+    all_names = frozenset(tree.tip_names())
+    anchor = min(all_names)
+
+    def split_of(node: Node, entry: Branch) -> FrozenSet[str]:
+        side = frozenset(tree.subtree_tips(node, entry))
+        return all_names - side if anchor in side else side
+
+    def fmt_support(value: float) -> str:
+        return str(int(round(value * 100))) if percent else f"{value:.3f}"
+
+    root = next((n for n in tree.nodes if not n.is_tip), None)
+    if root is None:
+        return tree.to_newick(digits=digits)
+
+    def render(node: Node, entry: Branch) -> str:
+        if node.is_tip:
+            return f"{node.name}:{entry.length:.{digits}g}"
+        parts = [
+            render(b.other(node), b) for b in node.branches if b is not entry
+        ]
+        label = ""
+        split = split_of(node, entry)
+        if split in supports:
+            label = fmt_support(supports[split])
+        return f"({','.join(parts)}){label}:{entry.length:.{digits}g}"
+
+    parts = [render(b.other(root), b) for b in root.branches]
+    return f"({','.join(parts)});"

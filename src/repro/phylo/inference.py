@@ -1,0 +1,227 @@
+"""High-level inference API: multiple inferences and bootstrapping.
+
+This is the workload layer of the paper's master-worker scheme (section
+3.1): a "publishable" analysis consists of several independent tree
+searches on the original alignment — each from a distinct randomized
+stepwise-addition parsimony starting tree — plus a larger number of
+non-parametric bootstrap replicates used to attach confidence values to
+the branches of the best-scoring tree.  Each search is one *task* in the
+Cell port's task-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from .alignment import Alignment, PatternAlignment
+from .likelihood import LikelihoodEngine
+from .models import SubstitutionModel, GTR
+from .parsimony import stepwise_addition_tree
+from .rates import GammaRates, RateModel
+from .search import SearchConfig, SearchResult, hill_climb
+from .tree import Tree
+
+__all__ = [
+    "InferenceResult",
+    "AnalysisResult",
+    "infer_tree",
+    "multiple_inferences",
+    "bootstrap_analysis",
+    "support_values",
+    "default_model_for",
+]
+
+
+@dataclass
+class InferenceResult:
+    """One completed tree search."""
+
+    newick: str
+    log_likelihood: float
+    search: SearchResult
+    newview_calls: int
+    makenewz_calls: int
+    evaluate_calls: int
+    is_bootstrap: bool = False
+    replicate: int = 0
+
+
+@dataclass
+class AnalysisResult:
+    """A full analysis: best tree, all searches, branch supports."""
+
+    best: InferenceResult
+    inferences: List[InferenceResult]
+    bootstraps: List[InferenceResult]
+    supports: Dict[FrozenSet[str], float] = field(default_factory=dict)
+
+    @property
+    def best_tree(self) -> Tree:
+        return Tree.from_newick(self.best.newick)
+
+
+def default_model_for(patterns: PatternAlignment) -> SubstitutionModel:
+    """The default model for an alignment's state space.
+
+    DNA (4 states): GTR with empirical base frequencies — RAxML's
+    default.  Amino acids (20 states): Poisson+F.
+    """
+    frequencies = patterns.base_frequencies()
+    if len(frequencies) == 4:
+        return GTR(
+            exchangeabilities=(1.0, 2.5, 1.0, 1.0, 2.5, 1.0),
+            frequencies=tuple(frequencies),
+        )
+    from .protein import PoissonAA
+
+    return PoissonAA(tuple(frequencies))
+
+
+def _as_patterns(alignment) -> PatternAlignment:
+    if isinstance(alignment, PatternAlignment):
+        return alignment
+    compress = getattr(alignment, "compress", None)
+    if compress is not None:
+        # Alignment or ProteinAlignment (duck-typed: both compress to a
+        # PatternAlignment subclass).
+        return compress()
+    raise TypeError("expected an alignment or pattern alignment")
+
+
+def infer_tree(
+    alignment,
+    model: Optional[SubstitutionModel] = None,
+    rate_model: Optional[RateModel] = None,
+    config: Optional[SearchConfig] = None,
+    seed: int = 0,
+    tracer=None,
+    is_bootstrap: bool = False,
+    replicate: int = 0,
+) -> InferenceResult:
+    """One complete ML tree search from a randomized parsimony start.
+
+    Parameters mirror RAxML's defaults: GTR with empirical base
+    frequencies and four discrete Gamma rate categories.  Pass a
+    ``tracer`` (see :mod:`repro.port.trace`) to record the kernel-level
+    workload for platform simulation.
+    """
+    patterns = _as_patterns(alignment)
+    model = model or default_model_for(patterns)
+    rate_model = rate_model or GammaRates(alpha=1.0, n_categories=4)
+    rng = np.random.default_rng(np.random.SeedSequence([seed, replicate]))
+
+    tree = stepwise_addition_tree(patterns, rng)
+    engine = LikelihoodEngine(patterns, model, rate_model, tree, tracer=tracer)
+    try:
+        search = hill_climb(engine, config, rng)
+        return InferenceResult(
+            newick=search.newick,
+            log_likelihood=search.log_likelihood,
+            search=search,
+            newview_calls=engine.newview_calls,
+            makenewz_calls=engine.makenewz_calls,
+            evaluate_calls=engine.evaluate_calls,
+            is_bootstrap=is_bootstrap,
+            replicate=replicate,
+        )
+    finally:
+        engine.detach()
+
+
+def multiple_inferences(
+    alignment,
+    count: int,
+    model: Optional[SubstitutionModel] = None,
+    rate_model: Optional[RateModel] = None,
+    config: Optional[SearchConfig] = None,
+    seed: int = 0,
+    tracer=None,
+) -> List[InferenceResult]:
+    """Independent searches from distinct starting trees (paper sec. 3.1)."""
+    patterns = _as_patterns(alignment)
+    return [
+        infer_tree(
+            patterns,
+            model=model,
+            rate_model=rate_model,
+            config=config,
+            seed=seed,
+            tracer=tracer,
+            replicate=i,
+        )
+        for i in range(count)
+    ]
+
+
+def bootstrap_analysis(
+    alignment,
+    n_replicates: int,
+    model: Optional[SubstitutionModel] = None,
+    rate_model: Optional[RateModel] = None,
+    config: Optional[SearchConfig] = None,
+    seed: int = 0,
+    tracer=None,
+) -> List[InferenceResult]:
+    """Non-parametric bootstrap searches on re-weighted alignments."""
+    patterns = _as_patterns(alignment)
+    results = []
+    for i in range(n_replicates):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 7919, i]))
+        replicate = patterns.bootstrap_replicate(rng)
+        results.append(
+            infer_tree(
+                replicate,
+                model=model,
+                rate_model=rate_model,
+                config=config,
+                seed=seed + 1,
+                tracer=tracer,
+                is_bootstrap=True,
+                replicate=i,
+            )
+        )
+    return results
+
+
+def support_values(
+    best_tree: Tree, bootstrap_trees: Sequence[Tree]
+) -> Dict[FrozenSet[str], float]:
+    """Bootstrap support (0..1) for each non-trivial split of *best_tree*."""
+    if not bootstrap_trees:
+        return {split: 0.0 for split in best_tree.bipartitions()}
+    replicate_splits = [t.bipartitions() for t in bootstrap_trees]
+    supports = {}
+    for split in best_tree.bipartitions():
+        hits = sum(1 for splits in replicate_splits if split in splits)
+        supports[split] = hits / len(bootstrap_trees)
+    return supports
+
+
+def run_full_analysis(
+    alignment,
+    n_inferences: int = 2,
+    n_bootstraps: int = 4,
+    model: Optional[SubstitutionModel] = None,
+    rate_model: Optional[RateModel] = None,
+    config: Optional[SearchConfig] = None,
+    seed: int = 0,
+    tracer=None,
+) -> AnalysisResult:
+    """The paper's full workflow: inferences + bootstraps + supports."""
+    inferences = multiple_inferences(
+        alignment, n_inferences, model, rate_model, config, seed, tracer
+    )
+    bootstraps = bootstrap_analysis(
+        alignment, n_bootstraps, model, rate_model, config, seed, tracer
+    )
+    best = max(inferences, key=lambda r: r.log_likelihood)
+    supports = support_values(
+        Tree.from_newick(best.newick),
+        [Tree.from_newick(b.newick) for b in bootstraps],
+    )
+    return AnalysisResult(
+        best=best, inferences=inferences, bootstraps=bootstraps, supports=supports
+    )

@@ -1,0 +1,473 @@
+"""The likelihood engine: ``newview()``, ``evaluate()``, ``makenewz()``.
+
+This module reimplements the three functions that consume 98.77 % of
+RAxML's runtime (76.8 % / 19.16 % / 2.37 % per the paper's gprof profile):
+
+* :meth:`LikelihoodEngine.newview` computes the conditional likelihood
+  vector (CLV) at an inner node by Felsenstein's pruning algorithm, with
+  the four specialized cases the paper describes (both children tips, one
+  child a tip, none) and numerical rescaling of underflowing patterns.
+* :meth:`LikelihoodEngine.evaluate` computes the log likelihood of the
+  tree at a branch by summing over the two CLVs facing it.  For a
+  time-reversible model the value is identical at every branch — a
+  property the test suite checks.
+* :meth:`LikelihoodEngine.makenewz` optimizes one branch length by
+  Newton-Raphson with analytic first and second derivatives.
+
+CLVs are cached per *direction* ``(node, entry_branch)`` and invalidated
+through the tree's branch-dirtying observer protocol, reproducing
+RAxML's lazy recomputation (and hence realistic ``newview()`` call
+counts in the workload traces fed to the Cell simulator).
+
+Both rate-heterogeneity treatments are supported: Gamma (every site
+integrates over all categories; shared per-category transition matrices)
+and CAT (one category per site; per-pattern transition matrices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from . import kernels
+from .alignment import PatternAlignment
+from .models import SubstitutionModel
+from .rates import RateModel, UniformRate
+from .tree import Branch, Node, Tree, MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH
+
+__all__ = ["LikelihoodEngine", "NewviewCase", "estimate_site_rates"]
+
+
+class NewviewCase:
+    """The four execution paths of ``newview()`` (paper section 5.2.3)."""
+
+    TIP_TIP = "tip_tip"
+    TIP_INNER = "tip_inner"
+    INNER_TIP = "inner_tip"
+    INNER_INNER = "inner_inner"
+
+
+@dataclass
+class _CachedCLV:
+    clv: np.ndarray  # (n_patterns, n_cats, 4)
+    scale_counts: np.ndarray  # (n_patterns,) int64
+    deps: FrozenSet[int]  # branch ids this CLV depends on
+
+
+class LikelihoodEngine:
+    """Maximum-likelihood scoring of a tree on a pattern alignment.
+
+    Parameters
+    ----------
+    patterns:
+        The compressed alignment.
+    model:
+        Substitution model.
+    rate_model:
+        Among-site rate model (uniform, Gamma, or CAT).  For CAT the
+        ``site_categories`` assignment must cover every pattern.
+    tree:
+        The tree to score; the engine registers itself as an observer and
+        must remain attached while the tree is edited.
+    tracer:
+        Optional object receiving ``record_newview`` /
+        ``record_evaluate`` / ``record_makenewz`` calls; used by
+        :mod:`repro.port.trace` to build platform-simulation workloads.
+    """
+
+    def __init__(
+        self,
+        patterns: PatternAlignment,
+        model: SubstitutionModel,
+        rate_model: Optional[RateModel] = None,
+        tree: Optional[Tree] = None,
+        tracer=None,
+    ):
+        if tree is None:
+            raise ValueError("a tree is required")
+        self.patterns = patterns
+        self.model = model
+        self.rate_model = rate_model or UniformRate()
+        self.tree = tree
+        self.tracer = tracer
+        #: state-space size (4 for DNA, 20 for amino acids)
+        self._n_states = model.n_states
+        #: per-code tip indicator rows (None = the DNA mask table)
+        self._tip_table = getattr(patterns, "tip_code_table", None)
+
+        if self.rate_model.is_per_site:
+            if len(self.rate_model.site_categories) != patterns.n_patterns:
+                raise ValueError(
+                    "CAT site_categories must assign every pattern a category"
+                )
+            #: per-pattern rate multipliers (CAT mode)
+            self._site_rates = self.rate_model.rates[self.rate_model.site_categories]
+            self._cat_weights = np.ones(1)
+            self._n_cats = 1
+        else:
+            self._site_rates = None
+            self._cat_weights = self.rate_model.weights
+            self._n_cats = self.rate_model.n_categories
+
+        self._tip_index: Dict[int, int] = {}
+        for node in tree.tips:
+            self._tip_index[node.index] = patterns.taxon_index(node.name)
+
+        self._clv_cache: Dict[Tuple[int, int], _CachedCLV] = {}
+        self._pmat_cache: Dict[int, np.ndarray] = {}
+        tree.add_observer(self._on_branch_dirty)
+
+        #: running counters (cheap, always on) — used for sanity checks
+        self.newview_calls = 0
+        self.evaluate_calls = 0
+        self.makenewz_calls = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def detach(self) -> None:
+        """Unregister from the tree and drop all caches."""
+        self.tree.remove_observer(self._on_branch_dirty)
+        self._clv_cache.clear()
+        self._pmat_cache.clear()
+
+    def invalidate_all(self) -> None:
+        """Drop every cache (e.g. after a model-parameter change)."""
+        self._clv_cache.clear()
+        self._pmat_cache.clear()
+
+    def set_model(self, model: SubstitutionModel) -> None:
+        """Swap the substitution model and drop caches."""
+        self.model = model
+        self.invalidate_all()
+
+    def set_rate_model(self, rate_model: RateModel) -> None:
+        """Swap the rate model (same mode/category layout) and drop caches."""
+        if rate_model.is_per_site != self.rate_model.is_per_site:
+            raise ValueError("cannot switch between integrated and CAT modes")
+        self.rate_model = rate_model
+        if rate_model.is_per_site:
+            self._site_rates = rate_model.rates[rate_model.site_categories]
+        else:
+            self._cat_weights = rate_model.weights
+            self._n_cats = rate_model.n_categories
+        self.invalidate_all()
+
+    def _push_context(self, name: str):
+        """Tell the tracer (if any) that nested kernel calls follow."""
+        if self.tracer is not None and hasattr(self.tracer, "push_context"):
+            return self.tracer.push_context(name)
+        return None
+
+    def _pop_context(self, token) -> None:
+        if token is not None:
+            self.tracer.pop_context(token)
+
+    def _on_branch_dirty(self, branch_id: int) -> None:
+        self._pmat_cache.pop(branch_id, None)
+        stale = [
+            key
+            for key, entry in self._clv_cache.items()
+            if branch_id in entry.deps or key[1] == branch_id
+        ]
+        for key in stale:
+            del self._clv_cache[key]
+
+    # -- transition matrices ---------------------------------------------------
+
+    def _rates_for_pmat(self) -> np.ndarray:
+        if self._site_rates is not None:
+            return self._site_rates
+        return self.rate_model.rates
+
+    def _pmat(self, branch: Branch) -> np.ndarray:
+        """Transition matrices for *branch*: ``(n_cats, 4, 4)`` for the
+        integrated modes, ``(n_patterns, 4, 4)`` for CAT."""
+        cached = self._pmat_cache.get(branch.index)
+        if cached is None:
+            cached = self.model.transition_matrices(
+                branch.length, self._rates_for_pmat()
+            )
+            self._pmat_cache[branch.index] = cached
+        return cached
+
+    # -- CLV computation ----------------------------------------------------------
+
+    def _is_tip(self, node: Node) -> bool:
+        return node.is_tip
+
+    def _tip_masks(self, node: Node) -> np.ndarray:
+        return self.patterns.patterns[self._tip_index[node.index]]
+
+    def _tip_clv(self, node: Node) -> np.ndarray:
+        """Tip CLV expanded to ``(n_patterns, n_cats, n_states)``."""
+        rows = self.patterns.tip_partials(self._tip_index[node.index])
+        return np.broadcast_to(
+            rows[:, None, :],
+            (self.patterns.n_patterns, self._n_cats, self._n_states),
+        )
+
+    def _propagated(self, node: Node, via: Branch) -> Tuple[np.ndarray, np.ndarray]:
+        """CLV of the subtree at *node* away from *via*, propagated across
+        *via*.  Returns ``(term, scale_counts)``."""
+        p = self._pmat(via)
+        if node.is_tip:
+            masks = self._tip_masks(node)
+            if self._site_rates is not None:
+                term = kernels.tip_terms_persite(p, masks, self._tip_table)
+            else:
+                term = kernels.tip_terms(p, masks, self._tip_table)
+            return term, np.zeros(self.patterns.n_patterns, dtype=np.int64)
+        entry = self.clv(node, via)
+        if self._site_rates is not None:
+            term = kernels.inner_terms_persite(p, entry.clv)
+        else:
+            term = kernels.inner_terms(p, entry.clv)
+        return term, entry.scale_counts
+
+    def clv(self, node: Node, entry: Branch) -> _CachedCLV:
+        """The cached CLV at inner *node* for the subtree away from *entry*.
+
+        Missing CLVs (including any missing descendants) are computed
+        bottom-up; each computation is one ``newview()`` invocation.
+        """
+        if node.is_tip:
+            raise ValueError("tips have no stored CLV; use _propagated")
+        cached = self._clv_cache.get((node.index, entry.index))
+        if cached is not None:
+            return cached
+        # Gather the missing directions below (node, entry) in post-order.
+        order: List[Tuple[Node, Branch]] = []
+        stack: List[Tuple[Node, Branch, bool]] = [(node, entry, False)]
+        while stack:
+            current, came_from, expanded = stack.pop()
+            if expanded:
+                order.append((current, came_from))
+                continue
+            if current.is_tip or (current.index, came_from.index) in self._clv_cache:
+                continue
+            stack.append((current, came_from, True))
+            for branch in current.branches:
+                if branch is not came_from:
+                    stack.append((branch.other(current), branch, False))
+        for current, came_from in order:
+            self._newview(current, came_from)
+        return self._clv_cache[(node.index, entry.index)]
+
+    def _newview(self, node: Node, entry: Branch) -> _CachedCLV:
+        """Compute and cache one CLV (a single ``newview()`` invocation)."""
+        children = [b for b in node.branches if b is not entry]
+        if len(children) != 2:
+            raise ValueError("newview requires an inner node of degree 3")
+        (b1, b2) = children
+        q1, q2 = b1.other(node), b2.other(node)
+        term1, sc1 = self._propagated(q1, b1)
+        term2, sc2 = self._propagated(q2, b2)
+        clv = kernels.newview_combine(term1, term2)
+        scale_counts = sc1 + sc2
+        scaled = kernels.scale_clv(clv, scale_counts)
+
+        deps = frozenset(self.tree.subtree_branches(node, entry))
+        entry_cache = _CachedCLV(clv=clv, scale_counts=scale_counts, deps=deps)
+        self._clv_cache[(node.index, entry.index)] = entry_cache
+
+        self.newview_calls += 1
+        if self.tracer is not None:
+            if q1.is_tip and q2.is_tip:
+                case = NewviewCase.TIP_TIP
+            elif q1.is_tip:
+                case = NewviewCase.TIP_INNER
+            elif q2.is_tip:
+                case = NewviewCase.INNER_TIP
+            else:
+                case = NewviewCase.INNER_INNER
+            self.tracer.record_newview(
+                case=case,
+                n_patterns=self.patterns.n_patterns,
+                n_cats=self._n_cats,
+                scaled=scaled,
+            )
+        return entry_cache
+
+    # -- evaluate -------------------------------------------------------------------
+
+    def _side(self, node: Node, branch: Branch) -> Tuple[np.ndarray, np.ndarray]:
+        """Unpropagated CLV facing *branch* from *node*'s side."""
+        if node.is_tip:
+            return self._tip_clv(node), np.zeros(
+                self.patterns.n_patterns, dtype=np.int64
+            )
+        entry = self.clv(node, branch)
+        return entry.clv, entry.scale_counts
+
+    def evaluate(self, branch: Optional[Branch] = None) -> float:
+        """Log likelihood of the tree, computed at *branch*.
+
+        For a reversible model the result is branch-independent; the
+        default uses an arbitrary branch.
+        """
+        if branch is None:
+            branch = self.tree.branches[0]
+        u, v = branch.nodes
+        # Keep the tip (if any) on the un-propagated side: RAxML's cheap case.
+        if v.is_tip and not u.is_tip:
+            u, v = v, u
+        # CLV refreshes triggered from here are nested inside this offload
+        # unit (no PPE<->SPE communication once evaluate lives on the SPE).
+        context = self._push_context("evaluate")
+        try:
+            u_clv, u_sc = self._side(u, branch)
+            v_term, v_sc = self._propagated(v, branch)
+        finally:
+            self._pop_context(context)
+        result = kernels.evaluate_loglik(
+            self.model.pi,
+            self._cat_weights,
+            self.patterns.weights,
+            u_clv,
+            v_term,
+            u_sc + v_sc,
+        )
+        self.evaluate_calls += 1
+        if self.tracer is not None:
+            self.tracer.record_evaluate(
+                n_patterns=self.patterns.n_patterns, n_cats=self._n_cats
+            )
+        return result
+
+    def log_likelihood(self) -> float:
+        """Alias for :meth:`evaluate` at a default branch."""
+        return self.evaluate()
+
+    def site_log_likelihoods(self, branch: Optional[Branch] = None) -> np.ndarray:
+        """Per-pattern log likelihoods (diagnostics; CAT rate estimation)."""
+        if branch is None:
+            branch = self.tree.branches[0]
+        u, v = branch.nodes
+        if v.is_tip and not u.is_tip:
+            u, v = v, u
+        u_clv, u_sc = self._side(u, branch)
+        v_term, v_sc = self._propagated(v, branch)
+        per_cat = np.einsum(
+            "sci,i->sc", u_clv * v_term, self.model.pi, optimize=True
+        )
+        site_lik = per_cat @ self._cat_weights
+        return np.log(site_lik) - (u_sc + v_sc) * kernels.LOG_SCALE_FACTOR
+
+    # -- makenewz ---------------------------------------------------------------------
+
+    def makenewz(
+        self,
+        branch: Branch,
+        max_iterations: int = 32,
+        tolerance: float = 1e-8,
+    ) -> Tuple[float, float]:
+        """Optimize one branch length by Newton-Raphson.
+
+        Returns ``(new_length, log_likelihood)``.  The tree is updated in
+        place (which dirties dependent CLVs through the observer
+        protocol).  Mirrors RAxML's ``makenewz()``: it first ensures the
+        CLVs facing the branch exist (calling ``newview()`` as needed),
+        then iterates Newton steps with safeguards.
+        """
+        u, v = branch.nodes
+        context = self._push_context("makenewz")
+        try:
+            u_clv, u_sc = self._side(u, branch)
+            v_clv, v_sc = self._side(v, branch)
+        finally:
+            self._pop_context(context)
+        scale = u_sc + v_sc
+        pi = self.model.pi
+        weights = self.patterns.weights
+        rates = self._rates_for_pmat()
+
+        def derivatives_at(length: float):
+            terms = self.model.transition_derivatives(length, rates)
+            if self._site_rates is not None:
+                return kernels.branch_derivatives_persite(
+                    terms, pi, weights, u_clv, v_clv, scale
+                )
+            return kernels.branch_derivatives(
+                terms, pi, self._cat_weights, weights, u_clv, v_clv, scale
+            )
+
+        t = branch.length
+        best_t, best_lnl = t, -np.inf
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            lnl, d1, d2 = derivatives_at(t)
+            if lnl > best_lnl:
+                best_lnl, best_t = lnl, t
+            if abs(d1) < tolerance:
+                break
+            if d2 < 0.0:
+                step = d1 / d2
+                new_t = t - step
+            else:
+                # Not locally concave: move in the uphill direction.
+                new_t = t * 2.0 if d1 > 0 else t * 0.5
+            new_t = min(max(new_t, MIN_BRANCH_LENGTH), MAX_BRANCH_LENGTH)
+            if abs(new_t - t) < tolerance:
+                t = new_t
+                break
+            t = new_t
+
+        # Score the final point too (the loop may end right after a step).
+        lnl, _, _ = derivatives_at(t)
+        if lnl > best_lnl:
+            best_lnl, best_t = lnl, t
+
+        self.tree.set_length(branch, best_t)
+        self.makenewz_calls += 1
+        if self.tracer is not None:
+            self.tracer.record_makenewz(
+                n_patterns=self.patterns.n_patterns,
+                n_cats=self._n_cats,
+                iterations=iterations,
+            )
+        return best_t, best_lnl
+
+    def optimize_all_branches(
+        self, passes: int = 3, tolerance: float = 1e-6
+    ) -> float:
+        """Round-robin Newton smoothing of every branch (RAxML 'smoothings').
+
+        Stops early when a full pass improves the likelihood by less than
+        *tolerance*.  Returns the final log likelihood.
+        """
+        last = -np.inf
+        lnl = last
+        for _ in range(passes):
+            for branch in self.tree.branches:
+                _, lnl = self.makenewz(branch)
+            if lnl - last < tolerance:
+                break
+            last = lnl
+        return lnl
+
+
+def estimate_site_rates(
+    patterns: PatternAlignment,
+    model: SubstitutionModel,
+    tree: Tree,
+    rate_grid: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-pattern ML rate estimates over a grid (for building CAT models).
+
+    For each candidate rate the whole tree is scored with a single
+    rate category, and each pattern picks the rate maximizing its own
+    likelihood — a simplified version of RAxML's per-site rate
+    optimization that feeds :func:`repro.phylo.rates.CatRates`.
+    """
+    if rate_grid is None:
+        rate_grid = np.geomspace(1.0 / 16.0, 16.0, 25)
+    per_rate = np.empty((len(rate_grid), patterns.n_patterns))
+    for k, rate in enumerate(rate_grid):
+        rate_model = RateModel(np.array([rate]), np.ones(1), name=f"fixed({rate:g})")
+        engine = LikelihoodEngine(patterns, model, rate_model, tree)
+        per_rate[k] = engine.site_log_likelihoods()
+        engine.detach()
+    best = rate_grid[np.argmax(per_rate, axis=0)]
+    return np.asarray(best, dtype=np.float64)

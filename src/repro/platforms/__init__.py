@@ -1,0 +1,7 @@
+"""Comparison-platform models for the paper's Figure 3."""
+
+from .base import PPE_TASK_SECONDS, SMTPlatform
+from .power5 import power5_platform
+from .xeon import xeon_platform
+
+__all__ = ["PPE_TASK_SECONDS", "SMTPlatform", "power5_platform", "xeon_platform"]

@@ -1,0 +1,96 @@
+"""Generic SMT/multicore execution model for the master-worker workload.
+
+The paper's Figure 3 runs the *same* embarrassingly parallel workload
+(independent tree searches) on three machines; for the conventional
+processors the execution model is simple: each hardware context runs
+whole tasks sequentially, and co-scheduled contexts on one core suffer
+an SMT slowdown.  What distinguishes platforms is their geometry
+(chips x cores x SMT ways), their per-task speed relative to the
+calibration anchor (the Cell PPE's 36.9 s per ``42_SC`` task), and
+their SMT penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["SMTPlatform", "PPE_TASK_SECONDS"]
+
+#: The calibration anchor: one 42_SC search on the Cell PPE (Table 1a).
+PPE_TASK_SECONDS = 36.9
+
+
+@dataclass(frozen=True)
+class SMTPlatform:
+    """A conventional multicore/SMT machine running MPI tasks.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    n_chips, cores_per_chip, smt_per_core:
+        Hardware geometry; total ranks = product.
+    relative_speed:
+        Single-thread task throughput relative to the Cell PPE
+        (task time alone = ``PPE_TASK_SECONDS / relative_speed``).
+    smt_slowdown:
+        Per-thread slowdown factor when a core runs more than one task.
+    """
+
+    name: str
+    n_chips: int
+    cores_per_chip: int
+    smt_per_core: int
+    relative_speed: float
+    smt_slowdown: float
+
+    def __post_init__(self) -> None:
+        if min(self.n_chips, self.cores_per_chip, self.smt_per_core) < 1:
+            raise ValueError("geometry values must be >= 1")
+        if self.relative_speed <= 0:
+            raise ValueError("relative speed must be positive")
+        if self.smt_slowdown < 1.0:
+            raise ValueError("SMT slowdown is a factor >= 1")
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_chips * self.cores_per_chip
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_cores * self.smt_per_core
+
+    def task_seconds(self, concurrent_tasks: int) -> float:
+        """Per-task time given how many tasks run machine-wide.
+
+        Tasks spread across cores first; SMT sharing (and its penalty)
+        only starts once every core is busy.
+        """
+        if concurrent_tasks < 1:
+            raise ValueError("need at least one concurrent task")
+        base = PPE_TASK_SECONDS / self.relative_speed
+        if concurrent_tasks <= self.n_cores:
+            return base
+        return base * self.smt_slowdown
+
+    def run_total_s(self, bootstraps: int) -> float:
+        """Makespan of *bootstraps* independent tasks on this machine.
+
+        Tasks are dealt round-robin to ranks; each scheduling round's
+        duration depends on how many tasks are active in that round
+        (full rounds pay the SMT penalty, a small final round may not).
+        """
+        if bootstraps < 1:
+            raise ValueError("need at least one bootstrap")
+        remaining = bootstraps
+        total = 0.0
+        while remaining > 0:
+            active = min(remaining, self.n_ranks)
+            total += self.task_seconds(active)
+            remaining -= active
+        return total
+
+    def sweep(self, bootstrap_counts) -> List[float]:
+        """Makespans over a list of bootstrap counts (Figure 3 series)."""
+        return [self.run_total_s(b) for b in bootstrap_counts]

@@ -1,0 +1,39 @@
+"""IBM Power5 platform model.
+
+Paper section 6: "a 64-bit IBM Power5 ... quad-thread, dual-core
+processor with dual SMT cores running at 1.65 GHz, 32 KB of L1-D and
+L1-I cache, 1.92 MB of L2 cache, and 36 MB of L3 cache"; the
+experiments run four MPI processes (both cores, both SMT contexts).
+
+Calibration of the two free parameters (documented derivation):
+
+* ``smt_slowdown = 1.25`` — published Power5 SMT studies report
+  20-30 % per-thread degradation on FP workloads when both contexts of
+  a core are busy.
+* ``relative_speed = 2.00`` — solved from the paper's headline "Cell
+  performs 9-10 % better than the IBM Power5": at 128 bootstraps
+  Cell-MGPS takes ~670 s, so Power5 must land near 735 s; with 4 ranks
+  and 32 tasks each: ``32 * 36.9 * 1.25 / v = 735 -> v = 2.01 ~ 2.0``.
+  (The Power5's out-of-order core with a 36 MB L3 running the
+  memory-bound likelihood kernels twice as fast as the in-order PPE at
+  similar clock is consistent with the paper profiling RAxML *on a
+  Power5* as its reference machine.)
+"""
+
+from __future__ import annotations
+
+from .base import SMTPlatform
+
+__all__ = ["power5_platform"]
+
+
+def power5_platform() -> SMTPlatform:
+    """The paper's Power5 configuration (1 chip x 2 cores x 2 SMT)."""
+    return SMTPlatform(
+        name="IBM Power5",
+        n_chips=1,
+        cores_per_chip=2,
+        smt_per_core=2,
+        relative_speed=2.00,
+        smt_slowdown=1.25,
+    )

@@ -1,0 +1,40 @@
+"""Intel Pentium 4 Xeon (HyperThreading) platform model.
+
+Paper section 6: "a 32-bit Intel Pentium 4 Xeon with Hyperthreading
+technology (2-way SMT), running at 2 GHz, with 8 KB L1-D cache, 512 KB
+L2 cache, and 1 MB L3 cache" — and because one Xeon offers only two
+contexts, the authors used **two** such processors on a 4-way Dell
+PowerEdge 6650, "a modification [that] favors the Xeon platform".
+
+Calibration of the two free parameters (documented derivation):
+
+* ``smt_slowdown = 1.30`` — Pentium 4 HyperThreading on FP-heavy
+  codes typically yields 20-40 % per-thread degradation (the replicated
+  FP units are shared); 1.30 is the midpoint.
+* ``relative_speed = 1.10`` — solved from Figure 3's end point: the
+  paper shows Cell beating the two-Xeon setup "by more than a factor of
+  two"; at 128 bootstraps Cell-MGPS takes ~670 s, putting the Xeon near
+  1400 s.  With 4 ranks and 32 tasks each:
+  ``32 * 36.9 * 1.30 / v = 1400  ->  v = 1.096 ~ 1.10``.
+  (A 2 GHz Netburst core and the 3.2 GHz in-order PPE landing within
+  10 % of each other on scalar DP code is consistent with the era's
+  SPEC numbers.)
+"""
+
+from __future__ import annotations
+
+from .base import SMTPlatform
+
+__all__ = ["xeon_platform"]
+
+
+def xeon_platform(n_chips: int = 2) -> SMTPlatform:
+    """The paper's dual-Xeon configuration (2 chips x 1 core x 2 HT)."""
+    return SMTPlatform(
+        name="Intel Xeon (HT)" if n_chips == 1 else f"{n_chips}x Intel Xeon (HT)",
+        n_chips=n_chips,
+        cores_per_chip=1,
+        smt_per_core=2,
+        relative_speed=1.10,
+        smt_slowdown=1.30,
+    )

@@ -1,0 +1,31 @@
+"""The RAxML-Cell port: optimizations, tracing, cost model, executor.
+
+This package is the paper's contribution layer: the seven Cell-specific
+optimizations as configuration (:mod:`~repro.port.optimizations`),
+instrumentation of real searches (:mod:`~repro.port.trace`), the
+calibrated component cost model (:mod:`~repro.port.profilemodel`, with
+the full derivation in its module docstring), the paper's reported
+numbers (:mod:`~repro.port.paperdata`), and the executor that ties them
+to the schedulers (:mod:`~repro.port.executor`).
+"""
+
+from . import paperdata
+from .executor import Figure3Series, PortExecutor
+from .optimizations import STAGES, OptimizationConfig, stage
+from .profilemodel import CellCostModel, TaskCost
+from .trace import NESTED_TOP, KernelEvent, Tracer, TraceSummary
+
+__all__ = [
+    "paperdata",
+    "Figure3Series",
+    "PortExecutor",
+    "STAGES",
+    "OptimizationConfig",
+    "stage",
+    "CellCostModel",
+    "TaskCost",
+    "NESTED_TOP",
+    "KernelEvent",
+    "Tracer",
+    "TraceSummary",
+]

@@ -1,0 +1,135 @@
+"""Every number the paper reports, as structured data.
+
+These values serve two purposes:
+
+1. **Calibration inputs** — the cost model derives its per-component
+   constants algebraically from the staged tables (see
+   :mod:`repro.port.profilemodel` for the derivations).
+2. **Reporting targets** — the harness prints paper-vs-measured for
+   each experiment (EXPERIMENTS.md).
+
+Table keys are ``(workers, bootstraps)`` pairs; all times in seconds.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+__all__ = [
+    "PROFILE_SHARES",
+    "TABLES",
+    "TABLE8",
+    "FIGURE3_BOOTSTRAPS",
+    "NEWVIEW_CALLS",
+    "NEWVIEW_AVG_S",
+    "NEWVIEW_FLOPS_PER_CALL",
+    "EXP_CALLS_PER_NEWVIEW",
+    "PATTERNS_42SC",
+    "SITES_42SC",
+    "TAXA_42SC",
+    "POWER_WATTS",
+    "SECTION52_FRACTIONS",
+]
+
+#: gprof profile on the Power5 (section 5.2): fraction of sequential
+#: RAxML runtime per function.
+PROFILE_SHARES = MappingProxyType(
+    {
+        "newview": 0.768,
+        "makenewz": 0.1916,
+        "evaluate": 0.0237,
+        "other": 1.0 - 0.768 - 0.1916 - 0.0237,  # 0.0167
+    }
+)
+
+#: The staged optimization tables (sections 5.2.1-5.2.7), keyed by
+#: (workers, bootstraps).  Every row uses the 42_SC input.
+TABLES = MappingProxyType(
+    {
+        # Table 1a: whole application on the PPE.
+        "table1a": MappingProxyType(
+            {(1, 1): 36.9, (2, 8): 207.67, (2, 16): 427.95, (2, 32): 824.0}
+        ),
+        # Table 1b: newview() naively offloaded to one SPE.
+        "table1b": MappingProxyType(
+            {(1, 1): 106.37, (2, 8): 459.16, (2, 16): 915.75, (2, 32): 1836.6}
+        ),
+        # Table 2: + SDK exp().
+        "table2": MappingProxyType(
+            {(1, 1): 62.8, (2, 8): 285.25, (2, 16): 572.92, (2, 32): 1138.5}
+        ),
+        # Table 3: + integer-cast / vectorized conditionals.
+        "table3": MappingProxyType(
+            {(1, 1): 49.3, (2, 8): 230.0, (2, 16): 460.43, (2, 32): 917.09}
+        ),
+        # Table 4: + double buffering (2 KB transfers).
+        "table4": MappingProxyType(
+            {(1, 1): 47.0, (2, 8): 220.92, (2, 16): 441.39, (2, 32): 884.47}
+        ),
+        # Table 5: + SIMD vectorization of the FP loops.
+        "table5": MappingProxyType(
+            {(1, 1): 40.9, (2, 8): 195.7, (2, 16): 393.0, (2, 32): 800.9}
+        ),
+        # Table 6: + direct memory-to-memory communication.
+        "table6": MappingProxyType(
+            {(1, 1): 39.9, (2, 8): 180.46, (2, 16): 357.08, (2, 32): 712.2}
+        ),
+        # Table 7: + makenewz() and evaluate() offloaded too.
+        "table7": MappingProxyType(
+            {(1, 1): 27.7, (2, 8): 112.41, (2, 16): 224.69, (2, 32): 444.87}
+        ),
+    }
+)
+
+#: Table 8: the dynamic MGPS scheduler; keyed by bootstraps (the worker
+#: count is chosen at runtime by the scheduler).
+TABLE8 = MappingProxyType({1: 17.6, 8: 42.18, 16: 84.21, 32: 167.57})
+
+#: Figure 3 sweeps these bootstrap counts on Cell/Power5/Xeon.
+FIGURE3_BOOTSTRAPS = (1, 8, 16, 32, 64, 128)
+
+#: Section 5.2.6: newview() invocations for one 42_SC run, and the
+#: average per-invocation time at the table-6 optimization stage.
+NEWVIEW_CALLS = 230_500
+NEWVIEW_AVG_S = 71e-6
+
+#: Section 5.2.2: average FP operations per newview() invocation
+#: (65 % multiplications, 34 % additions) and exp() call count.
+NEWVIEW_FLOPS_PER_CALL = 25_554
+EXP_CALLS_PER_NEWVIEW = 150
+
+#: The 42_SC dataset dimensions (sections 5.2, 5.2.5).
+TAXA_42SC = 42
+SITES_42SC = 1167
+PATTERNS_42SC = 250  # "on the order of 250"; the large loop runs 228 iters
+LARGE_LOOP_ITERATIONS = 228
+
+#: Nominal power draw (watts) quoted or publicly documented for the
+#: Figure 3 platforms.  The paper (sections 1 and 6): Cell "power
+#: consumption comparable to that of mobile processors", "nominal power
+#: consumption in the range of 27W to 43W for a 3.2 GHz model (used in
+#: this study)", "a reported 150W for the Power5".  The Xeon value is
+#: the public TDP of a 2 GHz Pentium 4 Xeon (not quoted in the paper).
+POWER_WATTS = MappingProxyType(
+    {
+        "cell_min": 27.0,
+        "cell_max": 43.0,
+        "power5": 150.0,
+        "xeon_per_chip": 77.0,
+    }
+)
+
+#: Scattered profiling fractions from section 5.2 used as secondary
+#: calibration checks (the primary calibration is the table chain).
+SECTION52_FRACTIONS = MappingProxyType(
+    {
+        "exp_share_of_unoptimized_spe": 0.50,  # sec 5.2.2
+        "conditional_share_before": 0.45,  # sec 5.2.3
+        "conditional_share_after": 0.06,  # sec 5.2.3
+        "dma_wait_share": 0.114,  # sec 5.2.4
+        "loops_share_before_simd": 0.694,  # sec 5.2.5
+        "loops_share_after_simd": 0.57,  # sec 5.2.5
+        "loops_seconds_before_simd": 19.57,  # sec 5.2.5
+        "loops_seconds_after_simd": 11.48,  # sec 5.2.5
+    }
+)

@@ -1,0 +1,33 @@
+"""Scheduling models: simulated MPI, EDTLP, LLP, and MGPS.
+
+These reproduce the paper's section 5.3: the naive two-process MPI
+mapping, event-driven task-level parallelization (EDTLP), loop-level
+parallelization (LLP), and the dynamic multigrain scheduler (MGPS) that
+switches between them based on available task-level parallelism.
+"""
+
+from .edtlp import EDTLPResult, simulate_edtlp
+from .llp import LLPResult, simulate_llp
+from .mgps import MGPSPhase, MGPSResult, simulate_mgps
+from .simmpi import DONE_TAG, STOP_TAG, WORK_TAG, MasterWorker, SimMPI
+from .static import StaticResult, simulate_static
+from .taskmodel import CellTask, make_tasks
+
+__all__ = [
+    "EDTLPResult",
+    "simulate_edtlp",
+    "LLPResult",
+    "simulate_llp",
+    "MGPSPhase",
+    "MGPSResult",
+    "simulate_mgps",
+    "DONE_TAG",
+    "STOP_TAG",
+    "WORK_TAG",
+    "MasterWorker",
+    "SimMPI",
+    "StaticResult",
+    "simulate_static",
+    "CellTask",
+    "make_tasks",
+]

@@ -1,0 +1,106 @@
+"""LLP: loop-level parallelization of offloaded kernels across SPEs.
+
+The second programming model of paper section 5.3: when task-level
+parallelism cannot fill eight SPEs (fewer than eight outstanding
+bootstraps), the likelihood loops *inside* each offloaded function are
+distributed across several SPEs, OpenMP-style.  This exposes a third
+level of parallelism below tasks and SIMD vectors.
+
+Per offload quantum, the parallelizable loop share ``p`` (the
+vectorized likelihood loops, ~63 % of SPE kernel time in the calibrated
+model) is split over ``k`` SPEs; the serial remainder and a
+split/merge overhead (``eta`` x full-split share, calibrated from
+Table 8's one-bootstrap row) stay on the owning SPE.  Up to four
+concurrent tasks can each use a disjoint SPE group (the paper uses two
+SPEs per loop in that regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Sequence
+
+from ..cell.blade import CellBlade
+from ..cell.spe import SPE, KernelInvocation
+from ..cell.timing import CellTiming, DEFAULT_TIMING
+from .taskmodel import CellTask
+
+__all__ = ["LLPResult", "simulate_llp"]
+
+
+@dataclass(frozen=True)
+class LLPResult:
+    """Outcome of one LLP simulation."""
+
+    makespan_s: float
+    n_tasks: int
+    spes_per_task: int
+    spe_utilizations: List[float]
+    #: the simulated chip (for timeline rendering); excluded from eq.
+    chip: object = field(default=None, compare=False, repr=False)
+
+
+def simulate_llp(
+    tasks: Sequence[CellTask],
+    parallel_fraction: float,
+    overhead_eta: float,
+    spes_per_task: int,
+    timing: CellTiming = DEFAULT_TIMING,
+) -> LLPResult:
+    """Simulate concurrent tasks, each loop-parallelized over an SPE group.
+
+    At most ``n_spes // spes_per_task`` tasks run concurrently (and the
+    paper caps concurrent LLP tasks at four); remaining tasks queue.
+    """
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ValueError("parallel fraction must be in [0, 1]")
+    if spes_per_task < 1 or spes_per_task > timing.n_spes:
+        raise ValueError("spes_per_task out of range")
+    max_concurrent = min(timing.n_spes // spes_per_task, 4)
+    if max_concurrent < 1:
+        raise ValueError("SPE group does not fit on the chip")
+
+    blade = CellBlade(n_chips=1, timing=timing)
+    chip = blade.chip
+    chip.load_all_spe_threads()
+    slots = blade.sim.store(name="llp-slots")
+    for g in range(max_concurrent):
+        slots.try_put(g)
+
+    from ..cell.devsim import Get, Put  # local import to avoid cycle noise
+
+    def run_task(task: CellTask) -> Generator:
+        group = yield Get(slots)
+        spes = chip.spes[group * spes_per_task:(group + 1) * spes_per_task]
+        owner = spes[0]
+        k = len(spes)
+        overhead_share = overhead_eta * (k - 1) / max(timing.n_spes - 1, 1)
+        for _ in range(task.n_batches):
+            # PPE-side glue for this quantum (dispatch + signalling).
+            yield from chip.ppe.compute(task.ppe_batch_s)
+            chunk = task.spe_batch_s
+            serial = (1.0 - parallel_fraction) * chunk + overhead_share * chunk
+            split = parallel_fraction * chunk / k
+            # Fan the loop slice out to every SPE in the group, then join.
+            done = []
+            for spe in spes:
+                work = split + (serial if spe is owner else 0.0)
+                proc = blade.sim.spawn(
+                    spe.execute(KernelInvocation("llp-slice", compute_s=work)),
+                    name=f"llp-slice-spe{spe.index}",
+                )
+                done.append(proc)
+            for proc in done:
+                yield proc  # wait for completion
+        yield Put(slots, group)
+
+    for task in tasks:
+        blade.sim.spawn(run_task(task), name=f"llp-task{task.task_id}")
+    makespan = blade.sim.run()
+    return LLPResult(
+        makespan_s=makespan,
+        n_tasks=len(tasks),
+        spes_per_task=spes_per_task,
+        spe_utilizations=[s.utilization(makespan) for s in chip.spes],
+        chip=chip,
+    )

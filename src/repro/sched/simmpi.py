@@ -1,0 +1,137 @@
+"""Simulated MPI master-worker runtime.
+
+RAxML's MPI layer (paper section 3.1) is a master handing independent
+tree searches (bootstraps / multiple inferences) to worker ranks.  This
+module reproduces that layer inside the discrete-event simulator: a
+:class:`SimMPI` communicator with rank mailboxes and a
+:class:`MasterWorker` driver that distributes :class:`CellTask` items
+on demand.  The API naming (``send``/``recv``/``isend``) follows mpi4py
+conventions so the scheduling code reads like the MPI programs it
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from ..cell.devsim import Get, Put, Simulator, Store, Timeout
+from .taskmodel import CellTask
+
+__all__ = ["SimMPI", "MasterWorker", "WORK_TAG", "DONE_TAG", "STOP_TAG"]
+
+WORK_TAG = 1
+DONE_TAG = 2
+STOP_TAG = 3
+
+#: Latency of one intra-node MPI message (shared-memory transport).
+MPI_MESSAGE_LATENCY_S = 2e-6
+
+
+@dataclass(frozen=True)
+class _Message:
+    source: int
+    tag: int
+    payload: Any
+
+
+class SimMPI:
+    """An in-process message-passing world of ``size`` ranks."""
+
+    def __init__(self, sim: Simulator, size: int,
+                 message_latency_s: float = MPI_MESSAGE_LATENCY_S):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.sim = sim
+        self.size = size
+        self.message_latency_s = message_latency_s
+        self._inboxes: List[Store] = [
+            sim.store(name=f"mpi-rank{r}") for r in range(size)
+        ]
+        self.messages_sent = 0
+
+    def send(self, dest: int, tag: int, payload: Any = None) -> Generator:
+        """Process-generator: blocking send (buffered, latency-charged)."""
+        self._check_rank(dest)
+        yield Timeout(self.message_latency_s)
+        yield Put(self._inboxes[dest], _Message(-1, tag, payload))
+        self.messages_sent += 1
+
+    def send_from(self, source: int, dest: int, tag: int,
+                  payload: Any = None) -> Generator:
+        """Like :meth:`send` but records the source rank."""
+        self._check_rank(dest)
+        yield Timeout(self.message_latency_s)
+        yield Put(self._inboxes[dest], _Message(source, tag, payload))
+        self.messages_sent += 1
+
+    def recv(self, rank: int) -> Generator:
+        """Process-generator: blocking receive; returns a message."""
+        self._check_rank(rank)
+        message = yield Get(self._inboxes[rank])
+        return message
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+
+
+class MasterWorker:
+    """The paper's master-worker task distribution over :class:`SimMPI`.
+
+    Rank 0 is the master; ranks 1..n are workers.  Each worker requests
+    work, receives a task, runs it through the caller-supplied
+    ``execute(worker_index, task)`` process-generator, reports
+    completion, and repeats until the master sends STOP.
+    """
+
+    def __init__(self, sim: Simulator, tasks: Sequence[CellTask],
+                 n_workers: int,
+                 execute: Callable[[int, CellTask], Generator]):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.sim = sim
+        self.mpi = SimMPI(sim, n_workers + 1)
+        self.tasks = list(tasks)
+        self.n_workers = n_workers
+        self.execute = execute
+        self.completed: List[int] = []
+        self.finished_at: Optional[float] = None
+
+    def start(self) -> None:
+        self.sim.spawn(self._master(), name="mpi-master")
+        for w in range(1, self.n_workers + 1):
+            self.sim.spawn(self._worker(w), name=f"mpi-worker{w}")
+
+    def run(self) -> float:
+        """Drive the simulation to completion; returns the makespan."""
+        self.start()
+        self.sim.run()
+        if self.finished_at is None:
+            raise RuntimeError("master never finished — deadlock?")
+        return self.finished_at
+
+    def _master(self) -> Generator:
+        pending = list(self.tasks)
+        stopped = 0
+        while stopped < self.n_workers:
+            message = yield from self.mpi.recv(0)
+            if message.tag == DONE_TAG and message.payload is not None:
+                self.completed.append(message.payload)
+            if pending:
+                task = pending.pop(0)
+                yield from self.mpi.send_from(0, message.source, WORK_TAG, task)
+            else:
+                yield from self.mpi.send_from(0, message.source, STOP_TAG)
+                stopped += 1
+        self.finished_at = self.sim.now
+
+    def _worker(self, rank: int) -> Generator:
+        yield from self.mpi.send_from(rank, 0, DONE_TAG, None)  # ready
+        while True:
+            message = yield from self.mpi.recv(rank)
+            if message.tag == STOP_TAG:
+                return
+            task: CellTask = message.payload
+            yield from self.execute(rank - 1, task)
+            yield from self.mpi.send_from(rank, 0, DONE_TAG, task.task_id)

@@ -1,0 +1,66 @@
+"""Schedulable task descriptors.
+
+A *task* is one independent tree search (a bootstrap replicate or a
+multiple-inference run) — the unit of the paper's embarrassingly
+parallel master-worker scheme.  The cost model prices a task into PPE
+seconds, SPE seconds and an offload count; for discrete-event
+scheduling the offload stream is batched into a bounded number of
+scheduling quanta so a 128-bootstrap simulation stays tractable while
+preserving the PPE/SPE interleaving that creates contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["CellTask", "make_tasks"]
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One search task, pre-priced for the simulated Cell."""
+
+    task_id: int
+    spe_s: float  # total SPE kernel time
+    ppe_s: float  # total PPE-resident compute (uncontended)
+    comm_s: float  # total signalling time (uncontended)
+    offloads: int  # PPE->SPE dispatches
+    n_batches: int  # scheduling quanta used by the DEVS schedulers
+
+    def __post_init__(self) -> None:
+        if self.spe_s < 0 or self.ppe_s < 0 or self.comm_s < 0:
+            raise ValueError("task times must be non-negative")
+        if self.offloads < 0:
+            raise ValueError("offload count must be non-negative")
+        if self.n_batches < 1:
+            raise ValueError("need at least one batch")
+
+    @property
+    def serial_s(self) -> float:
+        """Uncontended single-worker duration."""
+        return self.spe_s + self.ppe_s + self.comm_s
+
+    @property
+    def spe_batch_s(self) -> float:
+        return self.spe_s / self.n_batches
+
+    @property
+    def ppe_batch_s(self) -> float:
+        return (self.ppe_s + self.comm_s) / self.n_batches
+
+    @property
+    def offloads_per_batch(self) -> float:
+        return self.offloads / self.n_batches
+
+
+def make_tasks(count: int, spe_s: float, ppe_s: float, comm_s: float,
+               offloads: int, n_batches: int = 64) -> List[CellTask]:
+    """A homogeneous batch of *count* tasks (bootstraps are iid)."""
+    if count < 1:
+        raise ValueError("need at least one task")
+    return [
+        CellTask(task_id=i, spe_s=spe_s, ppe_s=ppe_s, comm_s=comm_s,
+                 offloads=offloads, n_batches=n_batches)
+        for i in range(count)
+    ]

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    Alignment,
+    GammaRates,
+    LikelihoodEngine,
+    SearchConfig,
+    Tree,
+    default_gtr,
+    stepwise_addition_tree,
+    synthetic_dataset,
+)
+
+# A fast default profile for hypothesis across the suite.
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "repro",
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("repro")
+except ImportError:  # pragma: no cover
+    pass
+
+
+@pytest.fixture(scope="session")
+def small_alignment() -> Alignment:
+    """8 taxa x 300 sites; compresses to a few dozen patterns."""
+    return synthetic_dataset(n_taxa=8, n_sites=300, seed=11)
+
+
+@pytest.fixture(scope="session")
+def medium_alignment() -> Alignment:
+    """12 taxa x 600 sites (the quick trace profile's size)."""
+    return synthetic_dataset(n_taxa=12, n_sites=600, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_patterns(small_alignment):
+    return small_alignment.compress()
+
+
+@pytest.fixture(scope="session")
+def medium_patterns(medium_alignment):
+    return medium_alignment.compress()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def small_tree(small_patterns, rng) -> Tree:
+    return stepwise_addition_tree(small_patterns, rng)
+
+
+@pytest.fixture()
+def engine(small_patterns, small_tree) -> LikelihoodEngine:
+    model = default_gtr().with_frequencies(small_patterns.base_frequencies())
+    eng = LikelihoodEngine(
+        small_patterns, model, GammaRates(0.7, 4), small_tree
+    )
+    yield eng
+    eng.detach()
+
+
+@pytest.fixture(scope="session")
+def tiny_search_config() -> SearchConfig:
+    return SearchConfig(initial_radius=2, max_radius=3, max_rounds=2)

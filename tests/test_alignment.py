@@ -1,0 +1,214 @@
+"""Tests for alignments, parsers and pattern compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phylo import Alignment, parse_fasta, parse_phylip
+from repro.phylo.alignment import PatternAlignment
+
+FASTA = """\
+>taxA
+ACGTACGT
+>taxB
+ACGTTCGT
+>taxC
+ACGAACGA
+"""
+
+PHYLIP = """\
+3 8
+taxA  ACGTACGT
+taxB  ACGTTCGT
+taxC  ACGAACGA
+"""
+
+
+def seq_dict():
+    return {"taxA": "ACGTACGT", "taxB": "ACGTTCGT", "taxC": "ACGAACGA"}
+
+
+class TestParsers:
+    def test_fasta_round_trip(self):
+        parsed = parse_fasta(FASTA)
+        assert parsed == seq_dict()
+
+    def test_fasta_multiline_sequences(self):
+        parsed = parse_fasta(">x\nACGT\nACGT\n>y\nTTTT\nCCCC\n")
+        assert parsed == {"x": "ACGTACGT", "y": "TTTTCCCC"}
+
+    def test_fasta_duplicate_name_raises(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_fasta(">a\nAC\n>a\nGT\n")
+
+    def test_fasta_data_before_header_raises(self):
+        with pytest.raises(ValueError, match="before first header"):
+            parse_fasta("ACGT\n>a\nAC\n")
+
+    def test_fasta_empty_raises(self):
+        with pytest.raises(ValueError, match="no FASTA records"):
+            parse_fasta("\n\n")
+
+    def test_phylip_round_trip(self):
+        assert parse_phylip(PHYLIP) == seq_dict()
+
+    def test_phylip_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_phylip("3\nx ACGT\n")
+
+    def test_phylip_length_mismatch(self):
+        with pytest.raises(ValueError, match="sites"):
+            parse_phylip("1 8\ntaxA ACGT\n")
+
+    def test_phylip_missing_rows(self):
+        with pytest.raises(ValueError, match="expected 3"):
+            parse_phylip("3 4\na ACGT\nb ACGT\n")
+
+
+class TestAlignment:
+    def test_construction_and_shapes(self):
+        aln = Alignment.from_sequences(seq_dict())
+        assert aln.n_taxa == 3
+        assert aln.n_sites == 8
+        assert aln.taxa == ["taxA", "taxB", "taxC"]
+
+    def test_sequence_accessor(self):
+        aln = Alignment.from_sequences(seq_dict())
+        assert aln.sequence("taxB") == "ACGTTCGT"
+
+    def test_duplicate_taxa_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alignment(["a", "a"], np.ones((2, 4), dtype=np.uint8))
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Alignment(["a"], np.ones((2, 4), dtype=np.uint8))
+
+    def test_invalid_mask_rejected(self):
+        data = np.zeros((1, 4), dtype=np.uint8)  # 0 is not a valid mask
+        with pytest.raises(ValueError, match="invalid"):
+            Alignment(["a"], data)
+
+    def test_fasta_writer_round_trip(self):
+        aln = Alignment.from_sequences(seq_dict())
+        again = Alignment.from_fasta(aln.to_fasta())
+        assert again.taxa == aln.taxa
+        assert np.array_equal(again.data, aln.data)
+
+    def test_phylip_writer_round_trip(self):
+        aln = Alignment.from_sequences(seq_dict())
+        again = Alignment.from_phylip(aln.to_phylip())
+        assert np.array_equal(again.data, aln.data)
+
+    def test_file_io(self, tmp_path):
+        path = tmp_path / "test.fasta"
+        path.write_text(FASTA)
+        aln = Alignment.from_fasta(str(path))
+        assert aln.n_taxa == 3
+
+    def test_base_frequencies_sum_to_one(self):
+        aln = Alignment.from_sequences(seq_dict())
+        freqs = aln.base_frequencies()
+        assert freqs.shape == (4,)
+        assert abs(freqs.sum() - 1.0) < 1e-12
+
+    def test_base_frequencies_pure_a(self):
+        aln = Alignment.from_sequences({"a": "AAAA", "b": "AAAA", "c": "AAAA"})
+        assert np.allclose(aln.base_frequencies(), [1.0, 0.0, 0.0, 0.0])
+
+    def test_gaps_spread_frequency_mass(self):
+        aln = Alignment.from_sequences({"a": "----", "b": "----", "c": "----"})
+        assert np.allclose(aln.base_frequencies(), [0.25] * 4)
+
+
+class TestCompression:
+    def test_weights_sum_to_sites(self):
+        pats = Alignment.from_sequences(seq_dict()).compress()
+        assert pats.weights.sum() == 8
+
+    def test_identical_columns_merge(self):
+        # Columns 0-3 repeat as columns 4-7 except where sequences differ.
+        aln = Alignment.from_sequences(
+            {"a": "AAAA", "b": "CCCC", "c": "GGGG"}
+        )
+        pats = aln.compress()
+        assert pats.n_patterns == 1
+        assert pats.weights[0] == 4
+
+    def test_site_to_pattern_reconstructs_columns(self):
+        aln = Alignment.from_sequences(seq_dict())
+        pats = aln.compress()
+        rebuilt = pats.patterns[:, pats.site_to_pattern]
+        assert np.array_equal(rebuilt, aln.data)
+
+    def test_expand_to_sites(self):
+        pats = Alignment.from_sequences(seq_dict()).compress()
+        per_pattern = np.arange(pats.n_patterns, dtype=float)
+        per_site = pats.expand_to_sites(per_pattern)
+        assert per_site.shape == (8,)
+
+    def test_empty_alignment_cannot_compress(self):
+        with pytest.raises(ValueError):
+            Alignment(["a", "b"], np.ones((2, 0), dtype=np.uint8)).compress()
+
+    def test_tip_partials_cached_and_readonly(self):
+        pats = Alignment.from_sequences(seq_dict()).compress()
+        rows1 = pats.tip_partials(0)
+        rows2 = pats.tip_partials(0)
+        assert rows1 is rows2
+        with pytest.raises(ValueError):
+            rows1[0, 0] = 9.0
+
+    def test_tip_is_unambiguous(self):
+        aln = Alignment.from_sequences({"a": "ACGT", "b": "ACNT", "c": "ACGT"})
+        pats = aln.compress()
+        assert pats.tip_is_unambiguous(pats.taxon_index("a"))
+        assert not pats.tip_is_unambiguous(pats.taxon_index("b"))
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_compression_preserves_information(self, seed):
+        rng = np.random.default_rng(seed)
+        n_taxa, n_sites = 4, 30
+        data = rng.choice([1, 2, 4, 8, 15], size=(n_taxa, n_sites)).astype(
+            np.uint8
+        )
+        aln = Alignment([f"t{i}" for i in range(n_taxa)], data)
+        pats = aln.compress()
+        assert pats.weights.sum() == n_sites
+        assert np.array_equal(pats.patterns[:, pats.site_to_pattern], data)
+        # patterns must be distinct columns
+        cols = {tuple(pats.patterns[:, j]) for j in range(pats.n_patterns)}
+        assert len(cols) == pats.n_patterns
+
+
+class TestBootstrap:
+    def test_weights_sum_preserved(self, small_patterns, rng):
+        weights = small_patterns.bootstrap_weights(rng)
+        assert weights.sum() == small_patterns.n_sites
+
+    def test_weights_nonnegative_integers(self, small_patterns, rng):
+        weights = small_patterns.bootstrap_weights(rng)
+        assert (weights >= 0).all()
+        assert np.array_equal(weights, np.round(weights))
+
+    def test_replicates_differ(self, small_patterns):
+        r1 = small_patterns.bootstrap_weights(np.random.default_rng(1))
+        r2 = small_patterns.bootstrap_weights(np.random.default_rng(2))
+        assert not np.array_equal(r1, r2)
+
+    def test_replicate_shares_pattern_matrix(self, small_patterns, rng):
+        rep = small_patterns.bootstrap_replicate(rng)
+        assert rep.patterns is small_patterns.patterns
+        assert rep is not small_patterns
+
+    def test_with_weights_validates_sum(self, small_patterns):
+        bad = np.ones(small_patterns.n_patterns)
+        with pytest.raises(ValueError, match="sum"):
+            small_patterns.with_weights(bad)
+
+    def test_expected_zero_fraction(self, small_patterns):
+        # Resampling n sites leaves ~1/e of unit-weight patterns unpicked.
+        rng = np.random.default_rng(99)
+        weights = small_patterns.bootstrap_weights(rng)
+        assert (weights == 0).sum() > 0

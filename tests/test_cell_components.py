@@ -1,0 +1,491 @@
+"""Tests for the Cell component models: local store, MFC, EIB, mailboxes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cell import (
+    BufferPool,
+    CellBlade,
+    CellTiming,
+    DEFAULT_TIMING,
+    DirectSignal,
+    DMAError,
+    EIB,
+    KernelInvocation,
+    LocalStore,
+    LocalStoreOverflow,
+    Mailbox,
+    MFC,
+    Simulator,
+    Timeout,
+)
+
+
+class TestLocalStore:
+    def test_capacity_accounting(self):
+        store = LocalStore(256 * 1024)
+        store.reserve("code", 117 * 1024)
+        assert store.free_bytes == 139 * 1024
+        assert store.used_bytes == 117 * 1024
+
+    def test_overflow_raises(self):
+        store = LocalStore(1024)
+        store.reserve("a", 1000)
+        with pytest.raises(LocalStoreOverflow, match="overlays"):
+            store.reserve("b", 100)
+
+    def test_duplicate_label_rejected(self):
+        store = LocalStore(1024)
+        store.reserve("x", 10)
+        with pytest.raises(ValueError, match="already"):
+            store.reserve("x", 10)
+
+    def test_release_and_reuse(self):
+        store = LocalStore(1024)
+        store.reserve("x", 1000)
+        store.release("x")
+        store.reserve("y", 1024)
+        assert store.free_bytes == 0
+
+    def test_release_unknown(self):
+        with pytest.raises(KeyError):
+            LocalStore(100).release("nope")
+
+    def test_resize(self):
+        store = LocalStore(1000)
+        store.reserve("heap", 100)
+        store.resize("heap", 800)
+        assert store.used_bytes == 800
+        with pytest.raises(LocalStoreOverflow):
+            store.resize("heap", 1200)
+
+    def test_high_water_mark(self):
+        store = LocalStore(1000)
+        store.reserve("a", 600)
+        store.release("a")
+        store.reserve("b", 100)
+        assert store.high_water_bytes == 600
+
+    @given(st.lists(st.integers(min_value=1, max_value=5000), max_size=20))
+    def test_accounting_never_negative(self, sizes):
+        store = LocalStore(64 * 1024)
+        for i, size in enumerate(sizes):
+            try:
+                store.reserve(f"seg{i}", size)
+            except LocalStoreOverflow:
+                pass
+            assert 0 <= store.used_bytes <= store.capacity_bytes
+
+
+class TestBufferPool:
+    def test_paper_configuration_fits(self):
+        # 117 KB code + stack + 2 x 2 KB double buffers.
+        store = LocalStore(DEFAULT_TIMING.local_store_bytes)
+        store.reserve("code", DEFAULT_TIMING.offloaded_code_bytes)
+        store.reserve("stack", 16 * 1024)
+        pool = BufferPool(store, n_buffers=2, buffer_bytes=2 * 1024)
+        assert pool.available == 2
+        assert store.free_bytes > 100 * 1024
+
+    def test_iterations_per_fill_matches_paper(self):
+        # "a 2 KByte buffer ... enough to store the data needed for 16
+        #  loop iterations" => 128 bytes per iteration.
+        store = LocalStore(64 * 1024)
+        pool = BufferPool(store, 2, 2 * 1024)
+        assert pool.iterations_per_fill(128) == 16
+
+    def test_acquire_release_cycle(self):
+        store = LocalStore(64 * 1024)
+        pool = BufferPool(store, 2, 1024)
+        a = pool.acquire()
+        b = pool.acquire()
+        with pytest.raises(LocalStoreOverflow):
+            pool.acquire()
+        pool.release_buffer(a)
+        assert pool.acquire() == a
+        pool.release_buffer(b)
+
+    def test_double_release_rejected(self):
+        store = LocalStore(64 * 1024)
+        pool = BufferPool(store, 1, 512)
+        i = pool.acquire()
+        pool.release_buffer(i)
+        with pytest.raises(ValueError):
+            pool.release_buffer(i)
+
+    def test_close_returns_bytes(self):
+        store = LocalStore(8 * 1024)
+        pool = BufferPool(store, 2, 2 * 1024)
+        assert store.used_bytes == 4 * 1024
+        pool.close()
+        assert store.used_bytes == 0
+
+
+class TestMFCRules:
+    def make_mfc(self):
+        sim = Simulator()
+        return sim, MFC(sim, EIB(sim))
+
+    def test_small_sizes_allowed(self):
+        _, mfc = self.make_mfc()
+        for size in (1, 2, 4, 8, 16, 32, 16 * 1024):
+            mfc.validate_size(size)
+
+    def test_bad_sizes_rejected(self):
+        _, mfc = self.make_mfc()
+        for size in (3, 5, 7, 9, 12, 17, 100):
+            with pytest.raises(DMAError):
+                mfc.validate_size(size)
+
+    def test_oversize_rejected(self):
+        _, mfc = self.make_mfc()
+        with pytest.raises(DMAError, match="DMA list"):
+            mfc.validate_size(16 * 1024 + 16)
+
+    def test_nonpositive_rejected(self):
+        _, mfc = self.make_mfc()
+        with pytest.raises(DMAError):
+            mfc.validate_size(0)
+
+    def test_dma_list_entry_limit(self):
+        _, mfc = self.make_mfc()
+        with pytest.raises(DMAError, match="2048"):
+            mfc.dma_list([16] * 2049)
+
+    def test_empty_dma_list(self):
+        _, mfc = self.make_mfc()
+        with pytest.raises(DMAError, match="empty"):
+            mfc.dma_list([])
+
+    def test_bad_tag(self):
+        _, mfc = self.make_mfc()
+        with pytest.raises(DMAError, match="tag"):
+            mfc.dma_get(16, tag=32)
+
+    def test_bad_direction(self):
+        from repro.cell.mfc import DMACommand
+        _, mfc = self.make_mfc()
+        with pytest.raises(DMAError, match="direction"):
+            mfc._issue(DMACommand(16, 0, "sideways"))
+
+    @given(st.integers(min_value=1, max_value=20000))
+    def test_size_rule_property(self, size):
+        _, mfc = self.make_mfc()
+        legal = size in (1, 2, 4, 8) or (
+            size % 16 == 0 and size <= 16 * 1024
+        )
+        if legal:
+            mfc.validate_size(size)
+        else:
+            with pytest.raises(DMAError):
+                mfc.validate_size(size)
+
+
+class TestMFCTransfers:
+    def test_transfer_completes_and_accounts(self):
+        sim = Simulator()
+        eib = EIB(sim)
+        mfc = MFC(sim, eib)
+
+        def proc():
+            mfc.dma_get(4096, tag=3)
+            yield from mfc.wait_tag(3)
+
+        sim.spawn(proc())
+        elapsed = sim.run()
+        assert mfc.bytes_moved == 4096
+        assert mfc.commands_served == 1
+        # latency + bytes / ring bandwidth
+        expected = DEFAULT_TIMING.dma_latency_s + 4096 / eib.ring_bandwidth
+        assert abs(elapsed - expected) < 1e-12
+
+    def test_wait_only_blocks_own_tag(self):
+        sim = Simulator()
+        mfc = MFC(sim, EIB(sim))
+        done = []
+
+        def proc():
+            mfc.dma_get(16, tag=1)
+            mfc.dma_get(16 * 1024, tag=2)
+            yield from mfc.wait_tag(1)
+            done.append(("tag1", mfc.tag_pending(1), mfc.tag_pending(2)))
+            yield from mfc.wait_tag(2)
+            done.append(("tag2", mfc.tag_pending(2)))
+
+        sim.spawn(proc())
+        sim.run()
+        assert done[0] == ("tag1", 0, 1)
+        assert done[1] == ("tag2", 0)
+
+    def test_dma_list_moves_all_bytes(self):
+        sim = Simulator()
+        mfc = MFC(sim, EIB(sim))
+
+        def proc():
+            mfc.dma_list([16 * 1024] * 8, tag=5)
+            yield from mfc.wait_tag(5)
+
+        sim.spawn(proc())
+        sim.run()
+        assert mfc.bytes_moved == 8 * 16 * 1024
+
+    def test_wait_on_drained_tag_returns_immediately(self):
+        sim = Simulator()
+        mfc = MFC(sim, EIB(sim))
+
+        def proc():
+            yield from mfc.wait_tag(7)
+            return sim.now
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.done_event.value == 0.0
+
+
+class TestEIB:
+    def test_bandwidth_ceiling(self):
+        # 8 concurrent 1 MB transfers cannot beat aggregate bandwidth.
+        sim = Simulator()
+        eib = EIB(sim)
+        n, size = 8, 2 ** 20
+
+        def mover():
+            yield from eib.transfer(size)
+
+        for _ in range(n):
+            sim.spawn(mover())
+        elapsed = sim.run()
+        floor = n * size / DEFAULT_TIMING.eib_bandwidth_bytes_per_s
+        assert elapsed >= floor - 1e-12
+        assert eib.bytes_transferred == n * size
+
+    def test_four_rings_run_concurrently(self):
+        sim = Simulator()
+        eib = EIB(sim)
+        size = 2 ** 20
+
+        def mover():
+            yield from eib.transfer(size)
+
+        for _ in range(4):
+            sim.spawn(mover())
+        elapsed = sim.run()
+        # Exactly one ring-transfer time: all four proceed in parallel.
+        assert abs(elapsed - size / eib.ring_bandwidth) < 1e-9
+
+    def test_fifth_transfer_queues(self):
+        sim = Simulator()
+        eib = EIB(sim)
+        size = 2 ** 20
+
+        def mover():
+            yield from eib.transfer(size)
+
+        for _ in range(5):
+            sim.spawn(mover())
+        elapsed = sim.run()
+        assert abs(elapsed - 2 * size / eib.ring_bandwidth) < 1e-9
+
+    def test_utilization_bounded(self):
+        sim = Simulator()
+        eib = EIB(sim)
+
+        def mover():
+            yield from eib.transfer(10 * 2 ** 20)
+
+        sim.spawn(mover())
+        sim.run()
+        assert 0.0 < eib.utilization() <= 1.0
+
+
+class TestMailboxAndSignal:
+    def test_mailbox_depth_four(self):
+        sim = Simulator()
+        mbox = Mailbox(sim)
+        blocked_at = []
+
+        def ppe():
+            for i in range(5):
+                yield from mbox.ppe_write(i)
+            blocked_at.append(sim.now)
+
+        sim.spawn(ppe())
+        sim.run()
+        # Fifth write blocks forever (nobody reads): process unfinished.
+        assert blocked_at == []
+        assert len(mbox.inbound) == 4
+
+    def test_round_trip_latency_hierarchy(self):
+        # Direct signalling must beat mailboxes (paper section 5.2.6).
+        def measure(use_mailbox):
+            sim = Simulator()
+            mbox = Mailbox(sim)
+            signal = DirectSignal(sim)
+            reply = DirectSignal(sim, name="r")
+
+            def ppe():
+                for i in range(100):
+                    if use_mailbox:
+                        yield from mbox.ppe_write(i)
+                        yield from mbox.ppe_read()
+                    else:
+                        yield from signal.write(i)
+                        yield from reply.wait()
+
+            def spe():
+                while True:
+                    if use_mailbox:
+                        yield from mbox.spe_read()
+                        yield from mbox.spe_write("ok")
+                    else:
+                        yield from signal.wait()
+                        yield from reply.write("ok")
+
+            sim.spawn(spe())
+            sim.spawn(ppe())
+            return sim.run(until=1.0)
+
+        assert measure(False) < measure(True)
+
+    def test_signal_delivers_value(self):
+        sim = Simulator()
+        signal = DirectSignal(sim)
+        got = []
+
+        def reader():
+            value = yield from signal.wait()
+            got.append(value)
+
+        def writer():
+            yield Timeout(1e-6)
+            yield from signal.write({"kernel": "newview"})
+
+        sim.spawn(reader())
+        sim.spawn(writer())
+        sim.run()
+        assert got == [{"kernel": "newview"}]
+
+
+class TestSPEAndPPE:
+    def test_spe_requires_loaded_code(self):
+        blade = CellBlade()
+        spe = blade.chip.spes[0]
+
+        def proc():
+            yield from spe.execute(KernelInvocation("newview", 1e-6))
+
+        blade.sim.spawn(proc())
+        with pytest.raises(RuntimeError, match="not loaded"):
+            blade.sim.run()
+
+    def test_spe_busy_accounting(self):
+        blade = CellBlade()
+        spe = blade.chip.spes[0]
+        spe.load_offloaded_code()
+
+        def proc():
+            yield from spe.execute(KernelInvocation("newview", 5e-6))
+            yield from spe.execute(KernelInvocation("evaluate", 3e-6))
+
+        blade.sim.spawn(proc())
+        blade.sim.run()
+        assert spe.kernel_count == 2
+        assert abs(spe.busy_time - 8e-6) < 1e-12
+
+    def test_double_buffering_beats_synchronous(self):
+        def run(db):
+            blade = CellBlade()
+            spe = blade.chip.spes[0]
+            spe.load_offloaded_code()
+
+            def proc():
+                invocation = KernelInvocation(
+                    "newview", compute_s=200e-6, dma_bytes_in=32 * 1024
+                )
+                yield from spe.execute(invocation, double_buffering=db)
+
+            blade.sim.spawn(proc())
+            return blade.sim.run()
+
+        assert run(True) < run(False)
+
+    def test_ppe_smt_slowdown(self):
+        timing = DEFAULT_TIMING
+        blade = CellBlade()
+        ppe = blade.chip.ppe
+
+        def worker():
+            yield from ppe.compute(1.0)
+
+        blade.sim.spawn(worker())
+        blade.sim.spawn(worker())
+        elapsed = blade.sim.run()
+        assert abs(elapsed - timing.ppe_smt_slowdown) < 1e-9
+
+    def test_ppe_single_thread_full_speed(self):
+        blade = CellBlade()
+
+        def worker():
+            yield from blade.chip.ppe.compute(1.0)
+
+        blade.sim.spawn(worker())
+        assert abs(blade.sim.run() - 1.0) < 1e-12
+
+    def test_ppe_third_process_queues(self):
+        blade = CellBlade()
+        ppe = blade.chip.ppe
+
+        def worker():
+            yield from ppe.compute(1.0)
+
+        for _ in range(3):
+            blade.sim.spawn(worker())
+        elapsed = blade.sim.run()
+        # Two threads busy (contended), third waits for a slot.
+        assert elapsed > DEFAULT_TIMING.ppe_smt_slowdown
+
+    def test_context_switch_counted(self):
+        blade = CellBlade()
+
+        def worker():
+            yield from blade.chip.ppe.context_switch()
+
+        blade.sim.spawn(worker())
+        blade.sim.run()
+        assert blade.chip.ppe.context_switches == 1
+
+
+class TestBlade:
+    def test_geometry(self):
+        blade = CellBlade(n_chips=2)
+        assert len(blade.all_spes) == 16
+        assert len(blade.chips) == 2
+
+    def test_invalid_chip_count(self):
+        with pytest.raises(ValueError):
+            CellBlade(n_chips=3)
+
+    def test_load_all_threads(self):
+        blade = CellBlade()
+        blade.chip.load_all_spe_threads()
+        assert all(s.thread_loaded for s in blade.chip.spes)
+        assert all(
+            s.local_store.used_bytes
+            == DEFAULT_TIMING.offloaded_code_bytes + 16 * 1024
+            for s in blade.chip.spes
+        )
+
+    def test_utilization_report_keys(self):
+        blade = CellBlade()
+        report = blade.chip.utilization_report()
+        assert "ppe" in report and "eib" in report
+        assert sum(1 for k in report if k.startswith("spe")) == 8
+
+    def test_paper_peak_constants(self):
+        t = DEFAULT_TIMING
+        assert t.peak_dp_gflops == 21.03
+        assert t.peak_sp_gflops == 230.4
+        assert t.eib_bandwidth_bytes_per_s == 204.8e9
+        assert t.clock_hz == 3.2e9
+        assert t.n_spes == 8

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface (repro.phylo.cli)."""
+
+import pytest
+
+from repro.phylo import Alignment, Tree, synthetic_dataset
+from repro.phylo.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def fasta_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "data.fasta"
+    aln = synthetic_dataset(n_taxa=6, n_sites=200, seed=1)
+    path.write_text(aln.to_fasta())
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def phylip_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "data.phy"
+    aln = synthetic_dataset(n_taxa=6, n_sites=200, seed=1)
+    path.write_text(aln.to_phylip())
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_infer_defaults(self):
+        args = build_parser().parse_args(["infer", "-s", "x.phy"])
+        assert args.runs == 1
+        assert args.bootstraps == 0
+        assert args.model == "GTR"
+
+    def test_model_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["infer", "-s", "x", "-m", "WAG"])
+
+
+class TestInfer:
+    def test_basic_inference(self, fasta_path, capsys):
+        code = main(["infer", "-s", fasta_path, "--rounds", "1",
+                     "--radius", "1", "--max-radius", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lnL =" in out
+        assert "best tree:" in out
+
+    def test_phylip_input(self, phylip_path, capsys):
+        code = main(["infer", "-s", phylip_path, "--rounds", "1",
+                     "--radius", "1", "--max-radius", "1"])
+        assert code == 0
+        assert "6 taxa x 200 DNA sites" in capsys.readouterr().out
+
+    def test_bootstraps_and_output(self, fasta_path, tmp_path, capsys):
+        out_file = tmp_path / "best.nwk"
+        code = main([
+            "infer", "-s", fasta_path, "-n", "2", "-b", "2",
+            "--rounds", "1", "--radius", "1", "--max-radius", "1",
+            "-o", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bootstraps: 2" in out
+        assert "support" in out
+        tree = Tree.from_newick(out_file.read_text())
+        assert tree.n_tips == 6
+
+    def test_jc_model(self, fasta_path, capsys):
+        code = main(["infer", "-s", fasta_path, "-m", "JC69",
+                     "--rounds", "1", "--radius", "1", "--max-radius", "1"])
+        assert code == 0
+
+
+class TestSimulate:
+    def test_stdout_fasta(self, capsys):
+        code = main(["simulate", "--taxa", "5", "--sites", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        aln = Alignment.from_fasta(out)
+        assert aln.n_taxa == 5
+        assert aln.n_sites == 60
+
+    def test_file_phylip(self, tmp_path, capsys):
+        path = tmp_path / "sim.phy"
+        code = main(["simulate", "--taxa", "4", "--sites", "50",
+                     "--format", "phylip", "-o", str(path)])
+        assert code == 0
+        aln = Alignment.from_phylip(path.read_text())
+        assert aln.n_taxa == 4
+
+
+class TestDistances:
+    def test_matrix_output(self, fasta_path, capsys):
+        code = main(["distances", "-s", fasta_path, "--method", "jc"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Header plus one row per taxon.
+        assert len(out.strip().splitlines()) == 7
+
+    def test_nj_tree_output(self, fasta_path, capsys):
+        code = main(["distances", "-s", fasta_path, "--nj"])
+        assert code == 0
+        tree = Tree.from_newick(capsys.readouterr().out.strip())
+        assert tree.n_tips == 6

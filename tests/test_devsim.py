@@ -1,0 +1,350 @@
+"""Tests for the discrete-event simulation core (repro.cell.devsim)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cell.devsim import (
+    Get,
+    Put,
+    Release,
+    Request,
+    SimulationError,
+    Simulator,
+    Timeout,
+    Wait,
+)
+
+
+class TestClockAndTimeouts:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_single_timeout(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(2.5)
+
+        sim.spawn(proc())
+        assert sim.run() == 2.5
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            yield Timeout(1.0)
+            seen.append(sim.now)
+            yield Timeout(2.0)
+            seen.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert seen == [1.0, 3.0]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(-1.0)
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10.0)
+
+        sim.spawn(proc())
+        assert sim.run(until=3.0) == 3.0
+        assert sim.run() == 10.0  # resumable
+
+    def test_deterministic_tie_break(self):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            yield Timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.spawn(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_call_at(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_call_at_past_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(2.0)
+            sim.call_at(1.0, lambda: None)
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield Timeout(1.0)
+
+        sim.spawn(forever())
+        with pytest.raises(SimulationError, match="runaway"):
+            sim.run(max_events=100)
+
+
+class TestEvents:
+    def test_wait_and_succeed(self):
+        sim = Simulator()
+        event = sim.event("go")
+        results = []
+
+        def waiter():
+            value = yield Wait(event)
+            results.append((sim.now, value))
+
+        def trigger():
+            yield Timeout(4.0)
+            event.succeed("payload")
+
+        sim.spawn(waiter())
+        sim.spawn(trigger())
+        sim.run()
+        assert results == [(4.0, "payload")]
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        event = sim.event()
+        woke = []
+
+        def waiter(tag):
+            yield Wait(event)
+            woke.append(tag)
+
+        for tag in range(3):
+            sim.spawn(waiter(tag))
+
+        def trigger():
+            yield Timeout(1.0)
+            event.succeed()
+
+        sim.spawn(trigger())
+        sim.run()
+        assert woke == [0, 1, 2]
+
+    def test_wait_on_triggered_event_returns_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(99)
+        got = []
+
+        def waiter():
+            value = yield Wait(event)
+            got.append(value)
+
+        sim.spawn(waiter())
+        sim.run()
+        assert got == [99]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        event = sim.event("once")
+        event.succeed()
+        with pytest.raises(SimulationError, match="already"):
+            event.succeed()
+
+    def test_process_completion_event(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(2.0)
+            return "result"
+
+        def parent():
+            proc = sim.spawn(child())
+            value = yield proc  # waiting on a process
+            return (sim.now, value)
+
+        parent_proc = sim.spawn(parent())
+        sim.run()
+        assert parent_proc.done_event.value == (2.0, "result")
+
+
+class TestResource:
+    def test_fifo_mutual_exclusion(self):
+        sim = Simulator()
+        resource = sim.resource(1)
+        log = []
+
+        def user(tag, hold):
+            yield Request(resource)
+            log.append(("start", tag, sim.now))
+            yield Timeout(hold)
+            log.append(("end", tag, sim.now))
+            yield Release(resource)
+
+        sim.spawn(user("a", 2.0))
+        sim.spawn(user("b", 1.0))
+        sim.run()
+        assert log == [
+            ("start", "a", 0.0),
+            ("end", "a", 2.0),
+            ("start", "b", 2.0),
+            ("end", "b", 3.0),
+        ]
+
+    def test_capacity_two_runs_concurrently(self):
+        sim = Simulator()
+        resource = sim.resource(2)
+        ends = []
+
+        def user(hold):
+            yield Request(resource)
+            yield Timeout(hold)
+            ends.append(sim.now)
+            yield Release(resource)
+
+        for _ in range(2):
+            sim.spawn(user(5.0))
+        sim.run()
+        assert ends == [5.0, 5.0]
+
+    def test_release_idle_rejected(self):
+        sim = Simulator()
+        resource = sim.resource(1)
+
+        def bad():
+            yield Release(resource)
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError, match="idle"):
+            sim.run()
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Simulator().resource(0)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=5.0),
+                    min_size=1, max_size=10),
+           st.integers(min_value=1, max_value=4))
+    def test_makespan_bounds_property(self, holds, capacity):
+        sim = Simulator()
+        resource = sim.resource(capacity)
+
+        def user(hold):
+            yield Request(resource)
+            yield Timeout(hold)
+            yield Release(resource)
+
+        for hold in holds:
+            sim.spawn(user(hold))
+        makespan = sim.run()
+        total = sum(holds)
+        assert makespan >= max(holds) - 1e-12
+        assert makespan >= total / capacity - 1e-9
+        assert makespan <= total + 1e-9
+
+
+class TestStore:
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = sim.store()
+        received = []
+
+        def producer():
+            for i in range(3):
+                yield Put(store, i)
+                yield Timeout(1.0)
+
+        def consumer():
+            for _ in range(3):
+                item = yield Get(store)
+                received.append(item)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert received == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = sim.store()
+        times = []
+
+        def consumer():
+            yield Get(store)
+            times.append(sim.now)
+
+        def producer():
+            yield Timeout(7.0)
+            yield Put(store, "x")
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert times == [7.0]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        store = sim.store(capacity=1)
+        times = []
+
+        def producer():
+            yield Put(store, 1)
+            yield Put(store, 2)  # blocks: capacity 1
+            times.append(sim.now)
+
+        def consumer():
+            yield Timeout(3.0)
+            yield Get(store)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert times == [3.0]
+
+    def test_try_put_respects_capacity(self):
+        sim = Simulator()
+        store = sim.store(capacity=1)
+        assert store.try_put("a")
+        assert not store.try_put("b")
+
+    def test_try_put_hands_to_waiting_getter(self):
+        sim = Simulator()
+        store = sim.store(capacity=1)
+        got = []
+
+        def consumer():
+            item = yield Get(store)
+            got.append(item)
+
+        sim.spawn(consumer())
+        sim.run()  # consumer now blocked
+        assert store.try_put("direct")
+        sim.run()
+        assert got == ["direct"]
+
+
+class TestMisuse:
+    def test_unsupported_yield(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError, match="unsupported"):
+            sim.run()

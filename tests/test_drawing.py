@@ -1,0 +1,88 @@
+"""Tests for tree presentation (ASCII rendering, support newick)."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    Tree,
+    ascii_tree,
+    newick_with_support,
+    robinson_foulds,
+    support_values,
+)
+
+
+def sample_tree():
+    return Tree.from_newick("((a:0.1,b:0.2):0.05,(c:0.1,d:0.1):0.07,e:0.3);")
+
+
+class TestAsciiTree:
+    def test_contains_every_tip(self):
+        tree = sample_tree()
+        art = ascii_tree(tree)
+        for name in tree.tip_names():
+            assert name in art
+
+    def test_marks_display_root(self):
+        assert "(display root)" in ascii_tree(sample_tree())
+
+    def test_line_count(self):
+        # One line per node.
+        tree = sample_tree()
+        art = ascii_tree(tree)
+        assert len(art.splitlines()) == len(tree.nodes)
+
+    def test_longer_branches_draw_longer_bars(self):
+        tree = Tree.from_newick("(a:0.01,b:1.0,c:0.5);")
+        art = ascii_tree(tree, width=60)
+        line_a = next(l for l in art.splitlines() if l.endswith("a"))
+        line_b = next(l for l in art.splitlines() if l.endswith("b"))
+        assert line_b.count("-") > line_a.count("-")
+
+    def test_random_trees_render(self):
+        for seed in range(5):
+            tree = Tree.from_tip_names(
+                [f"t{i}" for i in range(7)], np.random.default_rng(seed)
+            )
+            art = ascii_tree(tree)
+            assert art
+
+
+class TestNewickWithSupport:
+    def test_round_trips_topology(self):
+        tree = sample_tree()
+        supports = {split: 0.9 for split in tree.bipartitions()}
+        text = newick_with_support(tree, supports)
+        again = Tree.from_newick(text)
+        assert robinson_foulds(tree, again) == 0.0
+
+    def test_labels_present_as_percent(self):
+        tree = sample_tree()
+        supports = {split: 0.87 for split in tree.bipartitions()}
+        text = newick_with_support(tree, supports)
+        assert ")87:" in text
+
+    def test_fractional_labels(self):
+        tree = sample_tree()
+        supports = {split: 0.875 for split in tree.bipartitions()}
+        text = newick_with_support(tree, supports, percent=False)
+        assert ")0.875:" in text
+
+    def test_missing_support_leaves_node_unlabeled(self):
+        tree = sample_tree()
+        text = newick_with_support(tree, {})
+        again = Tree.from_newick(text)
+        assert robinson_foulds(tree, again) == 0.0
+
+    def test_integrates_with_support_values(self):
+        tree = sample_tree()
+        replicates = [tree, tree.copy()]
+        supports = support_values(tree, replicates)
+        text = newick_with_support(tree, supports)
+        assert ")100:" in text
+
+    def test_preserves_branch_lengths(self):
+        tree = sample_tree()
+        text = newick_with_support(tree, {})
+        again = Tree.from_newick(text)
+        assert again.total_length() == pytest.approx(tree.total_length())

@@ -1,0 +1,113 @@
+"""Failure-injection tests: the simulator must fail loudly, not wrongly."""
+
+import pytest
+
+from repro.cell import (
+    CellBlade,
+    DMAError,
+    EIB,
+    KernelInvocation,
+    LocalStoreOverflow,
+    MFC,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.cell.timing import CellTiming
+
+
+class TestEIBOverload:
+    def test_outstanding_request_cap_enforced(self):
+        # A pathological burst beyond the architected 100 outstanding
+        # requests must raise, not silently serialize.
+        timing = CellTiming(eib_max_outstanding=4)
+        sim = Simulator()
+        eib = EIB(sim, timing)
+
+        def mover():
+            yield from eib.transfer(2 ** 20)
+
+        for _ in range(6):
+            sim.spawn(mover())
+        with pytest.raises(SimulationError, match="outstanding"):
+            sim.run()
+
+
+class TestDMAErrorsMidRun:
+    def test_invalid_issue_does_not_corrupt_queue(self):
+        sim = Simulator()
+        mfc = MFC(sim, EIB(sim))
+        with pytest.raises(DMAError):
+            mfc.dma_get(17)  # illegal size
+        # The failed issue must not leave a phantom pending command.
+        assert mfc.tag_pending(0) == 0
+        mfc.dma_get(16, tag=0)
+
+        def proc():
+            yield from mfc.wait_tag(0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert mfc.commands_served == 1
+
+    def test_oversize_transfer_points_to_dma_lists(self):
+        sim = Simulator()
+        mfc = MFC(sim, EIB(sim))
+        with pytest.raises(DMAError, match="use a DMA list"):
+            mfc.dma_get(64 * 1024)
+
+
+class TestLocalStorePressure:
+    def test_oversized_module_fails_at_load(self):
+        blade = CellBlade()
+        spe = blade.chip.spes[0]
+        with pytest.raises(LocalStoreOverflow):
+            spe.load_offloaded_code(300 * 1024)
+
+    def test_double_thread_load_rejected(self):
+        blade = CellBlade()
+        spe = blade.chip.spes[0]
+        spe.load_offloaded_code()
+        with pytest.raises(RuntimeError, match="already"):
+            spe.load_offloaded_code()
+
+    def test_failed_load_leaves_store_consistent(self):
+        blade = CellBlade()
+        spe = blade.chip.spes[0]
+        try:
+            spe.load_offloaded_code(300 * 1024)
+        except LocalStoreOverflow:
+            pass
+        # The code segment must not be half-reserved.
+        assert "code" not in spe.local_store.segments()
+        spe.load_offloaded_code()  # a sane module still loads
+
+
+class TestDeadlockDiagnosis:
+    def test_unserved_offload_is_diagnosed(self):
+        # An SPE waiting for a signal nobody sends: the run drains, the
+        # quiescence check names the blocked process.
+        blade = CellBlade()
+        spe = blade.chip.spes[0]
+        spe.load_offloaded_code()
+
+        def spe_side():
+            yield from spe.signal.wait()  # never written
+            yield from spe.execute(KernelInvocation("newview", 1e-6))
+
+        blade.sim.spawn(spe_side(), name="orphan-spe-thread")
+        blade.sim.run()
+        with pytest.raises(SimulationError, match="orphan-spe-thread"):
+            blade.sim.assert_quiescent()
+
+    def test_mailbox_overflow_blocks_writer(self):
+        blade = CellBlade()
+        spe = blade.chip.spes[0]
+
+        def flooder():
+            for i in range(10):  # inbound depth is 4
+                yield from spe.mailbox.ppe_write(i)
+
+        blade.sim.spawn(flooder(), name="ppe-flooder")
+        blade.sim.run()
+        assert len(blade.sim.unfinished_processes()) == 1

@@ -1,0 +1,98 @@
+"""Tests for the experiment harness: every paper claim must hold."""
+
+import pytest
+
+from repro.harness import (
+    EXPERIMENTS,
+    full_alignment,
+    get_trace,
+    quick_alignment,
+    render_experiment,
+    render_report,
+    run_experiment,
+)
+
+
+class TestDatasets:
+    def test_quick_alignment_cached(self):
+        assert quick_alignment() is quick_alignment()
+
+    def test_full_alignment_dimensions(self):
+        aln = full_alignment()
+        assert aln.n_taxa == 42
+        assert aln.n_sites == 1167
+
+    def test_trace_cached(self):
+        assert get_trace("quick") is get_trace("quick")
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            get_trace("nope")
+
+    def test_trace_has_realistic_mix(self):
+        trace = get_trace("quick")
+        assert trace.newview_count > trace.makenewz_count
+        assert trace.makenewz_count > trace.evaluate_count > 0
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_shape_checks_pass(name):
+    """Every table/figure experiment reproduces the paper's shape."""
+    result = run_experiment(name)
+    result.assert_shape()
+
+
+class TestExperimentStructure:
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("table99")
+
+    def test_rows_have_measured_values(self):
+        result = run_experiment("table2")
+        assert result.rows
+        assert all(r.measured > 0 for r in result.rows)
+
+    def test_relative_error_tight_on_tables(self):
+        for name in ("table1", "table2", "table3", "table4",
+                     "table5", "table6", "table7", "table8"):
+            result = run_experiment(name)
+            for row in result.rows:
+                if row.paper is not None:
+                    assert abs(row.relative_error) < 0.07, (name, row.label)
+
+
+class TestRendering:
+    def test_render_single(self):
+        text = render_experiment(run_experiment("micro_localstore"))
+        assert "PASS" in text
+        assert "metric" in text
+        assert "139" in text
+
+    def test_render_report_header(self):
+        results = [run_experiment("micro_localstore"),
+                   run_experiment("micro_dma")]
+        text = render_report(results)
+        assert "2/2 experiments pass" in text
+
+    def test_render_markdown(self):
+        from repro.harness.report import render_markdown
+
+        results = [run_experiment("micro_localstore"),
+                   run_experiment("overlays")]
+        text = render_markdown(results)
+        assert text.startswith("# RAxML-Cell reproduction")
+        assert "2/2 experiments pass" in text
+        assert "| metric | paper | measured | delta |" in text
+        assert "✅" in text
+
+    def test_failed_check_renders_fail(self):
+        from repro.harness.experiments import ExperimentResult, Row, ShapeCheck
+        result = ExperimentResult(
+            "fake", "Fake", [Row("x", 1.0, 2.0)],
+            [ShapeCheck("impossible claim", False, "nope")],
+        )
+        text = render_experiment(result)
+        assert "[FAIL] impossible claim" in text
+        assert "+100.0%" in text
+        with pytest.raises(AssertionError, match="impossible"):
+            result.assert_shape()

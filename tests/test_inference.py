@@ -1,0 +1,120 @@
+"""Tests for the high-level inference API (multiple inferences, bootstrap)."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    SearchConfig,
+    Tree,
+    bootstrap_analysis,
+    infer_tree,
+    multiple_inferences,
+    run_full_analysis,
+    support_values,
+    synthetic_dataset,
+)
+from repro.phylo.inference import default_model_for
+
+FAST = SearchConfig(initial_radius=1, max_radius=1, max_rounds=1,
+                    smoothing_passes=1, final_smoothing_passes=1)
+
+
+class TestInferTree:
+    def test_basic_run(self, small_patterns):
+        result = infer_tree(small_patterns, config=FAST, seed=1)
+        assert np.isfinite(result.log_likelihood)
+        tree = Tree.from_newick(result.newick)
+        assert sorted(tree.tip_names()) == sorted(small_patterns.taxa)
+        assert result.newview_calls > 0
+        assert result.makenewz_calls > 0
+
+    def test_accepts_uncompressed_alignment(self, small_alignment):
+        result = infer_tree(small_alignment, config=FAST, seed=1)
+        assert np.isfinite(result.log_likelihood)
+
+    def test_deterministic_per_seed(self, small_patterns):
+        a = infer_tree(small_patterns, config=FAST, seed=7)
+        b = infer_tree(small_patterns, config=FAST, seed=7)
+        assert a.newick == b.newick
+        assert a.log_likelihood == b.log_likelihood
+
+    def test_different_seeds_differ(self, medium_patterns):
+        a = infer_tree(medium_patterns, config=FAST, seed=1)
+        b = infer_tree(medium_patterns, config=FAST, seed=2)
+        # Distinct randomized starting trees (the paper's multiple
+        # inferences) usually land on different trees/likelihoods.
+        assert a.newick != b.newick or a.log_likelihood != b.log_likelihood
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            infer_tree([1, 2, 3])
+
+    def test_default_model_uses_empirical_frequencies(self, small_patterns):
+        model = default_model_for(small_patterns)
+        assert np.allclose(model.pi, small_patterns.base_frequencies())
+
+
+class TestMultipleInferences:
+    def test_count_and_replicates(self, small_patterns):
+        results = multiple_inferences(small_patterns, 3, config=FAST, seed=2)
+        assert len(results) == 3
+        assert [r.replicate for r in results] == [0, 1, 2]
+        assert not any(r.is_bootstrap for r in results)
+
+    def test_distinct_starting_points(self, medium_patterns):
+        results = multiple_inferences(medium_patterns, 3, config=FAST, seed=2)
+        lnls = {round(r.log_likelihood, 6) for r in results}
+        newicks = {r.newick for r in results}
+        assert len(newicks) > 1 or len(lnls) > 1
+
+
+class TestBootstrap:
+    def test_runs_and_marks_replicates(self, small_patterns):
+        results = bootstrap_analysis(small_patterns, 3, config=FAST, seed=3)
+        assert len(results) == 3
+        assert all(r.is_bootstrap for r in results)
+
+    def test_replicates_see_different_data(self, small_patterns):
+        results = bootstrap_analysis(small_patterns, 4, config=FAST, seed=4)
+        lnls = {round(r.log_likelihood, 4) for r in results}
+        assert len(lnls) > 1  # reweighted data -> different scores
+
+
+class TestSupportValues:
+    def test_range_and_keys(self, small_patterns):
+        best = infer_tree(small_patterns, config=FAST, seed=5)
+        boots = bootstrap_analysis(small_patterns, 3, config=FAST, seed=5)
+        best_tree = Tree.from_newick(best.newick)
+        supports = support_values(
+            best_tree, [Tree.from_newick(b.newick) for b in boots]
+        )
+        assert set(supports.keys()) == best_tree.bipartitions()
+        assert all(0.0 <= v <= 1.0 for v in supports.values())
+
+    def test_identical_replicates_give_full_support(self, small_patterns):
+        best = infer_tree(small_patterns, config=FAST, seed=6)
+        tree = Tree.from_newick(best.newick)
+        supports = support_values(tree, [tree, tree, tree])
+        assert all(v == 1.0 for v in supports.values())
+
+    def test_empty_replicates_give_zero(self, small_patterns):
+        best = infer_tree(small_patterns, config=FAST, seed=6)
+        tree = Tree.from_newick(best.newick)
+        supports = support_values(tree, [])
+        assert all(v == 0.0 for v in supports.values())
+
+
+class TestFullAnalysis:
+    def test_complete_workflow(self, small_patterns):
+        analysis = run_full_analysis(
+            small_patterns, n_inferences=2, n_bootstraps=2,
+            config=FAST, seed=7,
+        )
+        assert len(analysis.inferences) == 2
+        assert len(analysis.bootstraps) == 2
+        assert analysis.best in analysis.inferences
+        assert analysis.best.log_likelihood == max(
+            r.log_likelihood for r in analysis.inferences
+        )
+        assert analysis.supports
+        analysis.best_tree.validate()

@@ -1,0 +1,109 @@
+"""Cross-layer integration tests: the full pipeline, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.harness import get_trace, run_all_experiments
+from repro.phylo import (
+    SearchConfig,
+    Tree,
+    infer_tree,
+    robinson_foulds,
+    synthetic_dataset,
+)
+from repro.port import CellCostModel, PortExecutor, Tracer, paperdata as P
+
+
+class TestTraceToTables:
+    """alignment -> search -> trace -> cost model -> paper tables."""
+
+    def test_full_pipeline_from_scratch(self):
+        alignment = synthetic_dataset(n_taxa=10, n_sites=400, seed=123)
+        tracer = Tracer()
+        result = infer_tree(
+            alignment.compress(),
+            config=SearchConfig(initial_radius=1, max_radius=2, max_rounds=2),
+            seed=5,
+            tracer=tracer,
+        )
+        assert np.isfinite(result.log_likelihood)
+        executor = PortExecutor(tracer.summary())
+        # The calibration anchor must hold no matter the input data.
+        assert executor.model.stage_total_s("table1a", 1, 1) == \
+            pytest.approx(36.9)
+        assert executor.model.stage_total_s("table7", 1, 1) == \
+            pytest.approx(27.7, rel=0.01)
+        # And the scheduler composition stays near the paper.
+        for b, paper_value in P.TABLE8.items():
+            assert executor.model.mgps_total_s(b) == \
+                pytest.approx(paper_value, rel=0.05)
+
+    def test_bootstrap_traces_price_like_inference_traces(self):
+        # Bootstraps are the same kernel mix on re-weighted data.
+        alignment = synthetic_dataset(n_taxa=8, n_sites=300, seed=9)
+        patterns = alignment.compress()
+        config = SearchConfig(initial_radius=1, max_radius=1, max_rounds=1)
+        t_inf, t_boot = Tracer(), Tracer()
+        infer_tree(patterns, config=config, seed=1, tracer=t_inf)
+        replicate = patterns.bootstrap_replicate(np.random.default_rng(2))
+        infer_tree(replicate, config=config, seed=1, tracer=t_boot)
+        a = CellCostModel(t_inf.summary())
+        b = CellCostModel(t_boot.summary())
+        for table in ("table2", "table7"):
+            assert a.stage_total_s(table, 1, 1) == pytest.approx(
+                b.stage_total_s(table, 1, 1), rel=0.02
+            )
+
+
+class TestEndToEndEvaluation:
+    def test_all_experiments_pass_and_render(self):
+        results = run_all_experiments()
+        assert len(results) >= 19
+        failed = [
+            f"{r.experiment}: {c.claim}"
+            for r in results
+            for c in r.checks
+            if not c.passed
+        ]
+        assert not failed, failed
+
+    def test_figure3_consistent_with_table8(self):
+        executor = PortExecutor(get_trace("quick"))
+        series = {s.platform: s for s in executor.figure3()}
+        cell = series["Cell (MGPS)"]
+        for b, seconds in zip(cell.bootstraps, cell.seconds):
+            if b in P.TABLE8:
+                assert seconds == pytest.approx(
+                    executor.model.mgps_total_s(b)
+                )
+
+
+class TestSearchQualityAtScale:
+    def test_42sc_class_search_beats_starting_tree(self):
+        # One reduced-effort search on the full-size synthetic 42_SC.
+        from repro.harness.datasets import full_alignment
+
+        patterns = full_alignment().compress()
+        tracer = Tracer()
+        result = infer_tree(
+            patterns,
+            config=SearchConfig(initial_radius=1, max_radius=1,
+                                max_rounds=1),
+            seed=0,
+            tracer=tracer,
+        )
+        assert np.isfinite(result.log_likelihood)
+        assert tracer.newview_count > 1000
+        tree = Tree.from_newick(result.newick)
+        assert tree.n_tips == 42
+
+    def test_same_data_two_searches_similar_likelihood(self):
+        alignment = synthetic_dataset(n_taxa=9, n_sites=500, seed=77)
+        patterns = alignment.compress()
+        config = SearchConfig(initial_radius=2, max_radius=3, max_rounds=3)
+        a = infer_tree(patterns, config=config, seed=1)
+        b = infer_tree(patterns, config=config, seed=2)
+        # Different random starting trees must converge to similar
+        # likelihood (within 1% — hill climbing is a heuristic).
+        assert abs(a.log_likelihood - b.log_likelihood) < \
+            0.01 * abs(a.log_likelihood)

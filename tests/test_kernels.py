@@ -1,0 +1,208 @@
+"""Tests for the numerical kernels (repro.phylo.kernels)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phylo import GammaRates, JC69, default_gtr
+from repro.phylo import kernels
+from repro.phylo.dna import TIP_PARTIAL_ROWS
+
+
+def make_pmats(n_cats=4, t=0.3):
+    model = default_gtr()
+    rates = GammaRates(0.7, n_cats).rates
+    return model.transition_matrices(t, rates), model
+
+
+def random_clv(rng, n_patterns, n_cats):
+    return rng.random((n_patterns, n_cats, 4)) + 1e-3
+
+
+class TestTipTerms:
+    def test_matches_dense_computation(self):
+        rng = np.random.default_rng(0)
+        p, _ = make_pmats()
+        masks = rng.choice([1, 2, 4, 8, 15], size=37).astype(np.uint8)
+        terms = kernels.tip_terms(p, masks)
+        dense = np.einsum("cij,sj->sci", p, TIP_PARTIAL_ROWS[masks])
+        assert np.allclose(terms, dense)
+
+    def test_persite_variant(self):
+        rng = np.random.default_rng(1)
+        model = default_gtr()
+        site_rates = rng.random(20) + 0.1
+        p = model.transition_matrices(0.2, site_rates)  # (s, 4, 4)
+        masks = rng.choice([1, 2, 4, 8], size=20).astype(np.uint8)
+        terms = kernels.tip_terms_persite(p, masks)
+        assert terms.shape == (20, 1, 4)
+        for s in range(20):
+            expected = p[s] @ TIP_PARTIAL_ROWS[masks[s]]
+            assert np.allclose(terms[s, 0], expected)
+
+
+class TestInnerTerms:
+    def test_matches_matmul(self):
+        rng = np.random.default_rng(2)
+        p, _ = make_pmats()
+        clv = random_clv(rng, 13, 4)
+        terms = kernels.inner_terms(p, clv)
+        for s in range(13):
+            for c in range(4):
+                assert np.allclose(terms[s, c], p[c] @ clv[s, c])
+
+    def test_persite_matches_matmul(self):
+        rng = np.random.default_rng(3)
+        model = default_gtr()
+        site_rates = rng.random(11) + 0.1
+        p = model.transition_matrices(0.15, site_rates)
+        clv = random_clv(rng, 11, 1)
+        terms = kernels.inner_terms_persite(p, clv)
+        for s in range(11):
+            assert np.allclose(terms[s, 0], p[s] @ clv[s, 0])
+
+
+class TestNewviewAgainstReference:
+    def test_vectorized_matches_scalar_reference(self):
+        rng = np.random.default_rng(4)
+        p_left, _ = make_pmats(t=0.2)
+        p_right, _ = make_pmats(t=0.4)
+        left = random_clv(rng, 9, 4)
+        right = random_clv(rng, 9, 4)
+        fast = kernels.newview_combine(
+            kernels.inner_terms(p_left, left),
+            kernels.inner_terms(p_right, right),
+        )
+        slow = kernels.newview_combine_reference(p_left, p_right, left, right)
+        assert np.allclose(fast, slow, rtol=1e-12)
+
+    @given(st.integers(0, 10_000))
+    def test_reference_agreement_property(self, seed):
+        rng = np.random.default_rng(seed)
+        p, _ = make_pmats(n_cats=2, t=float(rng.random() + 0.01))
+        left = random_clv(rng, 5, 2)
+        right = random_clv(rng, 5, 2)
+        fast = kernels.newview_combine(
+            kernels.inner_terms(p, left), kernels.inner_terms(p, right)
+        )
+        slow = kernels.newview_combine_reference(p, p, left, right)
+        assert np.allclose(fast, slow, rtol=1e-10)
+
+
+class TestScaling:
+    def test_no_scaling_above_threshold(self):
+        clv = np.full((5, 2, 4), 0.5)
+        counts = np.zeros(5, dtype=np.int64)
+        scaled = kernels.scale_clv(clv, counts)
+        assert scaled == 0
+        assert (counts == 0).all()
+        assert np.all(clv == 0.5)
+
+    def test_scaling_below_threshold(self):
+        clv = np.full((3, 2, 4), kernels.SCALE_THRESHOLD / 4.0)
+        clv[1] = 0.5  # pattern 1 healthy
+        counts = np.zeros(3, dtype=np.int64)
+        scaled = kernels.scale_clv(clv, counts)
+        assert scaled == 2
+        assert list(counts) == [1, 0, 1]
+        assert np.all(clv[0] == kernels.SCALE_THRESHOLD / 4.0 * kernels.SCALE_FACTOR)
+        assert np.all(clv[1] == 0.5)
+
+    def test_scaling_is_exactly_compensated(self):
+        # log(value) must be invariant: stored * factor, count += 1.
+        value = kernels.SCALE_THRESHOLD / 8.0
+        clv = np.full((1, 1, 4), value)
+        counts = np.zeros(1, dtype=np.int64)
+        kernels.scale_clv(clv, counts)
+        recovered = math.log(clv[0, 0, 0]) - counts[0] * kernels.LOG_SCALE_FACTOR
+        assert abs(recovered - math.log(value)) < 1e-9
+
+    def test_pattern_scaled_when_all_entries_small(self):
+        clv = np.full((1, 2, 4), kernels.SCALE_THRESHOLD / 2)
+        clv[0, 1, 3] = 1.0  # one healthy entry blocks scaling
+        counts = np.zeros(1, dtype=np.int64)
+        assert kernels.scale_clv(clv, counts) == 0
+
+
+class TestEvaluate:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(5)
+        p, model = make_pmats()
+        u = random_clv(rng, 7, 4)
+        v = random_clv(rng, 7, 4)
+        weights = rng.integers(1, 5, size=7).astype(float)
+        cat_w = np.full(4, 0.25)
+        scale = rng.integers(0, 2, size=7).astype(np.int64)
+        fast = kernels.evaluate_loglik(
+            model.pi, cat_w, weights, u, kernels.inner_terms(p, v), scale
+        )
+        slow = kernels.evaluate_loglik_reference(
+            p, model.pi, cat_w, weights, u, v, scale
+        )
+        assert abs(fast - slow) < 1e-8
+
+    def test_underflow_raises(self):
+        u = np.zeros((2, 1, 4))
+        v = np.zeros((2, 1, 4))
+        with pytest.raises(FloatingPointError):
+            kernels.evaluate_loglik(
+                np.full(4, 0.25), np.ones(1), np.ones(2), u, v,
+                np.zeros(2, dtype=np.int64),
+            )
+
+
+class TestBranchDerivatives:
+    def test_lnl_matches_evaluate(self):
+        rng = np.random.default_rng(6)
+        model = default_gtr()
+        rates = GammaRates(0.7, 4).rates
+        u = random_clv(rng, 8, 4)
+        v = random_clv(rng, 8, 4)
+        weights = np.ones(8)
+        cat_w = np.full(4, 0.25)
+        scale = np.zeros(8, dtype=np.int64)
+        t = 0.31
+        terms = model.transition_derivatives(t, rates)
+        lnl, _, _ = kernels.branch_derivatives(
+            terms, model.pi, cat_w, weights, u, v, scale
+        )
+        p = model.transition_matrices(t, rates)
+        direct = kernels.evaluate_loglik(
+            model.pi, cat_w, weights, u, kernels.inner_terms(p, v), scale
+        )
+        assert abs(lnl - direct) < 1e-9
+
+    def test_derivatives_match_finite_differences(self):
+        rng = np.random.default_rng(7)
+        model = default_gtr()
+        rates = GammaRates(0.7, 4).rates
+        u = random_clv(rng, 10, 4)
+        v = random_clv(rng, 10, 4)
+        weights = rng.integers(1, 4, size=10).astype(float)
+        cat_w = np.full(4, 0.25)
+        scale = np.zeros(10, dtype=np.int64)
+        t, h = 0.27, 1e-6
+
+        def lnl_at(x):
+            terms = model.transition_derivatives(x, rates)
+            return kernels.branch_derivatives(
+                terms, model.pi, cat_w, weights, u, v, scale
+            )[0]
+
+        _, d1, d2 = kernels.branch_derivatives(
+            model.transition_derivatives(t, rates),
+            model.pi, cat_w, weights, u, v, scale,
+        )
+        fd1 = (lnl_at(t + h) - lnl_at(t - h)) / (2 * h)
+        fd2 = (lnl_at(t + h) - 2 * lnl_at(t) + lnl_at(t - h)) / (h * h)
+        assert abs(d1 - fd1) < 1e-4 * max(1.0, abs(fd1))
+        assert abs(d2 - fd2) < 1e-2 * max(1.0, abs(fd2))
+
+    def test_flop_constants_match_paper(self):
+        assert kernels.FLOPS_LARGE_LOOP_SCALAR == 44
+        assert kernels.FLOPS_LARGE_LOOP_VECTOR == 22
+        assert kernels.FLOPS_SMALL_LOOP_SCALAR == 36
+        assert kernels.FLOPS_SMALL_LOOP_VECTOR == 24

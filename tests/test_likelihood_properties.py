@@ -1,0 +1,119 @@
+"""Property-based tests of the likelihood engine over random instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phylo import (
+    Alignment,
+    GTR,
+    GammaRates,
+    LikelihoodEngine,
+    Tree,
+    UniformRate,
+)
+
+positive = st.floats(min_value=0.1, max_value=8.0)
+frequency = st.floats(min_value=0.05, max_value=1.0)
+
+
+def random_instance(seed, n_taxa, n_sites, rates, freqs):
+    rng = np.random.default_rng(seed)
+    seqs = {
+        f"t{i}": "".join(rng.choice(list("ACGT"), n_sites))
+        for i in range(n_taxa)
+    }
+    patterns = Alignment.from_sequences(seqs).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    model = GTR(rates, freqs)
+    return patterns, tree, model
+
+
+class TestEngineProperties:
+    @given(
+        st.integers(0, 10_000),
+        st.integers(min_value=4, max_value=8),
+        st.tuples(*([positive] * 6)),
+        st.tuples(*([frequency] * 4)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_branch_invariance_property(self, seed, n_taxa, rates, freqs):
+        """lnL is identical at every branch for any reversible model."""
+        patterns, tree, model = random_instance(seed, n_taxa, 30, rates, freqs)
+        engine = LikelihoodEngine(patterns, model, UniformRate(), tree)
+        try:
+            values = [engine.evaluate(b) for b in tree.branches]
+            spread = max(values) - min(values)
+            assert spread < 1e-9 * max(1.0, abs(values[0])) + 1e-8
+        finally:
+            engine.detach()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_likelihood_bounded_above_by_zero(self, seed):
+        """Site likelihoods are probabilities, so lnL <= 0."""
+        patterns, tree, model = random_instance(
+            seed, 5, 40, (1.0, 2.0, 1.0, 1.0, 2.0, 1.0),
+            (0.25, 0.25, 0.25, 0.25),
+        )
+        engine = LikelihoodEngine(patterns, model, GammaRates(0.8, 2), tree)
+        try:
+            assert engine.evaluate() < 0.0
+        finally:
+            engine.detach()
+
+    @given(st.integers(0, 10_000), st.floats(min_value=0.05, max_value=2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_makenewz_never_decreases(self, seed, start_length):
+        patterns, tree, model = random_instance(
+            seed, 5, 40, (1.0, 3.0, 1.0, 1.0, 3.0, 1.0),
+            (0.3, 0.2, 0.3, 0.2),
+        )
+        engine = LikelihoodEngine(patterns, model, UniformRate(), tree)
+        try:
+            branch = tree.branches[seed % len(tree.branches)]
+            tree.set_length(branch, start_length)
+            before = engine.evaluate(branch)
+            _, after = engine.makenewz(branch)
+            assert after >= before - 1e-9
+        finally:
+            engine.detach()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_bootstrap_weights_change_lnl_not_validity(self, seed):
+        patterns, tree, model = random_instance(
+            seed, 5, 60, (1.0,) * 6, (0.25,) * 4
+        )
+        rng = np.random.default_rng(seed + 1)
+        replicate = patterns.bootstrap_replicate(rng)
+        engine = LikelihoodEngine(replicate, model, UniformRate(), tree)
+        try:
+            value = engine.evaluate()
+            assert np.isfinite(value)
+            assert value < 0.0
+        finally:
+            engine.detach()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_duplicate_columns_scale_lnl_linearly(self, seed):
+        """Doubling every column exactly doubles the log likelihood."""
+        rng = np.random.default_rng(seed)
+        seqs = {
+            f"t{i}": "".join(rng.choice(list("ACGT"), 25)) for i in range(5)
+        }
+        doubled = {name: s + s for name, s in seqs.items()}
+        single = Alignment.from_sequences(seqs).compress()
+        double = Alignment.from_sequences(doubled).compress()
+        tree1 = Tree.from_tip_names(single.taxa, np.random.default_rng(seed))
+        tree2 = Tree.from_newick(tree1.to_newick(digits=17))
+        model = GTR((1.0, 2.0, 1.0, 1.0, 2.0, 1.0), (0.25,) * 4)
+        e1 = LikelihoodEngine(single, model, UniformRate(), tree1)
+        e2 = LikelihoodEngine(double, model, UniformRate(), tree2)
+        try:
+            assert 2 * e1.evaluate() == pytest.approx(e2.evaluate(), rel=1e-9)
+        finally:
+            e1.detach()
+            e2.detach()

@@ -1,0 +1,175 @@
+"""Tests for substitution models (repro.phylo.models)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phylo import GTR, HKY85, JC69, K80, SubstitutionModel
+
+positive = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+frequency = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+
+
+def random_models():
+    return st.builds(
+        lambda rates, freqs: GTR(rates, freqs),
+        st.tuples(*([positive] * 6)),
+        st.tuples(*([frequency] * 4)),
+    )
+
+
+class TestConstruction:
+    def test_frequencies_normalized(self):
+        model = GTR((1,) * 6, (2.0, 2.0, 2.0, 2.0))
+        assert np.allclose(model.pi, [0.25] * 4)
+
+    def test_wrong_rate_count(self):
+        with pytest.raises(ValueError, match="exactly 6"):
+            SubstitutionModel((1.0,) * 5, (0.25,) * 4)
+
+    def test_wrong_frequency_count_for_gtr(self):
+        with pytest.raises(ValueError, match="four-state"):
+            GTR((1.0,) * 6, (0.25,) * 3)
+
+    def test_general_state_count(self):
+        # A 3-state reversible model is legal in the general machinery.
+        model = SubstitutionModel((1.0, 2.0, 0.5), (0.2, 0.3, 0.5))
+        assert model.n_states == 3
+        p = model.transition_matrices(0.4, [1.0])
+        assert p.shape == (1, 3, 3)
+        assert np.allclose(p.sum(axis=2), 1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SubstitutionModel((1, 1, -1, 1, 1, 1), (0.25,) * 4)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SubstitutionModel((1,) * 6, (0.5, 0.5, 0.0, 0.0))
+
+    def test_named_factories(self):
+        assert JC69().name == "JC69"
+        assert K80(2.0).name == "K80"
+        assert HKY85(2.0).name == "HKY85"
+        assert GTR((1,) * 6, (0.25,) * 4).name == "GTR"
+
+    def test_with_frequencies(self):
+        model = JC69().with_frequencies((0.4, 0.3, 0.2, 0.1))
+        assert np.allclose(model.pi, [0.4, 0.3, 0.2, 0.1])
+
+    def test_with_exchangeabilities(self):
+        model = JC69().with_exchangeabilities((1, 2, 3, 4, 5, 6))
+        assert model.exchangeabilities == (1, 2, 3, 4, 5, 6)
+
+
+class TestRateMatrix:
+    def test_rows_sum_to_zero(self):
+        q = GTR((1.3, 3.8, 0.9, 1.1, 4.2, 1.0), (0.3, 0.2, 0.26, 0.24)).rate_matrix
+        assert np.allclose(q.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_normalized_to_one_substitution(self):
+        model = GTR((1.3, 3.8, 0.9, 1.1, 4.2, 1.0), (0.3, 0.2, 0.26, 0.24))
+        expected_rate = -(model.pi * np.diag(model.rate_matrix)).sum()
+        assert abs(expected_rate - 1.0) < 1e-12
+
+    def test_detailed_balance(self):
+        model = GTR((1.3, 3.8, 0.9, 1.1, 4.2, 1.0), (0.3, 0.2, 0.26, 0.24))
+        q = model.rate_matrix
+        pi = model.pi
+        flux = pi[:, None] * q
+        assert np.allclose(flux, flux.T, atol=1e-12)
+
+    def test_one_zero_eigenvalue_rest_negative(self):
+        eigs = np.sort(JC69().eigenvalues)
+        assert abs(eigs[-1]) < 1e-10
+        assert (eigs[:-1] < 0).all()
+
+    @given(random_models())
+    def test_reversibility_property(self, model):
+        q = model.rate_matrix
+        flux = model.pi[:, None] * q
+        assert np.allclose(flux, flux.T, atol=1e-9)
+
+
+class TestTransitionMatrices:
+    def test_identity_at_zero(self):
+        p = JC69().transition_matrices(0.0, [1.0])
+        assert np.allclose(p[0], np.eye(4), atol=1e-12)
+
+    def test_rows_sum_to_one(self):
+        model = GTR((1.3, 3.8, 0.9, 1.1, 4.2, 1.0), (0.3, 0.2, 0.26, 0.24))
+        p = model.transition_matrices(0.37, [0.5, 1.0, 2.0])
+        assert p.shape == (3, 4, 4)
+        assert np.allclose(p.sum(axis=2), 1.0, atol=1e-10)
+
+    def test_entries_are_probabilities(self):
+        model = HKY85(3.0, (0.1, 0.4, 0.3, 0.2))
+        p = model.transition_matrices(1.5, [1.0])
+        assert (p >= -1e-12).all()
+        assert (p <= 1.0 + 1e-12).all()
+
+    def test_long_branch_converges_to_stationary(self):
+        model = GTR((1.3, 3.8, 0.9, 1.1, 4.2, 1.0), (0.3, 0.2, 0.26, 0.24))
+        p = model.transition_matrices(500.0, [1.0])[0]
+        for row in p:
+            assert np.allclose(row, model.pi, atol=1e-8)
+
+    def test_chapman_kolmogorov(self):
+        model = GTR((1.3, 3.8, 0.9, 1.1, 4.2, 1.0), (0.3, 0.2, 0.26, 0.24))
+        p1 = model.transition_matrices(0.2, [1.0])[0]
+        p2 = model.transition_matrices(0.3, [1.0])[0]
+        p12 = model.transition_matrices(0.5, [1.0])[0]
+        assert np.allclose(p1 @ p2, p12, atol=1e-10)
+
+    def test_rate_scaling_equivalence(self):
+        model = JC69()
+        a = model.transition_matrices(0.4, [2.0])[0]
+        b = model.transition_matrices(0.8, [1.0])[0]
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_negative_branch_rejected(self):
+        with pytest.raises(ValueError):
+            JC69().transition_matrices(-0.1, [1.0])
+
+    def test_jc69_analytic_form(self):
+        # JC69: P(same) = 1/4 + 3/4 exp(-4t/3).
+        t = 0.3
+        p = JC69().transition_matrices(t, [1.0])[0]
+        same = 0.25 + 0.75 * np.exp(-4.0 * t / 3.0)
+        diff = 0.25 - 0.25 * np.exp(-4.0 * t / 3.0)
+        expected = np.full((4, 4), diff)
+        np.fill_diagonal(expected, same)
+        assert np.allclose(p, expected, atol=1e-12)
+
+    @given(random_models(), st.floats(min_value=0.0, max_value=10.0))
+    def test_stochastic_property(self, model, t):
+        p = model.transition_matrices(t, [1.0])
+        assert np.allclose(p.sum(axis=2), 1.0, atol=1e-8)
+        assert (p >= -1e-9).all()
+
+
+class TestDerivatives:
+    def test_derivatives_match_finite_differences(self):
+        model = GTR((1.3, 3.8, 0.9, 1.1, 4.2, 1.0), (0.3, 0.2, 0.26, 0.24))
+        rates = np.array([0.5, 1.5])
+        t, h = 0.42, 1e-6
+        p, dp, d2p = model.transition_derivatives(t, rates)
+        p_plus = model.transition_matrices(t + h, rates)
+        p_minus = model.transition_matrices(t - h, rates)
+        fd1 = (p_plus - p_minus) / (2 * h)
+        fd2 = (p_plus - 2 * p + p_minus) / (h * h)
+        assert np.allclose(dp, fd1, atol=1e-5)
+        assert np.allclose(d2p, fd2, atol=1e-3)
+
+    def test_p_consistent_with_transition_matrices(self):
+        model = HKY85(2.5)
+        rates = np.array([1.0, 2.0])
+        p, _, _ = model.transition_derivatives(0.7, rates)
+        assert np.allclose(p, model.transition_matrices(0.7, rates), atol=1e-12)
+
+    def test_derivative_rows_sum_to_zero(self):
+        # d/dt of row sums (==1) must vanish.
+        _, dp, d2p = JC69().transition_derivatives(0.5, np.ones(1))
+        assert np.allclose(dp.sum(axis=2), 0.0, atol=1e-10)
+        assert np.allclose(d2p.sum(axis=2), 0.0, atol=1e-10)

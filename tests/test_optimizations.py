@@ -1,0 +1,84 @@
+"""Tests for the optimization configuration (repro.port.optimizations)."""
+
+import pytest
+
+from repro.port import STAGES, OptimizationConfig, stage
+
+
+class TestConfig:
+    def test_default_is_ppe_only(self):
+        config = OptimizationConfig()
+        assert not config.any_offload
+        assert config.describe() == "PPE-only baseline"
+
+    def test_spe_flags_require_offload(self):
+        for flag in (
+            "sdk_exp",
+            "int_conditionals",
+            "double_buffering",
+            "vectorize",
+            "direct_comm",
+        ):
+            with pytest.raises(ValueError, match=flag):
+                OptimizationConfig(**{flag: True})
+
+    def test_flags_allowed_with_offload(self):
+        config = OptimizationConfig(offload_newview=True, sdk_exp=True)
+        assert config.any_offload
+
+    def test_offload_all_implies_offload(self):
+        config = OptimizationConfig(offload_all=True, vectorize=True)
+        assert config.any_offload
+
+    def test_with_flags_returns_new_instance(self):
+        base = OptimizationConfig(offload_newview=True)
+        derived = base.with_flags(sdk_exp=True)
+        assert derived is not base
+        assert derived.sdk_exp and not base.sdk_exp
+
+    def test_describe_lists_active_flags(self):
+        config = stage("table5")
+        text = config.describe()
+        for token in ("offload-newview", "sdk-exp", "int-cond",
+                      "double-buf", "simd"):
+            assert token in text
+        assert "direct-comm" not in text
+
+
+class TestStages:
+    def test_all_tables_present(self):
+        for name in (
+            "table1a", "table1b", "table2", "table3", "table4",
+            "table5", "table6", "table7", "table8",
+        ):
+            assert name in STAGES
+
+    def test_staging_is_cumulative(self):
+        order = ["table1b", "table2", "table3", "table4", "table5", "table6"]
+        flags = [
+            "offload_newview", "sdk_exp", "int_conditionals",
+            "double_buffering", "vectorize", "direct_comm",
+        ]
+        for i, name in enumerate(order):
+            config = stage(name)
+            for flag in flags[: i + 1]:
+                assert getattr(config, flag), (name, flag)
+            for flag in flags[i + 1:]:
+                assert not getattr(config, flag), (name, flag)
+
+    def test_table7_adds_offload_all(self):
+        assert stage("table7").offload_all
+        assert not stage("table6").offload_all
+
+    def test_table8_same_code_as_table7(self):
+        assert stage("table8") == stage("table7")
+
+    def test_unknown_stage(self):
+        with pytest.raises(KeyError, match="unknown stage"):
+            stage("table99")
+
+    def test_configs_are_hashable_and_frozen(self):
+        config = stage("table3")
+        {config: 1}
+        with pytest.raises(AttributeError):
+            config.sdk_exp = False

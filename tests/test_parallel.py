@@ -1,0 +1,51 @@
+"""Tests for the real parallel master-worker driver."""
+
+import pytest
+
+from repro.phylo import SearchConfig, parallel_analysis, run_full_analysis
+
+FAST = SearchConfig(initial_radius=1, max_radius=1, max_rounds=1,
+                    smoothing_passes=1, final_smoothing_passes=1)
+
+
+class TestParallelAnalysis:
+    def test_matches_serial_exactly(self, small_patterns):
+        serial = run_full_analysis(
+            small_patterns, n_inferences=2, n_bootstraps=2,
+            config=FAST, seed=4,
+        )
+        parallel = parallel_analysis(
+            small_patterns, n_inferences=2, n_bootstraps=2,
+            config=FAST, seed=4, n_workers=2,
+        )
+        assert parallel.best.newick == serial.best.newick
+        assert parallel.best.log_likelihood == serial.best.log_likelihood
+        assert [r.newick for r in parallel.inferences] == \
+            [r.newick for r in serial.inferences]
+        assert [r.newick for r in parallel.bootstraps] == \
+            [r.newick for r in serial.bootstraps]
+        assert parallel.supports == serial.supports
+
+    def test_serial_fallback_path(self, small_patterns):
+        result = parallel_analysis(
+            small_patterns, n_inferences=1, n_bootstraps=1,
+            config=FAST, seed=5, n_workers=1,
+        )
+        assert len(result.inferences) == 1
+        assert len(result.bootstraps) == 1
+
+    def test_accepts_uncompressed_alignment(self, small_alignment):
+        result = parallel_analysis(
+            small_alignment, n_inferences=1, n_bootstraps=0,
+            config=FAST, seed=6, n_workers=1,
+        )
+        assert result.best is result.inferences[0]
+
+    def test_requires_an_inference(self, small_patterns):
+        with pytest.raises(ValueError, match="at least one inference"):
+            parallel_analysis(small_patterns, n_inferences=0,
+                              n_bootstraps=1, config=FAST, n_workers=1)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            parallel_analysis("not an alignment", n_workers=1)

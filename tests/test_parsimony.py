@@ -1,0 +1,165 @@
+"""Tests for Fitch parsimony and stepwise-addition starting trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phylo import (
+    Alignment,
+    Tree,
+    fitch_score,
+    random_starting_trees,
+    stepwise_addition_tree,
+)
+from repro.phylo.parsimony import _FitchDirections
+
+
+def patterns_of(seqs):
+    return Alignment.from_sequences(seqs).compress()
+
+
+class TestFitchScore:
+    def test_identical_sequences_score_zero(self):
+        pats = patterns_of({"a": "ACGT", "b": "ACGT", "c": "ACGT"})
+        tree = Tree.from_tip_names(pats.taxa, np.random.default_rng(0))
+        assert fitch_score(tree, pats) == 0.0
+
+    def test_single_difference_costs_one(self):
+        pats = patterns_of({"a": "AAAA", "b": "AAAA", "c": "AAAT"})
+        tree = Tree.from_tip_names(pats.taxa, np.random.default_rng(0))
+        assert fitch_score(tree, pats) == 1.0
+
+    def test_known_four_taxon_case(self):
+        # Site with states A,A,T,T: 1 change on the grouping ((a,b),(c,d)),
+        # and also 1 on any other 4-taxon topology (Fitch min = 1).
+        pats = patterns_of({"a": "A", "b": "A", "c": "T", "d": "T"})
+        tree = Tree.from_newick("((a,b),(c,d));")
+        assert fitch_score(tree, pats) == 1.0
+
+    def test_incongruent_site_costs_more(self):
+        # States A,T,A,T on ((a,b),(c,d)) needs 2 changes.
+        pats = patterns_of({"a": "A", "b": "T", "c": "A", "d": "T"})
+        tree = Tree.from_newick("((a,b),(c,d));")
+        assert fitch_score(tree, pats) == 2.0
+        good = Tree.from_newick("((a,c),(b,d));")
+        assert fitch_score(good, pats) == 1.0
+
+    def test_weights_multiply_score(self):
+        pats = patterns_of({"a": "AT", "b": "AT", "c": "TT"})
+        tree = Tree.from_tip_names(pats.taxa, np.random.default_rng(0))
+        base = fitch_score(tree, pats)
+        doubled = fitch_score(tree, pats, weights=pats.weights * 2)
+        assert doubled == 2 * base
+
+    def test_ambiguity_is_free_when_compatible(self):
+        # N can take any state, so it never forces a change.
+        pats = patterns_of({"a": "A", "b": "N", "c": "A"})
+        tree = Tree.from_tip_names(pats.taxa, np.random.default_rng(0))
+        assert fitch_score(tree, pats) == 0.0
+
+    def test_score_independent_of_evaluation_branch(self):
+        from repro.phylo.parsimony import _combine
+
+        rng = np.random.default_rng(5)
+        pats = patterns_of(
+            {f"t{i}": "".join(rng.choice(list("ACGT"), 20)) for i in range(7)}
+        )
+        tree = Tree.from_tip_names(pats.taxa, rng)
+        directions = _FitchDirections(tree, pats)
+        scores = set()
+        for branch in tree.branches:
+            u, v = branch.nodes
+            su, cu = directions._value(u, branch) if u.is_tip else \
+                directions.direction(u, branch)
+            sv, cv = directions._value(v, branch) if v.is_tip else \
+                directions.direction(v, branch)
+            _, score = _combine(su, cu, sv, cv, pats.weights)
+            scores.add(score)
+        assert len(scores) == 1
+
+
+class TestInsertionScore:
+    def test_matches_attach_and_rescore(self):
+        # The O(patterns) insertion score must equal a full-tree Fitch
+        # recompute after actually attaching the new tip.
+        rng = np.random.default_rng(7)
+        seqs = {
+            f"t{i}": "".join(rng.choice(list("ACGT"), 15)) for i in range(6)
+        }
+        pats = patterns_of(seqs)  # all six taxa
+        tree = Tree.from_tip_names(pats.taxa[:5], rng)  # five in the tree
+        new_name = pats.taxa[5]
+        tip_row = pats.patterns[pats.taxon_index(new_name)]
+        checked = 0
+        tested_splits = set()
+        while True:
+            directions = _FitchDirections(tree, pats)
+            candidate = None
+            for branch in tree.branches:
+                side = frozenset(tree.subtree_tips(branch.nodes[0], branch))
+                split = min(
+                    side, frozenset(tree.tip_names()) - side,
+                    key=lambda s: (len(s), sorted(s)),
+                )
+                if split not in tested_splits:
+                    candidate, split_key = branch, split
+                    break
+            if candidate is None:
+                break
+            tested_splits.add(split_key)
+            predicted = directions.insertion_score(candidate, tip_row)
+            new_tip = tree.attach_tip(new_name, candidate, 0.1)
+            actual = fitch_score(tree, pats)
+            assert predicted == actual
+            tree.remove_tip(new_tip)
+            checked += 1
+        assert checked == 2 * 5 - 3  # every branch of the 5-taxon tree
+
+
+class TestStepwiseAddition:
+    def test_tree_is_valid_and_complete(self, small_patterns, rng):
+        tree = stepwise_addition_tree(small_patterns, rng)
+        tree.validate()
+        assert sorted(tree.tip_names()) == sorted(small_patterns.taxa)
+
+    def test_beats_random_tree_on_average(self, medium_patterns):
+        rng = np.random.default_rng(21)
+        mp_scores, random_scores = [], []
+        for i in range(5):
+            mp = stepwise_addition_tree(
+                medium_patterns, np.random.default_rng(i)
+            )
+            rn = Tree.from_tip_names(
+                medium_patterns.taxa, np.random.default_rng(1000 + i)
+            )
+            mp_scores.append(fitch_score(mp, medium_patterns))
+            random_scores.append(fitch_score(rn, medium_patterns))
+        assert np.mean(mp_scores) < np.mean(random_scores)
+
+    def test_randomized_orders_give_distinct_trees(self, medium_patterns):
+        trees = random_starting_trees(medium_patterns, 4, seed=3)
+        newicks = {t.to_newick(include_lengths=False) for t in trees}
+        assert len(newicks) > 1
+
+    def test_deterministic_per_seed(self, small_patterns):
+        t1 = random_starting_trees(small_patterns, 2, seed=9)
+        t2 = random_starting_trees(small_patterns, 2, seed=9)
+        for a, b in zip(t1, t2):
+            assert a.to_newick() == b.to_newick()
+
+    def test_needs_three_taxa(self):
+        pats = patterns_of({"a": "ACGT", "b": "ACGT"})
+        with pytest.raises(ValueError, match="3 taxa"):
+            stepwise_addition_tree(pats, np.random.default_rng(0))
+
+    @given(st.integers(0, 100))
+    def test_score_never_worse_than_sites_times_taxa(self, seed):
+        rng = np.random.default_rng(seed)
+        seqs = {
+            f"t{i}": "".join(rng.choice(list("ACGT"), 10)) for i in range(5)
+        }
+        pats = patterns_of(seqs)
+        tree = stepwise_addition_tree(pats, rng)
+        score = fitch_score(tree, pats)
+        assert 0 <= score <= 10 * 5  # loose sanity bound

@@ -1,0 +1,101 @@
+"""Tests for the comparison-platform models (repro.platforms)."""
+
+import pytest
+
+from repro.platforms import (
+    PPE_TASK_SECONDS,
+    SMTPlatform,
+    power5_platform,
+    xeon_platform,
+)
+
+
+class TestGeometry:
+    def test_power5_ranks(self):
+        p5 = power5_platform()
+        assert p5.n_cores == 2
+        assert p5.n_ranks == 4
+
+    def test_dual_xeon_ranks(self):
+        xe = xeon_platform(n_chips=2)
+        assert xe.n_cores == 2
+        assert xe.n_ranks == 4
+
+    def test_single_xeon(self):
+        assert xeon_platform(n_chips=1).n_ranks == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SMTPlatform("bad", 0, 1, 1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            SMTPlatform("bad", 1, 1, 1, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            SMTPlatform("bad", 1, 1, 1, 1.0, 0.9)
+
+
+class TestTaskSeconds:
+    def test_no_smt_penalty_when_cores_free(self):
+        p5 = power5_platform()
+        base = PPE_TASK_SECONDS / p5.relative_speed
+        assert p5.task_seconds(1) == pytest.approx(base)
+        assert p5.task_seconds(2) == pytest.approx(base)
+
+    def test_smt_penalty_kicks_in_beyond_cores(self):
+        p5 = power5_platform()
+        base = PPE_TASK_SECONDS / p5.relative_speed
+        assert p5.task_seconds(3) == pytest.approx(base * p5.smt_slowdown)
+        assert p5.task_seconds(4) == pytest.approx(base * p5.smt_slowdown)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            power5_platform().task_seconds(0)
+
+
+class TestRunTotal:
+    def test_single_task(self):
+        p5 = power5_platform()
+        assert p5.run_total_s(1) == pytest.approx(
+            PPE_TASK_SECONDS / p5.relative_speed
+        )
+
+    def test_full_round(self):
+        p5 = power5_platform()
+        expected = PPE_TASK_SECONDS / p5.relative_speed * p5.smt_slowdown
+        assert p5.run_total_s(4) == pytest.approx(expected)
+
+    def test_linear_scaling_in_full_rounds(self):
+        xe = xeon_platform()
+        assert xe.run_total_s(32) == pytest.approx(4 * xe.run_total_s(8))
+
+    def test_partial_final_round_cheaper(self):
+        p5 = power5_platform()
+        five = p5.run_total_s(5)
+        eight = p5.run_total_s(8)
+        # Tasks 5..8 fill the second round; 5 tasks leave it partial
+        # (a single task on free cores runs at full speed).
+        assert five < eight
+
+    def test_sweep_matches_pointwise(self):
+        xe = xeon_platform()
+        counts = (1, 8, 16)
+        assert xe.sweep(counts) == [xe.run_total_s(b) for b in counts]
+
+    def test_needs_positive_bootstraps(self):
+        with pytest.raises(ValueError):
+            power5_platform().run_total_s(0)
+
+
+class TestPaperAnchors:
+    def test_power5_calibration_comment_holds(self):
+        # 32 tasks/rank x 36.9 x 1.25 / 2.0 = ~738 s at 128 bootstraps.
+        p5 = power5_platform()
+        assert p5.run_total_s(128) == pytest.approx(738.0, rel=0.01)
+
+    def test_xeon_calibration_comment_holds(self):
+        xe = xeon_platform(n_chips=2)
+        assert xe.run_total_s(128) == pytest.approx(1396.0, rel=0.01)
+
+    def test_power5_beats_xeon(self):
+        p5, xe = power5_platform(), xeon_platform(2)
+        for b in (1, 8, 32, 128):
+            assert p5.run_total_s(b) < xe.run_total_s(b)

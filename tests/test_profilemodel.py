@@ -1,0 +1,188 @@
+"""Tests for the calibrated cost model (repro.port.profilemodel)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import get_trace
+from repro.port import CellCostModel, OptimizationConfig, paperdata as P, stage
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CellCostModel(get_trace("quick"))
+
+
+class TestDerivedComponents:
+    def test_all_components_positive(self, model):
+        for name in (
+            "nv_exp_lib_s", "nv_exp_sdk_s", "nv_cond_float_s",
+            "nv_cond_int_s", "nv_dma_wait_s", "nv_loops_scalar_s",
+            "nv_loops_vector_s", "nv_residual_s",
+            "comm_mailbox_per_offload", "comm_direct_per_offload",
+        ):
+            assert getattr(model, name) > 0, name
+
+    def test_optimized_components_smaller(self, model):
+        assert model.nv_exp_sdk_s < model.nv_exp_lib_s
+        assert model.nv_cond_int_s < model.nv_cond_float_s
+        assert model.nv_loops_vector_s < model.nv_loops_scalar_s
+        assert model.comm_direct_per_offload < model.comm_mailbox_per_offload
+
+    def test_exp_is_half_of_unoptimized_kernel(self, model):
+        # Paper section 5.2.2: exp() takes 50 % of the unoptimized SPE time.
+        k1 = model.newview_kernel_s(stage("table1b"))
+        assert model.nv_exp_lib_s / k1 == pytest.approx(0.5, abs=0.01)
+
+    def test_conditional_share_after_opt(self, model):
+        # Paper section 5.2.3: 6 % after the integer cast.
+        k3 = model.newview_kernel_s(stage("table3"))
+        assert model.nv_cond_int_s / k3 == pytest.approx(0.06, abs=0.01)
+
+    def test_canonical_scaled_to_paper_call_count(self, model):
+        assert model.canonical.newview_count == P.NEWVIEW_CALLS
+
+    def test_smt_slowdown_from_table1a(self, model):
+        expected = P.TABLES["table1a"][(2, 8)] / (4 * P.TABLES["table1a"][(1, 1)])
+        assert model.timing.ppe_smt_slowdown == pytest.approx(expected)
+
+    def test_empty_trace_rejected(self):
+        from repro.port.trace import TraceSummary
+        empty = TraceSummary(
+            newview_count=0, newview_nested_count=0, newview_patterncats=0.0,
+            newview_case_counts={}, newview_scaled_patterns=0,
+            makenewz_count=0, makenewz_iterations=0,
+            makenewz_patterncats=0.0, evaluate_count=0,
+            evaluate_patterncats=0.0,
+        )
+        with pytest.raises(ValueError):
+            CellCostModel(empty)
+
+
+class TestStagePricing:
+    def test_anchor_cells_exact(self, model):
+        # The (1 worker, 1 bootstrap) column is the calibration anchor.
+        for table, cells in P.TABLES.items():
+            mine = model.stage_total_s(table, 1, 1)
+            assert mine == pytest.approx(cells[(1, 1)], rel=0.005), table
+
+    def test_all_cells_within_seven_percent(self, model):
+        for table, cells in P.TABLES.items():
+            for key, paper_value in cells.items():
+                mine = model.stage_total_s(table, *key)
+                error = abs(mine - paper_value) / paper_value
+                assert error < 0.07, (table, key, mine, paper_value)
+
+    def test_each_stage_improves_on_previous(self, model):
+        order = ["table1b", "table2", "table3", "table4", "table5",
+                 "table6", "table7"]
+        for earlier, later in zip(order, order[1:]):
+            for key in P.TABLES[later]:
+                t_early = model.stage_total_s(earlier, *key)
+                t_late = model.stage_total_s(later, *key)
+                assert t_late < t_early, (earlier, later, key)
+
+    def test_naive_offload_hurts(self, model):
+        for key in P.TABLES["table1a"]:
+            assert model.stage_total_s("table1b", *key) > \
+                model.stage_total_s("table1a", *key)
+
+    def test_full_offload_beats_ppe(self, model):
+        assert model.stage_total_s("table7", 1, 1) < \
+            model.stage_total_s("table1a", 1, 1)
+
+    def test_kernel_flags_monotone(self, model):
+        # Turning on any single SPE optimization reduces kernel time.
+        base = OptimizationConfig(offload_newview=True)
+        base_time = model.newview_kernel_s(base)
+        for flag in ("sdk_exp", "int_conditionals", "double_buffering",
+                     "vectorize"):
+            improved = model.newview_kernel_s(base.with_flags(**{flag: True}))
+            assert improved < base_time, flag
+
+    def test_workers_validation(self, model):
+        with pytest.raises(ValueError):
+            model.task_cost(stage("table7"), workers=3)
+        with pytest.raises(ValueError):
+            model.run_total_s(stage("table7"), 0, 1)
+
+    def test_straggler_rounding(self, model):
+        # 3 bootstraps over 2 workers: the busiest worker runs 2 tasks.
+        per_task = model.task_cost(stage("table7"), workers=2).total_s
+        assert model.run_total_s(stage("table7"), 2, 3) == \
+            pytest.approx(2 * per_task)
+
+    def test_comm_contention_grows_with_workers(self, model):
+        config = stage("table1b")
+        one = model.comm_per_offload(config, workers=1)
+        two = model.comm_per_offload(config, workers=2)
+        assert two > one * model.timing.ppe_smt_slowdown * 0.99
+
+
+class TestSchedulingForms:
+    def test_table8_within_five_percent(self, model):
+        for b, paper_value in P.TABLE8.items():
+            mine = model.mgps_total_s(b)
+            assert abs(mine - paper_value) / paper_value < 0.05, b
+
+    def test_llp_speedup_shape(self, model):
+        # Small splits help monotonically; beyond the sweet spot the
+        # per-SPE split/merge overhead flattens (and may bend) the
+        # curve — the reason the paper uses only 2 SPEs per loop when
+        # several tasks are active.
+        speedups = {n: model.llp_speedup(n) for n in range(1, 9)}
+        assert speedups[1] == 1.0
+        assert speedups[1] < speedups[2] < speedups[4]
+        assert all(s >= 1.0 for s in speedups.values())
+        assert speedups[8] > 1.3  # 8 SPEs must still clearly help
+
+    def test_llp_overhead_caps_speedup(self, model):
+        # Amdahl bound with the calibrated parallel fraction.
+        p = model.llp_parallel_fraction
+        for n in (2, 4, 8):
+            assert model.llp_speedup(n) <= 1.0 / (1.0 - p) + 1e-9
+
+    def test_edtlp_scales_with_batches(self, model):
+        t8 = model.edtlp_total_s(8)
+        t32 = model.edtlp_total_s(32)
+        assert t32 == pytest.approx(4 * t8, rel=0.01)
+
+    def test_mgps_remainder_uses_llp(self, model):
+        # 9 bootstraps: one EDTLP batch + one LLP task on all 8 SPEs.
+        total = model.mgps_total_s(9)
+        expected = model.edtlp_total_s(8) + model.llp_task_s(8, 1)
+        assert total == pytest.approx(expected)
+
+    def test_mgps_five_tasks_two_rounds(self, model):
+        # 5 tasks -> 4 concurrent with 2 SPEs each, then 1 with 8 SPEs.
+        total = model.mgps_total_s(5)
+        expected = model.llp_task_s(2, 4) + model.llp_task_s(8, 1)
+        assert total == pytest.approx(expected)
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.mgps_total_s(0)
+        with pytest.raises(ValueError):
+            model.edtlp_total_s(0)
+        with pytest.raises(ValueError):
+            model.llp_speedup(0)
+
+
+class TestTraceRobustness:
+    def test_model_stable_across_trace_profiles(self):
+        # A different (larger) trace must yield very similar tables:
+        # the calibration chain dominates; the trace supplies structure.
+        quick = CellCostModel(get_trace("quick"))
+        full = CellCostModel(get_trace("full"))
+        for table in ("table2", "table5", "table7"):
+            for key in P.TABLES[table]:
+                a = quick.stage_total_s(table, *key)
+                b = full.stage_total_s(table, *key)
+                assert abs(a - b) / a < 0.06, (table, key)
+
+    def test_paper_comparison_structure(self):
+        model = CellCostModel(get_trace("quick"))
+        comparison = model.paper_comparison()
+        assert set(comparison) == set(P.TABLES)
+        for cells in comparison.values():
+            for paper_value, mine in cells.values():
+                assert paper_value > 0 and mine > 0

@@ -1,0 +1,227 @@
+"""Tests for the scheduling models (repro.sched)."""
+
+import pytest
+
+from repro.cell import Simulator, Timeout
+from repro.harness import get_trace
+from repro.port import PortExecutor
+from repro.sched import (
+    CellTask,
+    MasterWorker,
+    SimMPI,
+    make_tasks,
+    simulate_edtlp,
+    simulate_llp,
+    simulate_mgps,
+)
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return PortExecutor(get_trace("quick"), devs_batches_per_task=24)
+
+
+def simple_tasks(count, spe_s=1.0, ppe_s=0.1, offloads=100, n_batches=10):
+    return make_tasks(count, spe_s=spe_s, ppe_s=ppe_s, comm_s=0.0,
+                      offloads=offloads, n_batches=n_batches)
+
+
+class TestTaskModel:
+    def test_batching_arithmetic(self):
+        task = CellTask(0, spe_s=2.0, ppe_s=0.5, comm_s=0.5, offloads=100,
+                        n_batches=10)
+        assert task.spe_batch_s == pytest.approx(0.2)
+        assert task.ppe_batch_s == pytest.approx(0.1)
+        assert task.offloads_per_batch == pytest.approx(10.0)
+        assert task.serial_s == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellTask(0, spe_s=-1, ppe_s=0, comm_s=0, offloads=0, n_batches=1)
+        with pytest.raises(ValueError):
+            CellTask(0, spe_s=1, ppe_s=0, comm_s=0, offloads=0, n_batches=0)
+        with pytest.raises(ValueError):
+            make_tasks(0, 1, 1, 0, 1)
+
+
+class TestSimMPI:
+    def test_send_recv_round_trip(self):
+        sim = Simulator()
+        mpi = SimMPI(sim, 2)
+        received = []
+
+        def rank0():
+            yield from mpi.send_from(0, 1, tag=7, payload="hello")
+
+        def rank1():
+            message = yield from mpi.recv(1)
+            received.append((message.source, message.tag, message.payload))
+
+        sim.spawn(rank0())
+        sim.spawn(rank1())
+        sim.run()
+        assert received == [(0, 7, "hello")]
+        assert mpi.messages_sent == 1
+
+    def test_message_latency_charged(self):
+        sim = Simulator()
+        mpi = SimMPI(sim, 2, message_latency_s=1e-3)
+
+        def rank0():
+            yield from mpi.send(1, tag=1)
+
+        sim.spawn(rank0())
+        assert sim.run() == pytest.approx(1e-3)
+
+    def test_rank_bounds(self):
+        sim = Simulator()
+        mpi = SimMPI(sim, 2)
+        with pytest.raises(ValueError):
+            list(mpi.send(5, tag=1))
+
+    def test_master_worker_completes_all_tasks(self):
+        sim = Simulator()
+        tasks = simple_tasks(7)
+        executed = []
+
+        def execute(worker, task):
+            executed.append((worker, task.task_id))
+            yield Timeout(task.spe_s)
+
+        driver = MasterWorker(sim, tasks, n_workers=3, execute=execute)
+        makespan = driver.run()
+        assert sorted(t for _, t in executed) == list(range(7))
+        assert sorted(driver.completed) == list(range(7))
+        # 7 unit tasks over 3 workers: at least ceil(7/3) serial rounds.
+        assert makespan >= 3 * 1.0
+
+    def test_master_worker_balances(self):
+        sim = Simulator()
+        tasks = simple_tasks(8)
+        per_worker = {0: 0, 1: 0, 2: 0, 3: 0}
+
+        def execute(worker, task):
+            per_worker[worker] += 1
+            yield Timeout(task.spe_s)
+
+        MasterWorker(sim, tasks, n_workers=4, execute=execute).run()
+        assert all(count == 2 for count in per_worker.values())
+
+
+class TestEDTLP:
+    def test_more_workers_is_faster(self, executor):
+        model = executor.model
+        two = executor.edtlp_devs(8, n_workers=2).makespan_s
+        eight = executor.edtlp_devs(8, n_workers=8).makespan_s
+        assert eight < two
+
+    def test_saturated_ppe(self, executor):
+        result = executor.edtlp_devs(8, n_workers=8)
+        # With 8 oversubscribed workers the PPE is the bottleneck.
+        assert result.ppe_utilization > 0.9
+        assert result.mean_spe_utilization < 0.9
+
+    def test_matches_analytic_within_15pct(self, executor):
+        devs = executor.edtlp_devs(8).makespan_s
+        analytic = executor.model.edtlp_total_s(8)
+        assert abs(devs - analytic) / analytic < 0.15
+
+    def test_worker_limit(self):
+        tasks = simple_tasks(2)
+        with pytest.raises(ValueError, match="SPEs"):
+            simulate_edtlp(tasks, ppe_service_s=1e-5, n_workers=9)
+
+    def test_makespan_at_least_spe_bound(self):
+        tasks = simple_tasks(8, spe_s=2.0, ppe_s=0.0, offloads=10)
+        result = simulate_edtlp(tasks, ppe_service_s=1e-9, n_workers=8)
+        assert result.makespan_s >= 2.0
+
+    def test_utilizations_bounded(self, executor):
+        result = executor.edtlp_devs(4, n_workers=4)
+        assert 0.0 < result.ppe_utilization <= 1.0
+        assert all(0.0 < u <= 1.0 for u in result.spe_utilizations)
+
+
+class TestLLP:
+    def test_split_beats_serial(self):
+        tasks = simple_tasks(1, spe_s=10.0, ppe_s=0.0)
+        serial = simulate_llp(tasks, parallel_fraction=0.6,
+                              overhead_eta=0.1, spes_per_task=1)
+        split = simulate_llp(simple_tasks(1, spe_s=10.0, ppe_s=0.0),
+                             parallel_fraction=0.6, overhead_eta=0.1,
+                             spes_per_task=8)
+        assert split.makespan_s < serial.makespan_s
+
+    def test_amdahl_floor(self):
+        p = 0.6
+        tasks = simple_tasks(1, spe_s=10.0, ppe_s=0.0)
+        result = simulate_llp(tasks, parallel_fraction=p,
+                              overhead_eta=0.0, spes_per_task=8)
+        assert result.makespan_s >= 10.0 * (1 - p) - 1e-9
+
+    def test_concurrent_groups(self):
+        # 4 tasks with 2 SPEs each run fully concurrently.
+        tasks = simple_tasks(4, spe_s=4.0, ppe_s=0.0)
+        result = simulate_llp(tasks, parallel_fraction=0.5,
+                              overhead_eta=0.0, spes_per_task=2)
+        one = simulate_llp(simple_tasks(1, spe_s=4.0, ppe_s=0.0),
+                           parallel_fraction=0.5, overhead_eta=0.0,
+                           spes_per_task=2)
+        assert result.makespan_s == pytest.approx(one.makespan_s, rel=0.05)
+
+    def test_queueing_beyond_four_groups(self):
+        # 5 tasks, 2 SPEs each: max four concurrent -> two waves.
+        tasks = simple_tasks(5, spe_s=4.0, ppe_s=0.0)
+        result = simulate_llp(tasks, parallel_fraction=0.5,
+                              overhead_eta=0.0, spes_per_task=2)
+        one = simulate_llp(simple_tasks(1, spe_s=4.0, ppe_s=0.0),
+                           parallel_fraction=0.5, overhead_eta=0.0,
+                           spes_per_task=2)
+        assert result.makespan_s > 1.5 * one.makespan_s
+
+    def test_parameter_validation(self):
+        tasks = simple_tasks(1)
+        with pytest.raises(ValueError):
+            simulate_llp(tasks, parallel_fraction=1.5, overhead_eta=0.0,
+                         spes_per_task=2)
+        with pytest.raises(ValueError):
+            simulate_llp(tasks, parallel_fraction=0.5, overhead_eta=0.0,
+                         spes_per_task=0)
+
+    def test_matches_analytic_within_10pct(self, executor):
+        devs = executor.llp_devs(1, spes_per_task=8).makespan_s
+        analytic = executor.model.llp_task_s(8)
+        assert abs(devs - analytic) / analytic < 0.10
+
+
+class TestMGPS:
+    def test_phase_decomposition(self, executor):
+        result = executor.mgps_devs(11)
+        modes = [(p.mode, p.n_tasks) for p in result.phases]
+        assert modes[0] == ("edtlp", 8)
+        assert all(m == "llp" for m, _ in modes[1:])
+        assert result.edtlp_tasks == 8
+        assert result.llp_tasks == 3
+
+    def test_exact_batches_skip_llp(self, executor):
+        result = executor.mgps_devs(16)
+        assert all(p.mode == "edtlp" for p in result.phases)
+
+    def test_pure_llp_below_chip_size(self, executor):
+        result = executor.mgps_devs(3)
+        assert all(p.mode == "llp" for p in result.phases)
+
+    def test_matches_analytic_within_15pct(self, executor):
+        for b in (1, 8, 12):
+            devs = executor.mgps_devs(b).makespan_s
+            analytic = executor.model.mgps_total_s(b)
+            assert abs(devs - analytic) / analytic < 0.15, b
+
+    def test_mgps_beats_static_two_workers(self, executor):
+        # The headline claim of Table 8: MGPS strictly beats the naive
+        # two-worker regime at every bootstrap count.
+        from repro.port import stage
+        for b in (8, 16, 32):
+            mgps = executor.model.mgps_total_s(b)
+            static = executor.model.run_total_s(stage("table7"), 2, b)
+            assert mgps < static, b

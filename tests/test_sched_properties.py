@@ -1,0 +1,117 @@
+"""Property-based tests of the schedulers: bounds and conservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import (
+    CellTask,
+    simulate_edtlp,
+    simulate_llp,
+    simulate_static,
+)
+
+task_times = st.floats(min_value=0.01, max_value=5.0)
+
+
+def build_tasks(spe_times, ppe_frac=0.05, offloads=20, n_batches=4):
+    return [
+        CellTask(
+            task_id=i,
+            spe_s=t,
+            ppe_s=t * ppe_frac,
+            comm_s=0.0,
+            offloads=offloads,
+            n_batches=n_batches,
+        )
+        for i, t in enumerate(spe_times)
+    ]
+
+
+class TestEDTLPBounds:
+    @given(st.lists(task_times, min_size=1, max_size=12),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_makespan_bounds(self, spe_times, n_workers):
+        tasks = build_tasks(spe_times)
+        result = simulate_edtlp(tasks, ppe_service_s=1e-4,
+                                n_workers=n_workers)
+        serial = sum(t.serial_s for t in tasks)
+        longest = max(t.serial_s for t in tasks)
+        # Lower bounds: the longest task; the SPE-work divided by width.
+        assert result.makespan_s >= longest * 0.999
+        assert result.makespan_s >= serial / n_workers * 0.5
+        # Upper bound: fully serial execution plus all PPE service,
+        # inflated by worst-case SMT contention.
+        ppe_total = sum(t.offloads for t in tasks) * 1e-4
+        assert result.makespan_s <= (serial + ppe_total) * 1.5 + 1e-6
+
+    @given(st.lists(task_times, min_size=2, max_size=10))
+    @settings(max_examples=15, deadline=None)
+    def test_all_tasks_complete(self, spe_times):
+        tasks = build_tasks(spe_times)
+        result = simulate_edtlp(tasks, ppe_service_s=1e-5, n_workers=4)
+        assert result.n_tasks == len(tasks)
+        # Total SPE busy time equals the submitted SPE work.
+        # (utilization * makespan summed over used SPEs)
+        busy = sum(u * result.makespan_s for u in result.spe_utilizations)
+        assert busy == pytest.approx(sum(spe_times), rel=1e-6)
+
+    @given(st.lists(task_times, min_size=1, max_size=8))
+    @settings(max_examples=15, deadline=None)
+    def test_utilizations_in_range(self, spe_times):
+        tasks = build_tasks(spe_times)
+        result = simulate_edtlp(tasks, ppe_service_s=1e-5, n_workers=2)
+        assert 0.0 <= result.ppe_utilization <= 1.0
+        assert all(0.0 <= u <= 1.0 for u in result.spe_utilizations)
+
+
+class TestLLPBounds:
+    @given(st.lists(task_times, min_size=1, max_size=6),
+           st.floats(min_value=0.0, max_value=0.95),
+           st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_amdahl_bounds(self, spe_times, p, spes):
+        tasks = build_tasks(spe_times, ppe_frac=0.0)
+        result = simulate_llp(tasks, parallel_fraction=p,
+                              overhead_eta=0.0, spes_per_task=spes)
+        # Never better than perfect Amdahl on the longest task.
+        longest = max(spe_times)
+        floor = longest * ((1 - p) + p / spes)
+        assert result.makespan_s >= floor * 0.999
+        # Never worse than running everything serially.
+        assert result.makespan_s <= sum(spe_times) * 1.001 + 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=10, deadline=None)
+    def test_more_spes_never_hurt_without_overhead(self, p):
+        times = {}
+        for spes in (1, 2, 4, 8):
+            tasks = build_tasks([2.0], ppe_frac=0.0)
+            times[spes] = simulate_llp(
+                tasks, parallel_fraction=p, overhead_eta=0.0,
+                spes_per_task=spes,
+            ).makespan_s
+        assert times[1] >= times[2] >= times[4] >= times[8]
+
+
+class TestStaticBounds:
+    @given(st.lists(task_times, min_size=1, max_size=8),
+           st.integers(min_value=1, max_value=2))
+    @settings(max_examples=20, deadline=None)
+    def test_static_bounds(self, spe_times, workers):
+        tasks = build_tasks(spe_times)
+        result = simulate_static(tasks, comm_per_offload_s=1e-6,
+                                 n_workers=workers)
+        serial = sum(t.serial_s for t in tasks)
+        assert result.makespan_s >= max(t.serial_s for t in tasks) * 0.99
+        # Even with SMT inflation the PPE share is small here.
+        assert result.makespan_s <= serial * 1.5 + 1e-6
+
+    def test_one_worker_is_serial_plus_mpi_latency(self):
+        tasks = build_tasks([1.0, 2.0, 0.5], ppe_frac=0.1)
+        result = simulate_static(tasks, comm_per_offload_s=0.0, n_workers=1)
+        expected = sum(t.spe_s + t.ppe_s for t in tasks)
+        # The only extra cost is the master-worker messages (~2 us each).
+        assert expected <= result.makespan_s <= expected + 50e-6

@@ -1,0 +1,262 @@
+"""Tests for the SPR hill-climbing search."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    GammaRates,
+    LikelihoodEngine,
+    SearchConfig,
+    Tree,
+    default_gtr,
+    evolve_alignment,
+    hill_climb,
+    random_tree,
+    robinson_foulds,
+    spr_neighborhood,
+    stepwise_addition_tree,
+    synthetic_dataset,
+)
+from repro.phylo.search import _apply_spr, _revert_spr
+
+
+def make_engine(patterns, seed=0, start="parsimony"):
+    rng = np.random.default_rng(seed)
+    if start == "parsimony":
+        tree = stepwise_addition_tree(patterns, rng)
+    else:
+        tree = Tree.from_tip_names(patterns.taxa, rng)
+    model = default_gtr().with_frequencies(patterns.base_frequencies())
+    return LikelihoodEngine(patterns, model, GammaRates(0.7, 4), tree)
+
+
+class TestNeighborhood:
+    def test_excludes_pruned_subtree_and_adjacency(self, small_patterns):
+        engine = make_engine(small_patterns)
+        tree = engine.tree
+        prune = tree.branches[0]
+        keep = next(n for n in prune.nodes if not n.is_tip)
+        targets = spr_neighborhood(tree, prune, keep, radius=10)
+        moved = prune.other(keep)
+        inside = tree.subtree_branches(moved, prune)
+        adjacent = {b.index for b in keep.branches}
+        for t in targets:
+            assert t.index not in inside
+            assert t.index not in adjacent
+            assert t is not prune
+        engine.detach()
+
+    def test_radius_monotone(self, small_patterns):
+        engine = make_engine(small_patterns)
+        tree = engine.tree
+        prune = tree.branches[2]
+        keep = next(n for n in prune.nodes if not n.is_tip)
+        sizes = [
+            len(spr_neighborhood(tree, prune, keep, r)) for r in (1, 2, 4, 99)
+        ]
+        assert sizes == sorted(sizes)
+        engine.detach()
+
+    def test_unbounded_radius_covers_all_legal_targets(self, small_patterns):
+        engine = make_engine(small_patterns)
+        tree = engine.tree
+        prune = tree.branches[1]
+        keep = next(n for n in prune.nodes if not n.is_tip)
+        targets = spr_neighborhood(tree, prune, keep, radius=1000)
+        moved = prune.other(keep)
+        illegal = tree.subtree_branches(moved, prune)
+        illegal |= {b.index for b in keep.branches} | {prune.index}
+        expected = [b for b in tree.branches if b.index not in illegal]
+        assert {t.index for t in targets} == {b.index for b in expected}
+        engine.detach()
+
+
+class TestApplyRevert:
+    def test_revert_restores_topology_lengths_and_likelihood(
+        self, small_patterns
+    ):
+        engine = make_engine(small_patterns, seed=3)
+        tree = engine.tree
+        base_lnl = engine.evaluate()
+        base_newick = tree.to_newick(digits=17)
+        rng = np.random.default_rng(17)
+        performed = 0
+        for _ in range(30):
+            branches = tree.branches
+            prune = branches[rng.integers(len(branches))]
+            inner_sides = [n for n in prune.nodes if not n.is_tip]
+            if not inner_sides:
+                continue
+            keep = inner_sides[0]
+            targets = spr_neighborhood(tree, prune, keep, radius=3)
+            if not targets:
+                continue
+            move = _apply_spr(tree, prune, keep,
+                              targets[rng.integers(len(targets))])
+            restored = _revert_spr(tree, move)
+            tree.validate()
+            assert not restored.retired
+            assert abs(engine.evaluate() - base_lnl) < 1e-9
+            performed += 1
+        assert performed >= 10
+        # Topology is bit-identical up to branch ids.
+        assert robinson_foulds(
+            tree, Tree.from_newick(base_newick)
+        ) == 0.0
+        engine.detach()
+
+    def test_revert_after_local_optimization(self, small_patterns):
+        # The lazy scoring optimizes branch lengths before rejecting;
+        # revert must restore the original lengths exactly.
+        engine = make_engine(small_patterns, seed=4)
+        tree = engine.tree
+        base_lnl = engine.evaluate()
+        prune = next(
+            b for b in tree.branches
+            if any(not n.is_tip for n in b.nodes)
+        )
+        keep = next(n for n in prune.nodes if not n.is_tip)
+        targets = spr_neighborhood(tree, prune, keep, radius=3)
+        move = _apply_spr(tree, prune, keep, targets[0])
+        for local in list(move.junction.branches):
+            engine.makenewz(local)
+        _revert_spr(tree, move)
+        assert abs(engine.evaluate() - base_lnl) < 1e-9
+        engine.detach()
+
+
+class TestNNISearch:
+    def test_nni_revert_is_exact(self, small_patterns):
+        from repro.phylo.search import _apply_nni, _revert_nni
+
+        engine = make_engine(small_patterns, seed=21)
+        tree = engine.tree
+        base = engine.evaluate()
+        rng = np.random.default_rng(22)
+        for _ in range(20):
+            internal = [
+                b for b in tree.branches
+                if not b.nodes[0].is_tip and not b.nodes[1].is_tip
+            ]
+            branch = internal[rng.integers(len(internal))]
+            record = _apply_nni(tree, branch, int(rng.integers(2)))
+            _revert_nni(tree, record)
+            tree.validate()
+            assert abs(engine.evaluate() - base) < 1e-9
+        engine.detach()
+
+    def test_nni_revert_after_local_optimization(self, small_patterns):
+        from repro.phylo.search import _apply_nni, _revert_nni
+
+        engine = make_engine(small_patterns, seed=23)
+        tree = engine.tree
+        base = engine.evaluate()
+        branch = next(
+            b for b in tree.branches
+            if not b.nodes[0].is_tip and not b.nodes[1].is_tip
+        )
+        record = _apply_nni(tree, branch, 0)
+        for endpoint in branch.nodes:
+            for local in list(endpoint.branches):
+                engine.makenewz(local)
+        _revert_nni(tree, record)
+        assert abs(engine.evaluate() - base) < 1e-9
+        engine.detach()
+
+    def test_nni_search_improves_from_random_start(self, medium_patterns):
+        engine = make_engine(medium_patterns, seed=24, start="random")
+        start = engine.evaluate()
+        result = hill_climb(
+            engine,
+            SearchConfig(move_set="nni", max_rounds=4),
+            np.random.default_rng(24),
+        )
+        assert result.log_likelihood > start
+        engine.tree.validate()
+        engine.detach()
+
+    def test_spr_at_least_matches_nni(self, medium_patterns):
+        # SPR's move set strictly contains NNI's reachable improvements;
+        # from the same start it should end at least as high.
+        results = {}
+        for move_set in ("nni", "spr"):
+            engine = make_engine(medium_patterns, seed=25, start="random")
+            results[move_set] = hill_climb(
+                engine,
+                SearchConfig(move_set=move_set, initial_radius=2,
+                             max_radius=4, max_rounds=4),
+                np.random.default_rng(25),
+            ).log_likelihood
+            engine.detach()
+        assert results["spr"] >= results["nni"] - 1.0
+
+    def test_invalid_move_set_rejected(self):
+        with pytest.raises(ValueError, match="move_set"):
+            SearchConfig(move_set="tbr")
+
+
+class TestHillClimb:
+    def test_monotone_improvement(self, small_patterns):
+        engine = make_engine(small_patterns, seed=5, start="random")
+        start = engine.evaluate()
+        result = hill_climb(
+            engine, SearchConfig(initial_radius=2, max_radius=3, max_rounds=3),
+            np.random.default_rng(5),
+        )
+        assert result.log_likelihood >= start
+        engine.tree.validate()
+        engine.detach()
+
+    def test_deterministic_given_seed(self, small_patterns):
+        results = []
+        for _ in range(2):
+            engine = make_engine(small_patterns, seed=6)
+            results.append(
+                hill_climb(
+                    engine,
+                    SearchConfig(initial_radius=2, max_radius=2, max_rounds=2),
+                    np.random.default_rng(42),
+                )
+            )
+            engine.detach()
+        assert results[0].newick == results[1].newick
+        assert results[0].log_likelihood == results[1].log_likelihood
+
+    def test_recovers_true_tree_on_clean_data(self):
+        # Strong signal: long alignment, moderate branches; the search
+        # from a random start must find the generating topology.
+        names = [f"t{i}" for i in range(8)]
+        rng = np.random.default_rng(30)
+        truth = random_tree(names, rng, mean_branch_length=0.12)
+        aln = evolve_alignment(truth, default_gtr(), 4000, rng,
+                               gamma_alpha=None, invariant_fraction=0.0)
+        patterns = aln.compress()
+        engine = make_engine(patterns, seed=31, start="random")
+        result = hill_climb(
+            engine, SearchConfig(initial_radius=3, max_radius=5, max_rounds=6),
+            np.random.default_rng(31),
+        )
+        inferred = Tree.from_newick(result.newick)
+        assert robinson_foulds(truth, inferred) == 0.0
+        engine.detach()
+
+    def test_search_result_fields(self, small_patterns):
+        engine = make_engine(small_patterns, seed=8)
+        result = hill_climb(
+            engine, SearchConfig(initial_radius=1, max_radius=1, max_rounds=1),
+            np.random.default_rng(8),
+        )
+        assert result.rounds >= 1
+        assert result.evaluated_moves >= result.accepted_moves >= 0
+        assert result.newick.endswith(";")
+        engine.detach()
+
+    def test_all_taxa_preserved(self, medium_patterns):
+        engine = make_engine(medium_patterns, seed=9, start="random")
+        result = hill_climb(
+            engine, SearchConfig(initial_radius=2, max_radius=2, max_rounds=2),
+            np.random.default_rng(9),
+        )
+        inferred = Tree.from_newick(result.newick)
+        assert sorted(inferred.tip_names()) == sorted(medium_patterns.taxa)
+        engine.detach()

@@ -1,0 +1,109 @@
+"""Tests for the sequence-evolution simulator (repro.phylo.simulate)."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    JC69,
+    Tree,
+    default_gtr,
+    evolve_alignment,
+    random_tree,
+    synthetic_dataset,
+)
+
+
+class TestEvolveAlignment:
+    def test_dimensions(self):
+        names = [f"t{i}" for i in range(6)]
+        tree = random_tree(names, np.random.default_rng(0))
+        aln = evolve_alignment(tree, default_gtr(), 200,
+                               np.random.default_rng(1))
+        assert aln.n_taxa == 6
+        assert aln.n_sites == 200
+        assert sorted(aln.taxa) == sorted(names)
+
+    def test_deterministic_with_seed(self):
+        names = [f"t{i}" for i in range(5)]
+        tree = random_tree(names, np.random.default_rng(2))
+        a = evolve_alignment(tree, default_gtr(), 100,
+                             np.random.default_rng(3))
+        b = evolve_alignment(tree, default_gtr(), 100,
+                             np.random.default_rng(3))
+        assert a.to_fasta() == b.to_fasta()
+
+    def test_invariant_sites_are_constant(self):
+        names = [f"t{i}" for i in range(6)]
+        tree = random_tree(names, np.random.default_rng(4))
+        aln = evolve_alignment(tree, default_gtr(), 300,
+                               np.random.default_rng(5),
+                               invariant_fraction=1.0)
+        # All sites invariant -> every column constant -> few patterns.
+        assert aln.compress().n_patterns <= 4
+
+    def test_zero_invariant_fraction_varies(self):
+        names = [f"t{i}" for i in range(6)]
+        tree = random_tree(names, np.random.default_rng(6))
+        aln = evolve_alignment(tree, default_gtr(), 300,
+                               np.random.default_rng(7),
+                               gamma_alpha=None, invariant_fraction=0.0)
+        assert aln.compress().n_patterns > 20
+
+    def test_long_branches_destroy_similarity(self):
+        names = [f"t{i}" for i in range(4)]
+        rng = np.random.default_rng(8)
+        close = random_tree(names, rng, mean_branch_length=0.01)
+        far = random_tree(names, rng, mean_branch_length=5.0)
+        n = 2000
+        a_close = evolve_alignment(close, JC69(), n, np.random.default_rng(9),
+                                   gamma_alpha=None, invariant_fraction=0.0)
+        a_far = evolve_alignment(far, JC69(), n, np.random.default_rng(9),
+                                 gamma_alpha=None, invariant_fraction=0.0)
+
+        def mismatch(aln):
+            return (aln.data[0] != aln.data[1]).mean()
+
+        assert mismatch(a_close) < 0.1
+        assert mismatch(a_far) > 0.5  # ~0.75 at saturation
+
+    def test_base_frequencies_approach_stationary(self):
+        model = default_gtr()
+        names = [f"t{i}" for i in range(8)]
+        tree = random_tree(names, np.random.default_rng(10))
+        aln = evolve_alignment(tree, model, 5000, np.random.default_rng(11),
+                               gamma_alpha=None, invariant_fraction=0.0)
+        freqs = aln.base_frequencies()
+        assert np.abs(freqs - model.pi).max() < 0.05
+
+    def test_needs_at_least_one_site(self):
+        names = [f"t{i}" for i in range(4)]
+        tree = random_tree(names, np.random.default_rng(12))
+        with pytest.raises(ValueError):
+            evolve_alignment(tree, JC69(), 0)
+
+
+class TestSyntheticDataset:
+    def test_default_matches_42sc_dimensions(self):
+        aln = synthetic_dataset()
+        assert aln.n_taxa == 42
+        assert aln.n_sites == 1167
+
+    def test_pattern_count_near_paper(self):
+        pats = synthetic_dataset().compress()
+        # The paper: "on the order of 250" distinct patterns.
+        assert 180 <= pats.n_patterns <= 320
+
+    def test_seeded_reproducibility(self):
+        a = synthetic_dataset(n_taxa=10, n_sites=100, seed=5)
+        b = synthetic_dataset(n_taxa=10, n_sites=100, seed=5)
+        assert a.to_fasta() == b.to_fasta()
+
+    def test_distinct_seeds_distinct_data(self):
+        a = synthetic_dataset(n_taxa=10, n_sites=100, seed=5)
+        b = synthetic_dataset(n_taxa=10, n_sites=100, seed=6)
+        assert a.to_fasta() != b.to_fasta()
+
+    def test_custom_dimensions(self):
+        aln = synthetic_dataset(n_taxa=7, n_sites=123, seed=1)
+        assert aln.n_taxa == 7
+        assert aln.n_sites == 123

@@ -1,0 +1,76 @@
+"""Tests for the first-principles SPU cost estimator and static DEVS."""
+
+import pytest
+
+from repro.cell import NewviewWorkload, estimate_newview
+from repro.harness import get_trace, run_experiment
+from repro.port import PortExecutor
+
+
+class TestNewviewWorkload:
+    def test_paper_defaults(self):
+        w = NewviewWorkload()
+        assert w.fp_ops == 25_554
+        assert w.exp_calls == 150
+        assert w.large_loop_iterations == 228
+        assert w.conditional_checks == 228 * 4
+
+
+class TestEstimateNewview:
+    def test_vectorization_halves_fp_cycles(self):
+        scalar = estimate_newview(vectorized=False)
+        simd = estimate_newview(vectorized=True)
+        assert simd.cycles["fp"] == pytest.approx(scalar.cycles["fp"] / 2)
+
+    def test_sdk_exp_much_cheaper(self):
+        lib = estimate_newview(sdk_exp=False)
+        sdk = estimate_newview(sdk_exp=True)
+        assert sdk.cycles["exp"] < lib.cycles["exp"] / 5
+
+    def test_int_conditional_much_cheaper(self):
+        fl = estimate_newview(int_conditionals=False)
+        it = estimate_newview(int_conditionals=True)
+        assert it.cycles["conditional"] < fl.cycles["conditional"] / 10
+
+    def test_total_seconds_positive_and_consistent(self):
+        est = estimate_newview()
+        assert est.total_seconds > 0
+        assert est.total_seconds == pytest.approx(
+            sum(est.seconds(k) for k in est.cycles)
+        )
+
+    def test_exp_dominates_unoptimized(self):
+        # Paper section 5.2.2: exp() takes ~50% of the unoptimized time.
+        est = estimate_newview()
+        assert est.cycles["exp"] > est.cycles["fp"]
+
+    def test_optimized_kernel_is_fp_bound(self):
+        est = estimate_newview(vectorized=True, sdk_exp=True,
+                               int_conditionals=True)
+        assert est.cycles["fp"] > est.cycles["exp"]
+        assert est.cycles["fp"] > est.cycles["conditional"]
+
+    def test_scaling_with_workload(self):
+        small = estimate_newview(NewviewWorkload(large_loop_iterations=50))
+        large = estimate_newview(NewviewWorkload(large_loop_iterations=500))
+        assert large.cycles["conditional"] == pytest.approx(
+            10 * small.cycles["conditional"]
+        )
+
+
+class TestValidationExperiments:
+    def test_firstprinciples_passes(self):
+        run_experiment("firstprinciples").assert_shape()
+
+    def test_static_devs_passes(self):
+        run_experiment("static_devs").assert_shape()
+
+    def test_static_devs_rejects_ppe_only(self):
+        ex = PortExecutor(get_trace("quick"))
+        with pytest.raises(ValueError, match="PPE-only"):
+            ex.static_devs("table1a", 1, 1)
+
+    def test_static_devs_rejects_three_workers(self):
+        ex = PortExecutor(get_trace("quick"))
+        with pytest.raises(ValueError):
+            ex.static_devs("table7", 3, 3)

@@ -1,0 +1,85 @@
+"""Tests for the ASCII timeline renderer (repro.cell.timeline)."""
+
+import pytest
+
+from repro.cell import CellBlade, KernelInvocation, occupancy_row, render_timeline
+from repro.harness import get_trace
+from repro.port import PortExecutor
+
+
+class TestOccupancyRow:
+    def test_empty_spans_all_idle(self):
+        assert occupancy_row([], horizon=1.0, width=10) == " " * 10
+
+    def test_fully_busy(self):
+        row = occupancy_row([(0.0, 1.0, "x")], horizon=1.0, width=10)
+        assert row == "#" * 10
+
+    def test_half_busy_bucket(self):
+        # One span covering 40% of a single-bucket chart -> '.'.
+        row = occupancy_row([(0.0, 0.4, "x")], horizon=1.0, width=1)
+        assert row == "."
+
+    def test_levels_progression(self):
+        for fraction, char in ((0.2, "."), (0.7, ":"), (0.95, "#")):
+            row = occupancy_row([(0.0, fraction, "x")], horizon=1.0, width=1)
+            assert row == char, fraction
+
+    def test_span_split_across_buckets(self):
+        row = occupancy_row([(0.25, 0.75, "x")], horizon=1.0, width=4)
+        assert row == " ## "
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            occupancy_row([], horizon=0.0)
+        with pytest.raises(ValueError):
+            occupancy_row([], horizon=1.0, width=0)
+
+
+class TestRenderTimeline:
+    def test_records_spans_during_simulation(self):
+        blade = CellBlade()
+        spe = blade.chip.spes[0]
+        spe.load_offloaded_code()
+
+        def proc():
+            yield from blade.chip.ppe.compute(1e-3)
+            yield from spe.execute(KernelInvocation("newview", 2e-3))
+
+        blade.sim.spawn(proc())
+        blade.sim.run()
+        assert len(blade.chip.ppe.spans) == 1
+        assert len(spe.spans) == 1
+        text = render_timeline(blade.chip)
+        assert "ppe" in text
+        assert "spe0" in text
+        assert "#" in text
+
+    def test_empty_simulation(self):
+        blade = CellBlade()
+        assert "no simulated time" in render_timeline(blade.chip)
+
+    def test_edtlp_run_shows_ppe_saturation(self):
+        executor = PortExecutor(get_trace("quick"), devs_batches_per_task=16)
+        result = executor.edtlp_devs(8)
+        text = render_timeline(result.chip, width=40)
+        ppe_row = next(
+            line for line in text.splitlines() if line.strip().startswith("ppe")
+        )
+        # The PPE row is nearly solid '#' under 8 oversubscribed workers.
+        assert ppe_row.count("#") > 30
+
+    def test_span_cap_respected(self):
+        blade = CellBlade()
+        spe = blade.chip.spes[0]
+        spe.load_offloaded_code()
+        spe.max_spans = 5
+
+        def proc():
+            for _ in range(10):
+                yield from spe.execute(KernelInvocation("k", 1e-6))
+
+        blade.sim.spawn(proc())
+        blade.sim.run()
+        assert len(spe.spans) == 5
+        assert spe.kernel_count == 10

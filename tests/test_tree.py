@@ -1,0 +1,369 @@
+"""Tests for the unrooted tree structure (repro.phylo.tree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phylo import Tree, robinson_foulds
+from repro.phylo.tree import MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH
+
+
+def names(n):
+    return [f"t{i}" for i in range(n)]
+
+
+def random_tree(n, seed=0):
+    return Tree.from_tip_names(names(n), np.random.default_rng(seed))
+
+
+class TestConstruction:
+    def test_minimal_tree(self):
+        tree = random_tree(3)
+        tree.validate()
+        assert tree.n_tips == 3
+        assert len(tree.branches) == 3
+
+    def test_branch_count_invariant(self):
+        for n in (3, 5, 10, 25):
+            tree = random_tree(n, seed=n)
+            assert len(tree.branches) == 2 * n - 3
+            assert len(tree.inner_nodes) == n - 2
+
+    def test_degree_invariants(self):
+        tree = random_tree(12)
+        for node in tree.nodes:
+            assert node.degree == (1 if node.is_tip else 3)
+
+    def test_too_few_taxa(self):
+        with pytest.raises(ValueError):
+            Tree.from_tip_names(["a", "b"])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Tree.from_tip_names(["a", "a", "b"])
+
+    def test_find_tip(self):
+        tree = random_tree(5)
+        assert tree.find_tip("t3").name == "t3"
+        with pytest.raises(KeyError):
+            tree.find_tip("nope")
+
+    @given(st.integers(min_value=3, max_value=40), st.integers(0, 10_000))
+    def test_random_tree_invariants(self, n, seed):
+        tree = Tree.from_tip_names(names(n), np.random.default_rng(seed))
+        tree.validate()
+        assert sorted(tree.tip_names()) == sorted(names(n))
+
+
+class TestNewick:
+    def test_round_trip_topology(self):
+        tree = random_tree(10, seed=4)
+        again = Tree.from_newick(tree.to_newick())
+        assert robinson_foulds(tree, again) == 0.0
+
+    def test_round_trip_lengths(self):
+        tree = random_tree(8, seed=5)
+        again = Tree.from_newick(tree.to_newick(digits=17))
+        assert abs(tree.total_length() - again.total_length()) < 1e-9
+
+    def test_rooted_input_is_unrooted(self):
+        tree = Tree.from_newick("((a:1,b:1):0.5,(c:1,d:1):0.5);")
+        tree.validate()
+        assert tree.n_tips == 4
+        assert len(tree.branches) == 5  # root edge pair merged
+
+    def test_trifurcating_root(self):
+        tree = Tree.from_newick("(a:1,b:1,(c:1,d:1):1);")
+        tree.validate()
+        assert tree.n_tips == 4
+
+    def test_merged_root_edge_sums_lengths(self):
+        tree = Tree.from_newick("((a:1,b:1):0.25,(c:1,d:1):0.75);")
+        inner_branches = [
+            b for b in tree.branches
+            if not b.nodes[0].is_tip and not b.nodes[1].is_tip
+        ]
+        assert len(inner_branches) == 1
+        assert abs(inner_branches[0].length - 1.0) < 1e-12
+
+    def test_comments_stripped(self):
+        tree = Tree.from_newick("(a:1,b:1,[a comment]c:1);")
+        assert tree.n_tips == 3
+
+    def test_missing_lengths_get_default(self):
+        tree = Tree.from_newick("(a,b,(c,d));")
+        tree.validate()
+
+    def test_bad_newick_raises(self):
+        for bad in ("a,b,c;", "(a,b", "(a,b,c)x y;", "((a,b),(c,d)"):
+            with pytest.raises(ValueError):
+                Tree.from_newick(bad)
+
+    def test_unary_node_rejected(self):
+        with pytest.raises(ValueError, match="unary"):
+            Tree.from_newick("(a,b,((c)));")
+
+    def test_scientific_notation_lengths(self):
+        tree = Tree.from_newick("(a:1e-3,b:2.5E-2,c:1.0);")
+        assert abs(tree.total_length() - (1e-3 + 2.5e-2 + 1.0)) < 1e-12
+
+    @given(st.integers(min_value=3, max_value=25), st.integers(0, 1000))
+    def test_round_trip_property(self, n, seed):
+        tree = Tree.from_tip_names(names(n), np.random.default_rng(seed))
+        again = Tree.from_newick(tree.to_newick(digits=17))
+        again.validate()
+        assert robinson_foulds(tree, again) == 0.0
+
+
+class TestTraversal:
+    def test_postorder_covers_tree(self):
+        tree = random_tree(9)
+        visited = tree.postorder(tree.nodes[0])
+        assert len(visited) == len(tree.nodes)
+        assert visited[-1][0] is tree.nodes[0]
+
+    def test_postorder_children_before_parents(self):
+        tree = random_tree(9)
+        root = tree.inner_nodes[0]
+        seen = set()
+        for node, entry in tree.postorder(root):
+            for branch in node.branches:
+                if branch is not entry:
+                    # children (on the far side) must already be visited
+                    assert branch.other(node).index in seen
+            seen.add(node.index)
+
+    def test_subtree_tips_partition(self):
+        tree = random_tree(12, seed=2)
+        for branch in tree.branches:
+            a, b = branch.nodes
+            side_a = tree.subtree_tips(a, branch)
+            side_b = tree.subtree_tips(b, branch)
+            assert side_a | side_b == set(tree.tip_names())
+            assert not side_a & side_b
+
+    def test_subtree_branches_partition(self):
+        tree = random_tree(10, seed=3)
+        for branch in tree.branches:
+            a, b = branch.nodes
+            ids_a = tree.subtree_branches(a, branch)
+            ids_b = tree.subtree_branches(b, branch)
+            all_ids = {br.index for br in tree.branches}
+            assert ids_a | ids_b | {branch.index} == all_ids
+            assert not ids_a & ids_b
+
+    def test_path_between(self):
+        tree = random_tree(10, seed=6)
+        tips = tree.tips
+        path = tree.path_between(tips[0], tips[1])
+        assert path  # non-empty
+        # The path must start at tips[0] and end at tips[1].
+        assert tips[0] in path[0].nodes
+        assert tips[1] in path[-1].nodes
+
+    def test_path_to_self_is_empty(self):
+        tree = random_tree(5)
+        node = tree.tips[0]
+        assert tree.path_between(node, node) == []
+
+
+class TestEdits:
+    def test_attach_and_remove_tip(self):
+        tree = random_tree(6, seed=8)
+        target = tree.branches[0]
+        tree.attach_tip("newtip", target, 0.1)
+        tree.validate()
+        assert tree.n_tips == 7
+        tree.remove_tip(tree.find_tip("newtip"))
+        tree.validate()
+        assert tree.n_tips == 6
+
+    def test_remove_tip_merges_lengths(self):
+        tree = Tree.from_newick("(a:1,b:1,(c:0.5,d:0.5):2);")
+        total_before = tree.total_length()
+        tip_c = tree.find_tip("c")
+        c_len = tip_c.branches[0].length
+        tree.remove_tip(tip_c)
+        tree.validate()
+        # Only the tip branch disappears; the junction's edges merge.
+        assert abs(tree.total_length() - (total_before - c_len)) < 1e-9
+
+    def test_cannot_shrink_below_three(self):
+        tree = random_tree(3)
+        with pytest.raises(ValueError):
+            tree.remove_tip(tree.tips[0])
+
+    def test_set_length_clamps(self):
+        tree = random_tree(4)
+        branch = tree.branches[0]
+        tree.set_length(branch, 1e-30)
+        assert branch.length == MIN_BRANCH_LENGTH
+        tree.set_length(branch, 1e6)
+        assert branch.length == MAX_BRANCH_LENGTH
+
+    def test_nni_preserves_invariants_and_changes_topology(self):
+        tree = random_tree(8, seed=9)
+        internal = next(
+            b for b in tree.branches
+            if not b.nodes[0].is_tip and not b.nodes[1].is_tip
+        )
+        before = tree.copy()
+        tree.nni(internal, variant=0)
+        tree.validate()
+        assert robinson_foulds(before, tree) > 0
+
+    def test_nni_two_variants_differ(self):
+        newick = random_tree(8, seed=10).to_newick(digits=17)
+        # Parsing the same string twice yields structurally identical
+        # trees with identical branch indices.
+        t0 = Tree.from_newick(newick)
+        t1 = Tree.from_newick(newick)
+        internal_id = next(
+            b.index for b in t0.branches
+            if not b.nodes[0].is_tip and not b.nodes[1].is_tip
+        )
+        t0.nni(t0.branch_by_id(internal_id), variant=0)
+        t1.nni(t1.branch_by_id(internal_id), variant=1)
+        t0.validate()
+        t1.validate()
+        assert robinson_foulds(t0, t1) > 0
+
+    def test_nni_requires_internal_branch(self):
+        tree = random_tree(5)
+        tip_branch = tree.tips[0].branches[0]
+        with pytest.raises(ValueError, match="internal"):
+            tree.nni(tip_branch)
+
+    def test_spr_valid_move(self):
+        tree = random_tree(10, seed=11)
+        prune = tree.branches[0]
+        keep = next(n for n in prune.nodes if not n.is_tip)
+        moved = prune.other(keep)
+        excluded = tree.subtree_branches(moved, prune)
+        excluded |= {b.index for b in keep.branches}
+        target = next(
+            b for b in tree.branches if b.index not in excluded
+        )
+        tree.spr(prune, keep, target)
+        tree.validate()
+
+    def test_spr_rejects_target_in_pruned_subtree(self):
+        tree = random_tree(10, seed=12)
+        # Choose a prune branch whose moved side is a large subtree.
+        prune = next(
+            b for b in tree.branches
+            if not b.nodes[0].is_tip and not b.nodes[1].is_tip
+        )
+        keep, moved = prune.nodes
+        inside = tree.subtree_branches(moved, prune)
+        target = tree.branch_by_id(next(iter(inside)))
+        with pytest.raises(ValueError, match="inside"):
+            tree.spr(prune, keep, target)
+
+    def test_spr_rejects_adjacent_target(self):
+        tree = random_tree(8, seed=13)
+        prune = tree.branches[0]
+        keep = next(n for n in prune.nodes if not n.is_tip)
+        adjacent = next(b for b in keep.branches if b is not prune)
+        with pytest.raises(ValueError, match="no-op"):
+            tree.spr(prune, keep, adjacent)
+
+    def test_retired_branch_operations_fail(self):
+        tree = random_tree(6, seed=14)
+        tip = tree.tips[0]
+        branch = tip.branches[0]
+        tree.remove_tip(tip)
+        assert branch.retired
+        with pytest.raises(ValueError):
+            tree.set_length(branch, 0.5)
+
+
+class TestObservers:
+    def test_length_change_notifies(self):
+        tree = random_tree(5)
+        dirtied = []
+        tree.add_observer(dirtied.append)
+        branch = tree.branches[0]
+        tree.set_length(branch, branch.length + 0.1)
+        assert dirtied == [branch.index]
+
+    def test_unchanged_length_does_not_notify(self):
+        tree = random_tree(5)
+        dirtied = []
+        tree.add_observer(dirtied.append)
+        branch = tree.branches[0]
+        tree.set_length(branch, branch.length)
+        assert dirtied == []
+
+    def test_retire_notifies(self):
+        tree = random_tree(6)
+        dirtied = []
+        tree.add_observer(dirtied.append)
+        target = tree.branches[0]
+        tree.attach_tip("x", target, 0.1)
+        assert target.index in dirtied
+
+    def test_remove_observer(self):
+        tree = random_tree(5)
+        dirtied = []
+        callback = dirtied.append
+        tree.add_observer(callback)
+        tree.remove_observer(callback)
+        tree.set_length(tree.branches[0], 0.123)
+        assert dirtied == []
+
+    def test_revision_increments(self):
+        tree = random_tree(5)
+        before = tree.revision
+        tree.set_length(tree.branches[0], 0.3)
+        assert tree.revision > before
+
+
+class TestBipartitionsAndRF:
+    def test_bipartition_count(self):
+        tree = random_tree(10, seed=15)
+        # n - 3 internal branches => n - 3 non-trivial splits.
+        assert len(tree.bipartitions()) == 10 - 3
+
+    def test_rf_identity(self):
+        tree = random_tree(12, seed=16)
+        assert robinson_foulds(tree, tree.copy()) == 0.0
+
+    def test_rf_symmetry(self):
+        a = random_tree(10, seed=17)
+        b = random_tree(10, seed=18)
+        assert robinson_foulds(a, b) == robinson_foulds(b, a)
+
+    def test_rf_normalized_range(self):
+        a = random_tree(10, seed=19)
+        b = random_tree(10, seed=20)
+        val = robinson_foulds(a, b, normalized=True)
+        assert 0.0 <= val <= 1.0
+
+    def test_rf_detects_single_nni(self):
+        tree = random_tree(10, seed=21)
+        other = tree.copy()
+        internal = next(
+            b for b in other.branches
+            if not b.nodes[0].is_tip and not b.nodes[1].is_tip
+        )
+        other.nni(internal)
+        assert robinson_foulds(tree, other) == 2.0  # one split swapped
+
+    def test_rf_requires_same_taxa(self):
+        a = random_tree(5)
+        b = Tree.from_tip_names(names(6))
+        with pytest.raises(ValueError, match="taxon sets"):
+            robinson_foulds(a, b)
+
+    @given(st.integers(min_value=4, max_value=20), st.integers(0, 500))
+    def test_rf_triangle_bound(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = Tree.from_tip_names(names(n), rng)
+        b = Tree.from_tip_names(names(n), rng)
+        c = Tree.from_tip_names(names(n), rng)
+        ab = robinson_foulds(a, b)
+        bc = robinson_foulds(b, c)
+        ac = robinson_foulds(a, c)
+        assert ac <= ab + bc  # symmetric difference is a metric

@@ -1,0 +1,120 @@
+"""Stateful property test: random edit sequences keep the tree sound.
+
+A hypothesis RuleBasedStateMachine drives the tree through arbitrary
+interleavings of SPR moves, NNIs, branch-length changes, tip
+attachments and removals.  After every step the structural invariants
+must hold, the taxon set must match the bookkeeping, and an attached
+likelihood engine's cached evaluation must equal a fresh engine's.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.phylo import (
+    Alignment,
+    GammaRates,
+    LikelihoodEngine,
+    Tree,
+    default_gtr,
+)
+from repro.phylo.search import _apply_spr, spr_neighborhood
+
+N_TAXA = 8
+N_SITES = 60
+
+
+def _make_patterns(rng):
+    seqs = {
+        f"t{i}": "".join(rng.choice(list("ACGT"), N_SITES))
+        for i in range(N_TAXA)
+    }
+    return Alignment.from_sequences(seqs).compress()
+
+
+class TreeEditMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 2 ** 16))
+    def setup(self, seed):
+        self.rng = np.random.default_rng(seed)
+        self.patterns = _make_patterns(self.rng)
+        self.tree = Tree.from_tip_names(self.patterns.taxa, self.rng)
+        self.model = default_gtr()
+        self.engine = LikelihoodEngine(
+            self.patterns, self.model, GammaRates(0.8, 2), self.tree
+        )
+        self.expected_tips = set(self.patterns.taxa)
+
+    def teardown(self):
+        if hasattr(self, "engine"):
+            self.engine.detach()
+
+    # -- rules ------------------------------------------------------------
+
+    @rule(index=st.integers(0, 10 ** 6), length=st.floats(1e-6, 5.0))
+    def change_length(self, index, length):
+        branches = self.tree.branches
+        branch = branches[index % len(branches)]
+        self.tree.set_length(branch, length)
+
+    @rule(index=st.integers(0, 10 ** 6), variant=st.integers(0, 1))
+    def nni(self, index, variant):
+        internal = [
+            b for b in self.tree.branches
+            if not b.nodes[0].is_tip and not b.nodes[1].is_tip
+        ]
+        if not internal:
+            return
+        self.tree.nni(internal[index % len(internal)], variant)
+
+    @rule(index=st.integers(0, 10 ** 6), target_pick=st.integers(0, 10 ** 6))
+    def spr(self, index, target_pick):
+        branches = self.tree.branches
+        prune = branches[index % len(branches)]
+        keeps = [n for n in prune.nodes if not n.is_tip]
+        if not keeps:
+            return
+        keep = keeps[0]
+        targets = spr_neighborhood(self.tree, prune, keep, radius=4)
+        if not targets:
+            return
+        _apply_spr(self.tree, prune, keep, targets[target_pick % len(targets)])
+
+    # -- invariants ---------------------------------------------------------
+
+    @invariant()
+    def structure_valid(self):
+        if not hasattr(self, "tree"):
+            return
+        self.tree.validate()
+
+    @invariant()
+    def taxa_preserved(self):
+        if not hasattr(self, "tree"):
+            return
+        assert set(self.tree.tip_names()) == self.expected_tips
+
+    @invariant()
+    def cached_likelihood_matches_fresh(self):
+        if not hasattr(self, "tree"):
+            return
+        cached = self.engine.evaluate()
+        fresh = LikelihoodEngine(
+            self.patterns, self.model, GammaRates(0.8, 2), self.tree
+        )
+        try:
+            assert abs(cached - fresh.evaluate()) < 1e-9
+        finally:
+            fresh.detach()
+
+
+TestTreeEditMachine = TreeEditMachine.TestCase
+TestTreeEditMachine.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
