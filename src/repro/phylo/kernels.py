@@ -25,7 +25,7 @@ only as oracles for the test suite.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +35,7 @@ __all__ = [
     "SCALE_THRESHOLD",
     "SCALE_FACTOR",
     "LOG_SCALE_FACTOR",
+    "contraction_path",
     "tip_terms",
     "inner_terms",
     "tip_terms_persite",
@@ -42,11 +43,39 @@ __all__ = [
     "newview_combine",
     "scale_clv",
     "evaluate_loglik",
+    "evaluate_loglik_batch",
     "branch_derivatives",
+    "branch_derivatives_batch",
     "branch_derivatives_persite",
+    "branch_derivatives_batch_persite",
     "newview_combine_reference",
     "evaluate_loglik_reference",
 ]
+
+# -- einsum contraction-path cache --------------------------------------------
+#
+# ``np.einsum(..., optimize=True)`` re-derives the contraction order on
+# every call; at thousands of kernel invocations per sweep the path
+# search itself becomes measurable.  Paths depend only on the subscripts
+# and operand shapes, so they are derived once and memoized.
+
+_PATH_CACHE: Dict[Tuple, List] = {}
+
+
+def contraction_path(subscripts: str, *operands: np.ndarray) -> List:
+    """The cached optimal contraction path for ``np.einsum(subscripts, ...)``."""
+    key = (subscripts,) + tuple(op.shape for op in operands)
+    path = _PATH_CACHE.get(key)
+    if path is None:
+        path = np.einsum_path(subscripts, *operands, optimize="optimal")[0]
+        _PATH_CACHE[key] = path
+    return path
+
+
+def _einsum(subscripts: str, *operands: np.ndarray,
+            out: Optional[np.ndarray] = None) -> np.ndarray:
+    return np.einsum(subscripts, *operands,
+                     optimize=contraction_path(subscripts, *operands), out=out)
 
 #: Rescaling threshold: when every entry of a pattern's CLV falls below
 #: this, the row is multiplied by :data:`SCALE_FACTOR`.  RAxML uses
@@ -57,7 +86,8 @@ LOG_SCALE_FACTOR = 256.0 * math.log(2.0)
 
 
 def tip_terms(p: np.ndarray, masks: np.ndarray,
-              code_table: Optional[np.ndarray] = None) -> np.ndarray:
+              code_table: Optional[np.ndarray] = None,
+              out: Optional[np.ndarray] = None) -> np.ndarray:
     """Propagate tip states across a branch: ``sum_j P[c,i,j] tip[s,j]``.
 
     Because a tip column only takes one of a small set of codes (15
@@ -72,23 +102,29 @@ def tip_terms(p: np.ndarray, masks: np.ndarray,
     masks: ``(n_patterns,)`` tip state codes (indices into the table).
     code_table: ``(n_codes, n)`` indicator rows per code; defaults to
         the DNA ambiguity-mask table.
+    out: optional ``(n_patterns, n_cats, n)`` buffer to gather into.
 
     Returns
     -------
     ``(n_patterns, n_cats, n)`` propagated terms.
     """
     table = TIP_PARTIAL_ROWS if code_table is None else code_table
-    per_code = np.einsum("cij,mj->mci", p, table)  # (n_codes, cats, n)
-    return per_code[masks]
+    per_code = _einsum("cij,mj->mci", p, table)  # (n_codes, cats, n)
+    if out is None:
+        return per_code[masks]
+    np.take(per_code, masks, axis=0, out=out)
+    return out
 
 
-def inner_terms(p: np.ndarray, clv: np.ndarray) -> np.ndarray:
+def inner_terms(p: np.ndarray, clv: np.ndarray,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
     """Propagate an inner CLV across a branch: ``sum_j P[c,i,j] clv[s,c,j]``."""
-    return np.einsum("cij,scj->sci", p, clv, optimize=True)
+    return _einsum("cij,scj->sci", p, clv, out=out)
 
 
 def tip_terms_persite(p: np.ndarray, masks: np.ndarray,
-                      code_table: Optional[np.ndarray] = None) -> np.ndarray:
+                      code_table: Optional[np.ndarray] = None,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
     """CAT-mode tip propagation with per-pattern transition matrices.
 
     ``p`` has shape ``(n_patterns, n, n)`` (each site's own rate); the
@@ -96,17 +132,24 @@ def tip_terms_persite(p: np.ndarray, masks: np.ndarray,
     """
     table = TIP_PARTIAL_ROWS if code_table is None else code_table
     tips = table[masks]  # (s, n)
-    return np.einsum("sij,sj->si", p, tips, optimize=True)[:, None, :]
+    if out is None:
+        return _einsum("sij,sj->si", p, tips)[:, None, :]
+    _einsum("sij,sj->si", p, tips, out=out[:, 0, :])
+    return out
 
 
-def inner_terms_persite(p: np.ndarray, clv: np.ndarray) -> np.ndarray:
+def inner_terms_persite(p: np.ndarray, clv: np.ndarray,
+                        out: Optional[np.ndarray] = None) -> np.ndarray:
     """CAT-mode inner propagation with per-pattern transition matrices."""
-    return np.einsum("sij,scj->sci", p, clv, optimize=True)
+    return _einsum("sij,scj->sci", p, clv, out=out)
 
 
-def newview_combine(left_term: np.ndarray, right_term: np.ndarray) -> np.ndarray:
+def newview_combine(left_term: np.ndarray, right_term: np.ndarray,
+                    out: Optional[np.ndarray] = None) -> np.ndarray:
     """Combine two propagated child terms into the parent CLV."""
-    return left_term * right_term
+    if out is None:
+        return left_term * right_term
+    return np.multiply(left_term, right_term, out=out)
 
 
 def scale_clv(clv: np.ndarray, scale_counts: np.ndarray) -> int:
@@ -116,8 +159,19 @@ def scale_clv(clv: np.ndarray, scale_counts: np.ndarray) -> int:
     states) is below :data:`SCALE_THRESHOLD`, multiply the whole pattern
     row by :data:`SCALE_FACTOR` and increment its scale counter.  This is
     the vectorized form of the paper's section 5.2.3 conditional.
+
+    A CLV containing NaN or +/-Inf raises :class:`FloatingPointError`
+    immediately: NaN compares false against the threshold, so without
+    the explicit check a poisoned CLV would silently skip rescaling and
+    surface much later as an inscrutable log-likelihood failure.
     """
-    pattern_max = clv.max(axis=(1, 2))
+    pattern_max = np.max(clv, axis=(1, 2), initial=0.0)
+    if not np.isfinite(pattern_max).all():
+        bad = int(np.flatnonzero(~np.isfinite(pattern_max))[0])
+        raise FloatingPointError(
+            f"non-finite CLV entries at pattern {bad} (NaN/Inf reached the "
+            f"underflow-rescaling check)"
+        )
     needs = pattern_max < SCALE_THRESHOLD
     count = int(needs.sum())
     if count:
@@ -141,12 +195,35 @@ def evaluate_loglik(
     propagated across the branch's transition matrices.  ``scale_counts``
     is the combined per-pattern rescaling count of both sides.
     """
-    per_cat = np.einsum("sci,i->sc", u_term * v_term, pi, optimize=True)
+    per_cat = _einsum("sci,sci,i->sc", u_term, v_term, pi)
     site_lik = per_cat @ cat_weights
     if (site_lik <= 0).any():
         raise FloatingPointError("non-positive site likelihood (underflow?)")
     logs = np.log(site_lik) - scale_counts * LOG_SCALE_FACTOR
     return float(pattern_weights @ logs)
+
+
+def evaluate_loglik_batch(
+    pi: np.ndarray,
+    cat_weights: np.ndarray,
+    pattern_weights: np.ndarray,
+    u_terms: np.ndarray,
+    v_terms: np.ndarray,
+    scale_counts: np.ndarray,
+) -> np.ndarray:
+    """:func:`evaluate_loglik` over ``K`` stacked branch candidates.
+
+    ``u_terms``/``v_terms`` have shape ``(K, s, c, n)`` and
+    ``scale_counts`` ``(K, s)``; one fused contraction scores every
+    candidate.  Returns the ``(K,)`` log likelihoods — equal (to
+    round-off) to calling :func:`evaluate_loglik` per candidate.
+    """
+    per_cat = _einsum("ksci,ksci,i->ksc", u_terms, v_terms, pi)
+    site_lik = per_cat @ cat_weights  # (K, s)
+    if (site_lik <= 0).any():
+        raise FloatingPointError("non-positive site likelihood (underflow?)")
+    logs = np.log(site_lik) - scale_counts * LOG_SCALE_FACTOR
+    return logs @ pattern_weights
 
 
 def branch_derivatives(
@@ -167,9 +244,9 @@ def branch_derivatives(
     p, dp, d2p = model_terms
     # w[s,c,i,j] contraction done in two steps to stay O(s*c*16).
     left = u_clv * pi[None, None, :]  # fold pi into the u side
-    f = np.einsum("sci,cij,scj->sc", left, p, v_clv, optimize=True)
-    f1 = np.einsum("sci,cij,scj->sc", left, dp, v_clv, optimize=True)
-    f2 = np.einsum("sci,cij,scj->sc", left, d2p, v_clv, optimize=True)
+    f = _einsum("sci,cij,scj->sc", left, p, v_clv)
+    f1 = _einsum("sci,cij,scj->sc", left, dp, v_clv)
+    f2 = _einsum("sci,cij,scj->sc", left, d2p, v_clv)
     lik = f @ cat_weights
     d1 = f1 @ cat_weights
     d2 = f2 @ cat_weights
@@ -179,6 +256,41 @@ def branch_derivatives(
     lnl = float(pattern_weights @ (np.log(lik) - scale_counts * LOG_SCALE_FACTOR))
     dlnl = float(pattern_weights @ g1)
     d2lnl = float(pattern_weights @ (d2 / lik - g1 * g1))
+    return lnl, dlnl, d2lnl
+
+
+def branch_derivatives_batch(
+    model_terms: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    pi: np.ndarray,
+    cat_weights: np.ndarray,
+    pattern_weights: np.ndarray,
+    u_clv: np.ndarray,
+    v_clv: np.ndarray,
+    scale_counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`branch_derivatives` over ``K`` stacked branch candidates.
+
+    ``model_terms`` matrices have shape ``(K, n_cats, n, n)`` (one
+    transition stack per candidate length); ``u_clv``/``v_clv`` are
+    ``(K, s, c, n)`` and ``scale_counts`` is ``(K, s)``.  Returns three
+    ``(K,)`` arrays ``(lnL, d lnL/dt, d2 lnL/dt2)`` equal (to round-off)
+    to ``K`` serial :func:`branch_derivatives` calls — the fused
+    multi-candidate contraction of the batched SPR scorer.
+    """
+    p, dp, d2p = model_terms
+    left = u_clv * pi[None, None, None, :]
+    f = _einsum("ksci,kcij,kscj->ksc", left, p, v_clv)
+    f1 = _einsum("ksci,kcij,kscj->ksc", left, dp, v_clv)
+    f2 = _einsum("ksci,kcij,kscj->ksc", left, d2p, v_clv)
+    lik = f @ cat_weights  # (K, s)
+    d1 = f1 @ cat_weights
+    d2 = f2 @ cat_weights
+    if (lik <= 0).any():
+        raise FloatingPointError("non-positive site likelihood in makenewz")
+    g1 = d1 / lik
+    lnl = (np.log(lik) - scale_counts * LOG_SCALE_FACTOR) @ pattern_weights
+    dlnl = g1 @ pattern_weights
+    d2lnl = (d2 / lik - g1 * g1) @ pattern_weights
     return lnl, dlnl, d2lnl
 
 
@@ -198,15 +310,44 @@ def branch_derivatives_persite(
     p, dp, d2p = model_terms
     left = u_clv[:, 0, :] * pi[None, :]
     v = v_clv[:, 0, :]
-    lik = np.einsum("si,sij,sj->s", left, p, v, optimize=True)
-    d1 = np.einsum("si,sij,sj->s", left, dp, v, optimize=True)
-    d2 = np.einsum("si,sij,sj->s", left, d2p, v, optimize=True)
+    lik = _einsum("si,sij,sj->s", left, p, v)
+    d1 = _einsum("si,sij,sj->s", left, dp, v)
+    d2 = _einsum("si,sij,sj->s", left, d2p, v)
     if (lik <= 0).any():
         raise FloatingPointError("non-positive site likelihood in makenewz")
     g1 = d1 / lik
     lnl = float(pattern_weights @ (np.log(lik) - scale_counts * LOG_SCALE_FACTOR))
     dlnl = float(pattern_weights @ g1)
     d2lnl = float(pattern_weights @ (d2 / lik - g1 * g1))
+    return lnl, dlnl, d2lnl
+
+
+def branch_derivatives_batch_persite(
+    model_terms: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    pi: np.ndarray,
+    pattern_weights: np.ndarray,
+    u_clv: np.ndarray,
+    v_clv: np.ndarray,
+    scale_counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CAT-mode :func:`branch_derivatives_batch`.
+
+    ``model_terms`` matrices have shape ``(K, n_patterns, n, n)``;
+    ``u_clv``/``v_clv`` keep the singleton category axis
+    ``(K, s, 1, n)`` and ``scale_counts`` is ``(K, s)``.
+    """
+    p, dp, d2p = model_terms
+    left = u_clv[:, :, 0, :] * pi[None, None, :]
+    v = v_clv[:, :, 0, :]
+    lik = _einsum("ksi,ksij,ksj->ks", left, p, v)
+    d1 = _einsum("ksi,ksij,ksj->ks", left, dp, v)
+    d2 = _einsum("ksi,ksij,ksj->ks", left, d2p, v)
+    if (lik <= 0).any():
+        raise FloatingPointError("non-positive site likelihood in makenewz")
+    g1 = d1 / lik
+    lnl = (np.log(lik) - scale_counts * LOG_SCALE_FACTOR) @ pattern_weights
+    dlnl = g1 @ pattern_weights
+    d2lnl = (d2 / lik - g1 * g1) @ pattern_weights
     return lnl, dlnl, d2lnl
 
 

@@ -33,7 +33,8 @@ import numpy as np
 
 from . import kernels
 from .alignment import PatternAlignment
-from .models import SubstitutionModel
+from .arena import ClvArena, ClvSlot
+from .models import PMatrixCache, SubstitutionModel
 from .rates import RateModel, UniformRate
 from .tree import Branch, Node, Tree, MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH
 
@@ -51,9 +52,10 @@ class NewviewCase:
 
 @dataclass
 class _CachedCLV:
-    clv: np.ndarray  # (n_patterns, n_cats, 4)
-    scale_counts: np.ndarray  # (n_patterns,) int64
+    clv: np.ndarray  # (n_patterns, n_cats, 4) — a view into an arena slot
+    scale_counts: np.ndarray  # (n_patterns,) int64 — same slot
     deps: FrozenSet[int]  # branch ids this CLV depends on
+    slot: Optional[ClvSlot] = None  # arena slot backing the views
 
 
 class LikelihoodEngine:
@@ -116,26 +118,61 @@ class LikelihoodEngine:
             self._tip_index[node.index] = patterns.taxon_index(node.name)
 
         self._clv_cache: Dict[Tuple[int, int], _CachedCLV] = {}
-        self._pmat_cache: Dict[int, np.ndarray] = {}
+        #: quantized-branch-length P-matrix cache (shared by every kernel)
+        self._pmats = PMatrixCache(model, self._rates_for_pmat())
+        #: preallocated CLV slot pool with free-list recycling
+        self._arena = ClvArena(
+            patterns.n_patterns, self._n_cats, self._n_states
+        )
+        #: scratch buffers for the two propagated child terms of newview
+        #: (steady-state sweeps reuse these instead of allocating)
+        self._term_scratch = (
+            np.empty((patterns.n_patterns, self._n_cats, self._n_states)),
+            np.empty((patterns.n_patterns, self._n_cats, self._n_states)),
+        )
+        #: shared zero scale-count vector handed out for tip sides
+        self._zero_scale = np.zeros(patterns.n_patterns, dtype=np.int64)
+        self._zero_scale.setflags(write=False)
         tree.add_observer(self._on_branch_dirty)
 
         #: running counters (cheap, always on) — used for sanity checks
         self.newview_calls = 0
         self.evaluate_calls = 0
         self.makenewz_calls = 0
+        self.spr_batch_calls = 0
+        self.spr_batch_candidates = 0
+
+        if tracer is not None and hasattr(tracer, "add_counter_source"):
+            tracer.add_counter_source(self.perf_counters)
 
     # -- lifecycle ----------------------------------------------------------
 
     def detach(self) -> None:
         """Unregister from the tree and drop all caches."""
         self.tree.remove_observer(self._on_branch_dirty)
-        self._clv_cache.clear()
-        self._pmat_cache.clear()
+        self._drop_all_clvs()
+        self._pmats.invalidate()
 
     def invalidate_all(self) -> None:
         """Drop every cache (e.g. after a model-parameter change)."""
+        self._drop_all_clvs()
+        self._reset_pmats()
+
+    def _drop_all_clvs(self) -> None:
         self._clv_cache.clear()
-        self._pmat_cache.clear()
+        self._arena.release_all()
+
+    def _reset_pmats(self) -> None:
+        """Re-point the P-matrix cache at the current model/rates.
+
+        Cumulative hit/miss counters survive so whole-run cache
+        efficiency stays visible in :meth:`perf_counters`.
+        """
+        self._pmats.model = self.model
+        self._pmats.rates = np.asarray(
+            self._rates_for_pmat(), dtype=np.float64
+        )
+        self._pmats.invalidate()
 
     def set_model(self, model: SubstitutionModel) -> None:
         """Swap the substitution model and drop caches."""
@@ -152,7 +189,18 @@ class LikelihoodEngine:
         else:
             self._cat_weights = rate_model.weights
             self._n_cats = rate_model.n_categories
+        self._ensure_buffers()
         self.invalidate_all()
+
+    def _ensure_buffers(self) -> None:
+        """Recreate arena/scratch buffers if the CLV shape changed
+        (e.g. a rate model with a different category count)."""
+        if self._arena.n_cats == self._n_cats:
+            return
+        shape = (self.patterns.n_patterns, self._n_cats, self._n_states)
+        self._clv_cache.clear()  # old entries view the old arena's blocks
+        self._arena = ClvArena(*shape)
+        self._term_scratch = (np.empty(shape), np.empty(shape))
 
     def _push_context(self, name: str):
         """Tell the tracer (if any) that nested kernel calls follow."""
@@ -165,14 +213,17 @@ class LikelihoodEngine:
             self.tracer.pop_context(token)
 
     def _on_branch_dirty(self, branch_id: int) -> None:
-        self._pmat_cache.pop(branch_id, None)
+        # The P-matrix cache is keyed by (quantized) length, not branch
+        # id, so a dirtied branch simply looks up its new length there.
         stale = [
             key
             for key, entry in self._clv_cache.items()
             if branch_id in entry.deps or key[1] == branch_id
         ]
         for key in stale:
-            del self._clv_cache[key]
+            entry = self._clv_cache.pop(key)
+            if entry.slot is not None:
+                self._arena.release(entry.slot)
 
     # -- transition matrices ---------------------------------------------------
 
@@ -183,14 +234,10 @@ class LikelihoodEngine:
 
     def _pmat(self, branch: Branch) -> np.ndarray:
         """Transition matrices for *branch*: ``(n_cats, 4, 4)`` for the
-        integrated modes, ``(n_patterns, 4, 4)`` for CAT."""
-        cached = self._pmat_cache.get(branch.index)
-        if cached is None:
-            cached = self.model.transition_matrices(
-                branch.length, self._rates_for_pmat()
-            )
-            self._pmat_cache[branch.index] = cached
-        return cached
+        integrated modes, ``(n_patterns, 4, 4)`` for CAT.  Served from the
+        quantized-length :class:`PMatrixCache`, so branches sharing a
+        length (reverted moves, clamped minima) share one stack."""
+        return self._pmats.matrices(branch.length)
 
     # -- CLV computation ----------------------------------------------------------
 
@@ -208,22 +255,34 @@ class LikelihoodEngine:
             (self.patterns.n_patterns, self._n_cats, self._n_states),
         )
 
-    def _propagated(self, node: Node, via: Branch) -> Tuple[np.ndarray, np.ndarray]:
+    def _propagated(
+        self, node: Node, via: Branch, out: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """CLV of the subtree at *node* away from *via*, propagated across
-        *via*.  Returns ``(term, scale_counts)``."""
-        p = self._pmat(via)
+        *via*.  Returns ``(term, scale_counts)``; with ``out`` the term is
+        written into the caller's buffer."""
+        return self._term_across(node, via, self._pmat(via), out=out)
+
+    def _term_across(
+        self, node: Node, via: Branch, p: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Propagate the CLV at *node* away from *via* across matrices *p*.
+
+        Tip sides return the engine's shared read-only zero scale-count
+        vector (callers only ever add it)."""
         if node.is_tip:
             masks = self._tip_masks(node)
             if self._site_rates is not None:
-                term = kernels.tip_terms_persite(p, masks, self._tip_table)
+                term = kernels.tip_terms_persite(p, masks, self._tip_table, out=out)
             else:
-                term = kernels.tip_terms(p, masks, self._tip_table)
-            return term, np.zeros(self.patterns.n_patterns, dtype=np.int64)
+                term = kernels.tip_terms(p, masks, self._tip_table, out=out)
+            return term, self._zero_scale
         entry = self.clv(node, via)
         if self._site_rates is not None:
-            term = kernels.inner_terms_persite(p, entry.clv)
+            term = kernels.inner_terms_persite(p, entry.clv, out=out)
         else:
-            term = kernels.inner_terms(p, entry.clv)
+            term = kernels.inner_terms(p, entry.clv, out=out)
         return term, entry.scale_counts
 
     def clv(self, node: Node, entry: Branch) -> _CachedCLV:
@@ -262,14 +321,19 @@ class LikelihoodEngine:
             raise ValueError("newview requires an inner node of degree 3")
         (b1, b2) = children
         q1, q2 = b1.other(node), b2.other(node)
-        term1, sc1 = self._propagated(q1, b1)
-        term2, sc2 = self._propagated(q2, b2)
-        clv = kernels.newview_combine(term1, term2)
-        scale_counts = sc1 + sc2
-        scaled = kernels.scale_clv(clv, scale_counts)
+        # Children are already cached (clv() fills post-order), so nested
+        # newviews cannot clobber the two scratch term buffers.
+        term1, sc1 = self._propagated(q1, b1, out=self._term_scratch[0])
+        term2, sc2 = self._propagated(q2, b2, out=self._term_scratch[1])
+        slot = self._arena.acquire()
+        kernels.newview_combine(term1, term2, out=slot.clv)
+        np.add(sc1, sc2, out=slot.scale_counts)
+        scaled = kernels.scale_clv(slot.clv, slot.scale_counts)
 
         deps = frozenset(self.tree.subtree_branches(node, entry))
-        entry_cache = _CachedCLV(clv=clv, scale_counts=scale_counts, deps=deps)
+        entry_cache = _CachedCLV(
+            clv=slot.clv, scale_counts=slot.scale_counts, deps=deps, slot=slot
+        )
         self._clv_cache[(node.index, entry.index)] = entry_cache
 
         self.newview_calls += 1
@@ -318,7 +382,9 @@ class LikelihoodEngine:
         context = self._push_context("evaluate")
         try:
             u_clv, u_sc = self._side(u, branch)
-            v_term, v_sc = self._propagated(v, branch)
+            v_term, v_sc = self._propagated(
+                v, branch, out=self._term_scratch[0]
+            )
         finally:
             self._pop_context(context)
         result = kernels.evaluate_loglik(
@@ -381,10 +447,9 @@ class LikelihoodEngine:
         scale = u_sc + v_sc
         pi = self.model.pi
         weights = self.patterns.weights
-        rates = self._rates_for_pmat()
 
         def derivatives_at(length: float):
-            terms = self.model.transition_derivatives(length, rates)
+            terms = self._pmats.derivatives(length)
             if self._site_rates is not None:
                 return kernels.branch_derivatives_persite(
                     terms, pi, weights, u_clv, v_clv, scale
@@ -428,6 +493,183 @@ class LikelihoodEngine:
                 iterations=iterations,
             )
         return best_t, best_lnl
+
+    # -- batched SPR candidate scoring ---------------------------------------
+
+    def score_spr_candidates(
+        self,
+        prune_branch: Branch,
+        keep_side: Node,
+        targets: List[Branch],
+        max_iterations: int = 8,
+        tolerance: float = 1e-8,
+    ) -> Tuple[np.ndarray, np.ndarray, Branch]:
+        """Preview-score every SPR insertion of one pruned subtree at once.
+
+        The serial search applies each of the K candidate moves in turn,
+        Newton-optimizes the junction branches, evaluates, and reverts.
+        This method instead prunes the subtree *once*, builds the
+        junction CLV for every candidate target (two propagations and a
+        combine each, sharing P-matrix-cache entries for the split-target
+        half lengths), then runs a vectorized Newton-Raphson on all K
+        connect-branch lengths simultaneously through
+        :func:`kernels.branch_derivatives_batch` — one ``(K, s, c, 4)``
+        tensor contraction per iteration instead of K independent kernel
+        trips.  The tree is restored exactly before returning (same
+        geometry; fresh branch ids, like the serial revert).
+
+        Returns ``(scores, lengths, new_prune_branch)``: per-candidate
+        preview log likelihoods (connect branch optimized, the two target
+        halves fixed at their split lengths), the optimized connect
+        lengths, and the recreated prune branch (``nodes[0]`` is the
+        junction, matching :func:`Tree.regraft_subtree`).
+        """
+        if keep_side.is_tip:
+            raise ValueError("keep_side must be the inner junction node")
+        moved_root = prune_branch.other(keep_side)
+
+        # Snapshot the subtree-side CLV before pruning retires its entry.
+        if moved_root.is_tip:
+            sub_clv = self._tip_clv(moved_root)
+            sub_scale = self._zero_scale
+        else:
+            entry = self.clv(moved_root, prune_branch)
+            sub_clv = entry.clv.copy()
+            sub_scale = entry.scale_counts.copy()
+
+        bx, by = [b for b in keep_side.branches if b is not prune_branch]
+        origin_x, origin_y = bx.other(keep_side), by.other(keep_side)
+        lx, ly, lsub = bx.length, by.length, prune_branch.length
+        target_info = [(t, t.nodes[0], t.nodes[1], t.length) for t in targets]
+
+        self.tree.prune_subtree(prune_branch, keep_side=keep_side)
+
+        n_candidates = len(target_info)
+        s, c, n = self.patterns.n_patterns, self._n_cats, self._n_states
+        u_stack = np.empty((n_candidates, s, c, n))
+        scale_stack = np.empty((n_candidates, s), dtype=np.int64)
+        context = self._push_context("spr_batch")
+        try:
+            for k, (t, x, y, length) in enumerate(target_info):
+                half = max(length * 0.5, MIN_BRANCH_LENGTH)
+                p_half = self._pmats.matrices(half)
+                # Fill both side CLVs first: nested newviews use the same
+                # scratch buffers the terms are about to occupy.
+                if not x.is_tip:
+                    self.clv(x, t)
+                if not y.is_tip:
+                    self.clv(y, t)
+                tx, scx = self._term_across(
+                    x, t, p_half, out=self._term_scratch[0]
+                )
+                ty, scy = self._term_across(
+                    y, t, p_half, out=self._term_scratch[1]
+                )
+                kernels.newview_combine(tx, ty, out=u_stack[k])
+                np.add(scx, scy, out=scale_stack[k])
+                kernels.scale_clv(u_stack[k], scale_stack[k])
+                scale_stack[k] += sub_scale
+        finally:
+            self._pop_context(context)
+
+        v_stack = np.broadcast_to(sub_clv, u_stack.shape)
+        rates = self._rates_for_pmat()
+        pi = self.model.pi
+        weights = self.patterns.weights
+
+        def derivatives_at(ts: np.ndarray):
+            terms = self.model.transition_derivatives_batch(ts, rates)
+            if self._site_rates is not None:
+                return kernels.branch_derivatives_batch_persite(
+                    terms, pi, weights, u_stack, v_stack, scale_stack
+                )
+            return kernels.branch_derivatives_batch(
+                terms, pi, self._cat_weights, weights, u_stack, v_stack,
+                scale_stack,
+            )
+
+        # Vectorized Newton-Raphson mirroring makenewz's scalar updates.
+        start = min(max(lsub, MIN_BRANCH_LENGTH), MAX_BRANCH_LENGTH)
+        ts = np.full(n_candidates, start)
+        best_ts = ts.copy()
+        best_lnl = np.full(n_candidates, -np.inf)
+        active = np.ones(n_candidates, dtype=bool)
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            lnl, d1, d2 = derivatives_at(ts)
+            better = lnl > best_lnl
+            best_lnl = np.where(better, lnl, best_lnl)
+            best_ts = np.where(better, ts, best_ts)
+            small_d1 = np.abs(d1) < tolerance
+            newton = d2 < 0.0
+            new_t = np.where(
+                newton,
+                ts - d1 / np.where(newton, d2, 1.0),
+                np.where(d1 > 0.0, ts * 2.0, ts * 0.5),
+            )
+            np.clip(new_t, MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH, out=new_t)
+            small_step = np.abs(new_t - ts) < tolerance
+            move = active & ~small_d1
+            ts = np.where(move, new_t, ts)
+            active &= ~(small_d1 | small_step)
+            if not active.any():
+                break
+        # Score the final point too (a step may end the loop).
+        lnl, _, _ = derivatives_at(ts)
+        better = lnl > best_lnl
+        best_lnl = np.where(better, lnl, best_lnl)
+        best_ts = np.where(better, ts, best_ts)
+
+        # Restore the tree exactly (fresh ids, original geometry).
+        merged = None
+        for b in origin_x.branches:
+            if b.other(origin_x) is origin_y:
+                merged = b
+                break
+        if merged is None:  # pragma: no cover - structural invariant
+            raise RuntimeError("pruning did not merge the junction branches")
+        new_connect = self.tree.regraft_subtree(moved_root, merged, lsub)
+        junction = new_connect.nodes[0]
+        for b in junction.branches:
+            far = b.other(junction)
+            if far is moved_root:
+                self.tree.set_length(b, lsub)
+            elif far is origin_x:
+                self.tree.set_length(b, lx)
+            elif far is origin_y:
+                self.tree.set_length(b, ly)
+
+        self.spr_batch_calls += 1
+        self.spr_batch_candidates += n_candidates
+        if self.tracer is not None and hasattr(self.tracer, "record_spr_batch"):
+            self.tracer.record_spr_batch(
+                k=n_candidates,
+                n_patterns=s,
+                n_cats=self._n_cats,
+                iterations=iterations,
+            )
+        return best_lnl, best_ts, new_connect
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def perf_counters(self) -> Dict[str, int]:
+        """Hot-path performance counters (cache, arena, batching).
+
+        Exposed to tracers through ``add_counter_source`` so workload
+        traces carry the engine-efficiency numbers alongside the kernel
+        mix.
+        """
+        counters = {
+            "newview_calls": self.newview_calls,
+            "evaluate_calls": self.evaluate_calls,
+            "makenewz_calls": self.makenewz_calls,
+            "spr_batch_calls": self.spr_batch_calls,
+            "spr_batch_candidates": self.spr_batch_candidates,
+            "clv_cache_entries": len(self._clv_cache),
+        }
+        counters.update(self._pmats.counters())
+        counters.update(self._arena.counters())
+        return counters
 
     def optimize_all_branches(
         self, passes: int = 3, tolerance: float = 1e-6

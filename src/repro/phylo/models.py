@@ -24,8 +24,9 @@ amino-acid models live in :mod:`repro.phylo.protein`.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from .dna import NUM_STATES
 
 __all__ = [
     "SubstitutionModel",
+    "PMatrixCache",
     "GTR",
     "HKY85",
     "K80",
@@ -196,6 +198,47 @@ class SubstitutionModel:
         d2p = np.einsum("ik,ck,kj->cij", self._right, lam * lam * e, self._left)
         return p, dp, d2p
 
+    def transition_matrices_batch(self, branch_lengths, rates) -> np.ndarray:
+        """:meth:`transition_matrices` for ``K`` branch lengths at once.
+
+        Returns ``(K, n_categories, n, n)`` — one eigenbasis projection
+        covers every candidate, which is how the batched SPR scorer
+        builds its per-candidate transition stacks in one BLAS call.
+        """
+        ts = np.asarray(branch_lengths, dtype=np.float64)
+        if (ts < 0).any():
+            raise ValueError("branch lengths must be non-negative")
+        rates = np.asarray(rates, dtype=np.float64)
+        exponent = np.exp(
+            self._eigenvalues[None, None, :]
+            * rates[None, :, None]
+            * ts[:, None, None]
+        )  # (K, cats, n)
+        return np.einsum("ik,qck,kj->qcij", self._right, exponent, self._left)
+
+    def transition_derivatives_batch(
+        self, branch_lengths, rates
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`transition_derivatives` for ``K`` branch lengths at once.
+
+        Returns three ``(K, n_categories, n, n)`` stacks sharing one
+        eigenbasis evaluation; feeds the vectorized Newton-Raphson of
+        the batched SPR scorer.
+        """
+        ts = np.asarray(branch_lengths, dtype=np.float64)
+        if (ts < 0).any():
+            raise ValueError("branch lengths must be non-negative")
+        rates = np.asarray(rates, dtype=np.float64)
+        lam = self._eigenvalues[None, :] * rates[:, None]  # (cats, n)
+        e = np.exp(lam[None, :, :] * ts[:, None, None])  # (K, cats, n)
+        lam_e = lam[None, :, :] * e
+        p = np.einsum("ik,qck,kj->qcij", self._right, e, self._left)
+        dp = np.einsum("ik,qck,kj->qcij", self._right, lam_e, self._left)
+        d2p = np.einsum(
+            "ik,qck,kj->qcij", self._right, lam[None, :, :] * lam_e, self._left
+        )
+        return p, dp, d2p
+
     def with_frequencies(self, frequencies) -> "SubstitutionModel":
         """The same exchangeabilities with different frequencies."""
         return SubstitutionModel(
@@ -206,6 +249,124 @@ class SubstitutionModel:
         """The same frequencies with different exchangeability rates."""
         return SubstitutionModel(
             tuple(np.asarray(exchangeabilities)), self.frequencies, self.name
+        )
+
+
+class PMatrixCache:
+    """Memoized ``P`` / ``(P, dP, d2P)`` stacks for one (model, rates) pair.
+
+    The eigendecomposition is already computed once per
+    :class:`SubstitutionModel`; what a search recomputes thousands of
+    times over is the *projection* ``R diag(exp(lambda r t)) L`` — once
+    per ``newview`` and once per Newton iteration of ``makenewz``.
+    Branch lengths revisit the same values constantly (SPR candidates
+    are reverted to their pre-move lengths, `MIN_BRANCH_LENGTH` clamps
+    collapse many branches onto one value, Newton restarts from the
+    stored length), so an LRU table keyed by the **quantized** branch
+    length turns most of those projections into dictionary hits.
+
+    Parameters
+    ----------
+    model:
+        The substitution model whose eigensystem backs the entries.
+    rates:
+        Per-category (Gamma) or per-pattern (CAT) rate multipliers; the
+        cache is only valid for this exact vector — the owner must call
+        :meth:`invalidate` (or build a fresh cache) when either the
+        model or the rates change.
+    quantum:
+        Branch-length quantization step.  Lengths within one quantum of
+        each other share an entry computed at the first length seen;
+        ``1e-12`` is far below every optimizer tolerance in the system
+        (Newton uses 1e-8), so sharing never changes a decision.
+    capacity:
+        Maximum entries per table (matrices and derivative stacks are
+        tracked separately); least-recently-used entries are evicted.
+
+    ``hits`` / ``misses`` count lookups cumulatively — they survive
+    :meth:`invalidate` so traces can report whole-run cache efficiency.
+    """
+
+    def __init__(self, model: "SubstitutionModel", rates,
+                 quantum: float = 1e-12, capacity: int = 2048):
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.model = model
+        self.rates = np.asarray(rates, dtype=np.float64)
+        self.quantum = quantum
+        self.capacity = capacity
+        self._matrices: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._derivatives: "OrderedDict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _key(self, branch_length: float) -> int:
+        return int(round(branch_length / self.quantum))
+
+    def matrices(self, branch_length: float) -> np.ndarray:
+        """Cached :meth:`SubstitutionModel.transition_matrices`."""
+        key = self._key(branch_length)
+        entry = self._matrices.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._matrices.move_to_end(key)
+            return entry
+        derived = self._derivatives.get(key)
+        if derived is not None:  # the derivative stack includes P
+            self.hits += 1
+            self._derivatives.move_to_end(key)
+            return derived[0]
+        self.misses += 1
+        entry = self.model.transition_matrices(branch_length, self.rates)
+        entry.setflags(write=False)
+        self._matrices[key] = entry
+        if len(self._matrices) > self.capacity:
+            self._matrices.popitem(last=False)
+        return entry
+
+    def derivatives(
+        self, branch_length: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached :meth:`SubstitutionModel.transition_derivatives`."""
+        key = self._key(branch_length)
+        entry = self._derivatives.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._derivatives.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = self.model.transition_derivatives(branch_length, self.rates)
+        for part in entry:
+            part.setflags(write=False)
+        self._derivatives[key] = entry
+        if len(self._derivatives) > self.capacity:
+            self._derivatives.popitem(last=False)
+        return entry
+
+    def invalidate(self) -> None:
+        """Drop every entry (model-parameter or rate change)."""
+        self._matrices.clear()
+        self._derivatives.clear()
+        self.invalidations += 1
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "pmat_hits": self.hits,
+            "pmat_misses": self.misses,
+            "pmat_entries": len(self._matrices) + len(self._derivatives),
+            "pmat_invalidations": self.invalidations,
+        }
+
+    def __len__(self) -> int:
+        return len(self._matrices) + len(self._derivatives)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PMatrixCache {len(self)} entries, "
+            f"{self.hits} hits / {self.misses} misses>"
         )
 
 

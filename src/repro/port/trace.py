@@ -31,13 +31,14 @@ NESTED_TOP = "top"
 class KernelEvent:
     """One recorded kernel invocation."""
 
-    kernel: str  # "newview" | "makenewz" | "evaluate"
+    kernel: str  # "newview" | "makenewz" | "evaluate" | "spr_batch"
     n_patterns: int
     n_cats: int
     case: str = ""  # newview only: one of NewviewCase
-    iterations: int = 0  # makenewz only: Newton iterations
+    iterations: int = 0  # makenewz/spr_batch: Newton iterations
     scaled: int = 0  # newview only: patterns rescaled
     context: str = NESTED_TOP  # enclosing offload unit
+    batch: int = 1  # spr_batch only: candidates scored in one call
 
     @property
     def is_nested(self) -> bool:
@@ -72,7 +73,13 @@ class Tracer:
         self.makenewz_patterncats = 0.0  # sum over iterations
         self.evaluate_count = 0
         self.evaluate_patterncats = 0.0
+        self.spr_batch_count = 0
+        self.spr_batch_candidates = 0
+        self.spr_batch_patterncats = 0.0  # sum over candidates x iterations
         self.task_boundaries: List[int] = []  # cumulative newview counts
+        #: callables returning engine perf-counter dicts (cache/arena/
+        #: batching efficiency); registered by the likelihood engine.
+        self.counter_sources: List = []
 
     # -- context management (called by the engine wrapper) --------------------
 
@@ -124,6 +131,35 @@ class Tracer:
                             iterations=iterations, context=self._context)
             )
 
+    def record_spr_batch(self, k: int, n_patterns: int, n_cats: int,
+                         iterations: int) -> None:
+        """One fused multi-candidate SPR scoring call (k candidates)."""
+        self.spr_batch_count += 1
+        self.spr_batch_candidates += k
+        self.spr_batch_patterncats += (
+            k * n_patterns * n_cats * max(iterations, 1)
+        )
+        if self.keep_events:
+            self.events.append(
+                KernelEvent("spr_batch", n_patterns, n_cats,
+                            iterations=iterations, context=self._context,
+                            batch=k)
+            )
+
+    # -- engine perf counters -------------------------------------------------
+
+    def add_counter_source(self, source) -> None:
+        """Register a zero-arg callable returning a perf-counter dict."""
+        self.counter_sources.append(source)
+
+    def perf_counters(self) -> Dict[str, int]:
+        """Merged engine counters (summed across registered sources)."""
+        merged: Dict[str, int] = {}
+        for source in self.counter_sources:
+            for key, value in source().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
     def summary(self) -> "TraceSummary":
         return TraceSummary.from_tracer(self)
 
@@ -146,6 +182,11 @@ class TraceSummary:
     makenewz_patterncats: float
     evaluate_count: int
     evaluate_patterncats: float
+    # Batched SPR scoring events (0 everywhere when the serial search
+    # path is used, e.g. in the paper-faithful harness traces).
+    spr_batch_count: int = 0
+    spr_batch_candidates: int = 0
+    spr_batch_patterncats: float = 0.0
 
     @classmethod
     def from_tracer(cls, tracer: Tracer) -> "TraceSummary":
@@ -160,6 +201,9 @@ class TraceSummary:
             makenewz_patterncats=tracer.makenewz_patterncats,
             evaluate_count=tracer.evaluate_count,
             evaluate_patterncats=tracer.evaluate_patterncats,
+            spr_batch_count=tracer.spr_batch_count,
+            spr_batch_candidates=tracer.spr_batch_candidates,
+            spr_batch_patterncats=tracer.spr_batch_patterncats,
         )
 
     # -- derived quantities --------------------------------------------------
@@ -220,10 +264,18 @@ class TraceSummary:
             self.newview_patterncats
             + self.makenewz_patterncats
             + self.evaluate_patterncats
+            + self.spr_batch_patterncats
         )
         # Small loop runs once per kernel call per category; approximate
-        # categories from the patterncats ratio.
-        calls = self.newview_count + self.makenewz_count + self.evaluate_count
+        # categories from the patterncats ratio.  Each batched SPR
+        # candidate builds its own transition stack, so it counts like
+        # one call here.
+        calls = (
+            self.newview_count
+            + self.makenewz_count
+            + self.evaluate_count
+            + self.spr_batch_candidates
+        )
         return total_patterncats * large + calls * 4 * small
 
     def scale(self, factor: float) -> "TraceSummary":
@@ -243,4 +295,7 @@ class TraceSummary:
             makenewz_patterncats=self.makenewz_patterncats * factor,
             evaluate_count=int(round(self.evaluate_count * factor)),
             evaluate_patterncats=self.evaluate_patterncats * factor,
+            spr_batch_count=int(round(self.spr_batch_count * factor)),
+            spr_batch_candidates=int(round(self.spr_batch_candidates * factor)),
+            spr_batch_patterncats=self.spr_batch_patterncats * factor,
         )

@@ -1,0 +1,306 @@
+"""Tests for the batched likelihood pipeline (multi-candidate SPR scoring)."""
+
+import numpy as np
+import pytest
+
+from repro.phylo import (
+    CatRates,
+    GammaRates,
+    LikelihoodEngine,
+    SearchConfig,
+    Tree,
+    default_gtr,
+    hill_climb,
+    kernels,
+    robinson_foulds,
+    stepwise_addition_tree,
+    synthetic_dataset,
+)
+from repro.phylo.search import _apply_spr, _revert_spr, spr_neighborhood
+from repro.port.trace import Tracer
+
+
+def random_clv_batch(rng, k, n_patterns, n_cats):
+    return rng.random((k, n_patterns, n_cats, 4)) + 1e-3
+
+
+class TestBatchTransitionMatrices:
+    def test_matches_serial_stacks(self):
+        model = default_gtr()
+        rates = GammaRates(0.7, 4).rates
+        lengths = np.array([1e-8, 0.05, 0.3, 1.2, 5.0])
+        batch = model.transition_matrices_batch(lengths, rates)
+        assert batch.shape == (5, 4, 4, 4)
+        for k, t in enumerate(lengths):
+            assert np.allclose(
+                batch[k], model.transition_matrices(t, rates), atol=1e-13
+            )
+
+    def test_derivatives_match_serial_stacks(self):
+        model = default_gtr()
+        rates = GammaRates(0.7, 4).rates
+        lengths = np.array([0.01, 0.4, 2.0])
+        batch = model.transition_derivatives_batch(lengths, rates)
+        for k, t in enumerate(lengths):
+            serial = model.transition_derivatives(t, rates)
+            for got, want in zip((part[k] for part in batch), serial):
+                assert np.allclose(got, want, atol=1e-13)
+
+    def test_rejects_negative_lengths(self):
+        model = default_gtr()
+        with pytest.raises(ValueError):
+            model.transition_matrices_batch(
+                np.array([0.1, -0.2]), np.ones(4)
+            )
+
+
+class TestBatchKernelsVsSerial:
+    """The acceptance bar: batched == K serial calls to <= 1e-10."""
+
+    def setup_method(self):
+        self.model = default_gtr()
+        self.rates = GammaRates(0.7, 4).rates
+        self.rng = np.random.default_rng(42)
+
+    def test_branch_derivatives_batch(self):
+        k, s, c = 7, 23, 4
+        u = random_clv_batch(self.rng, k, s, c)
+        v = random_clv_batch(self.rng, k, s, c)
+        weights = self.rng.integers(1, 5, size=s).astype(float)
+        cat_w = np.full(c, 0.25)
+        scale = self.rng.integers(0, 3, size=(k, s)).astype(np.int64)
+        lengths = self.rng.random(k) + 0.01
+        terms = self.model.transition_derivatives_batch(lengths, self.rates)
+        lnl, d1, d2 = kernels.branch_derivatives_batch(
+            terms, self.model.pi, cat_w, weights, u, v, scale
+        )
+        for i in range(k):
+            serial = kernels.branch_derivatives(
+                self.model.transition_derivatives(lengths[i], self.rates),
+                self.model.pi, cat_w, weights, u[i], v[i], scale[i],
+            )
+            assert abs(lnl[i] - serial[0]) <= 1e-10
+            assert abs(d1[i] - serial[1]) <= 1e-10
+            assert abs(d2[i] - serial[2]) <= 1e-10
+
+    def test_evaluate_loglik_batch(self):
+        k, s, c = 6, 19, 4
+        u = random_clv_batch(self.rng, k, s, c)
+        v = random_clv_batch(self.rng, k, s, c)
+        weights = self.rng.integers(1, 5, size=s).astype(float)
+        cat_w = np.full(c, 0.25)
+        scale = self.rng.integers(0, 2, size=(k, s)).astype(np.int64)
+        batch = kernels.evaluate_loglik_batch(
+            self.model.pi, cat_w, weights, u, v, scale
+        )
+        for i in range(k):
+            serial = kernels.evaluate_loglik(
+                self.model.pi, cat_w, weights, u[i], v[i], scale[i]
+            )
+            assert abs(batch[i] - serial) <= 1e-10
+
+    def test_evaluate_loglik_batch_underflow_raises(self):
+        with pytest.raises(FloatingPointError):
+            kernels.evaluate_loglik_batch(
+                np.full(4, 0.25), np.ones(1), np.ones(2),
+                np.zeros((2, 2, 1, 4)), np.zeros((2, 2, 1, 4)),
+                np.zeros((2, 2), dtype=np.int64),
+            )
+
+    def test_branch_derivatives_batch_persite(self):
+        k, s = 5, 17
+        site_rates = self.rng.random(s) + 0.1
+        u = random_clv_batch(self.rng, k, s, 1)
+        v = random_clv_batch(self.rng, k, s, 1)
+        weights = self.rng.integers(1, 4, size=s).astype(float)
+        scale = self.rng.integers(0, 2, size=(k, s)).astype(np.int64)
+        lengths = self.rng.random(k) + 0.01
+        terms = self.model.transition_derivatives_batch(lengths, site_rates)
+        lnl, d1, d2 = kernels.branch_derivatives_batch_persite(
+            terms, self.model.pi, weights, u, v, scale
+        )
+        for i in range(k):
+            serial = kernels.branch_derivatives_persite(
+                self.model.transition_derivatives(lengths[i], site_rates),
+                self.model.pi, weights, u[i], v[i], scale[i],
+            )
+            assert abs(lnl[i] - serial[0]) <= 1e-10
+            assert abs(d1[i] - serial[1]) <= 1e-10
+            assert abs(d2[i] - serial[2]) <= 1e-10
+
+
+@pytest.fixture()
+def spr_setup():
+    aln = synthetic_dataset(n_taxa=10, n_sites=400, seed=5)
+    patterns = aln.compress()
+    rng = np.random.default_rng(9)
+    tree = stepwise_addition_tree(patterns, rng)
+    model = default_gtr().with_frequencies(patterns.base_frequencies())
+    engine = LikelihoodEngine(patterns, model, GammaRates(0.7, 4), tree)
+    yield engine
+    engine.detach()
+
+
+class TestScoreSprCandidates:
+    def _prune_point(self, tree):
+        prune = next(b for b in tree.branches if not b.nodes[0].is_tip)
+        return prune, prune.nodes[0]
+
+    def test_matches_serial_connect_only_scoring(self, spr_setup):
+        engine = spr_setup
+        tree = engine.tree
+        prune, keep = self._prune_point(tree)
+        targets = spr_neighborhood(tree, prune, keep, radius=3)
+        assert len(targets) > 2
+
+        # Serial oracle: apply each candidate, Newton-optimize only the
+        # connect branch (what the batched preview optimizes), evaluate.
+        serial = []
+        pb, ks = prune, keep
+        for target in list(targets):
+            move = _apply_spr(tree, pb, ks, target)
+            _, lnl = engine.makenewz(
+                move.connect_branch, max_iterations=8, tolerance=1e-8
+            )
+            serial.append(lnl)
+            pb = _revert_spr(tree, move)
+            ks = pb.nodes[0]
+
+        fresh = spr_neighborhood(tree, pb, ks, radius=3)
+        scores, lengths, pb2 = engine.score_spr_candidates(
+            pb, ks, fresh, max_iterations=8
+        )
+        assert scores.shape == lengths.shape == (len(fresh),)
+        assert np.max(np.abs(scores - np.array(serial))) <= 1e-10
+
+    def test_restores_tree_exactly(self, spr_setup):
+        engine = spr_setup
+        tree = engine.tree
+        reference = Tree.from_newick(tree.to_newick())
+        lnl0 = engine.evaluate()
+        lengths0 = sorted(b.length for b in tree.branches)
+        prune, keep = self._prune_point(tree)
+        targets = spr_neighborhood(tree, prune, keep, radius=3)
+        _, _, new_prune = engine.score_spr_candidates(prune, keep, targets)
+        assert robinson_foulds(reference, tree) == 0.0
+        assert np.allclose(
+            sorted(b.length for b in tree.branches), lengths0
+        )
+        assert engine.evaluate() == pytest.approx(lnl0, abs=1e-12)
+        # Returned branch has the serial-revert orientation: junction
+        # first, subtree root second.
+        assert new_prune.nodes[0] in (n for n in tree.nodes)
+        assert not new_prune.retired
+
+    def test_counts_and_tracer_events(self, spr_setup):
+        engine = spr_setup
+        tracer = Tracer(keep_events=True)
+        engine.tracer = tracer
+        tree = engine.tree
+        prune, keep = self._prune_point(tree)
+        targets = spr_neighborhood(tree, prune, keep, radius=2)
+        engine.score_spr_candidates(prune, keep, targets)
+        assert engine.spr_batch_calls == 1
+        assert engine.spr_batch_candidates == len(targets)
+        assert tracer.spr_batch_count == 1
+        assert tracer.spr_batch_candidates == len(targets)
+        assert tracer.spr_batch_patterncats > 0
+        batch_events = [e for e in tracer.events if e.kernel == "spr_batch"]
+        assert len(batch_events) == 1
+        assert batch_events[0].batch == len(targets)
+
+    def test_cat_mode_matches_serial(self):
+        aln = synthetic_dataset(n_taxa=8, n_sites=300, seed=13)
+        patterns = aln.compress()
+        rng = np.random.default_rng(3)
+        tree = stepwise_addition_tree(patterns, rng)
+        model = default_gtr().with_frequencies(patterns.base_frequencies())
+        site_rates = rng.random(patterns.n_patterns) + 0.2
+        cat = CatRates(site_rates, n_categories=4)
+        engine = LikelihoodEngine(patterns, model, cat, tree)
+        try:
+            prune = next(b for b in tree.branches if not b.nodes[0].is_tip)
+            keep = prune.nodes[0]
+            targets = spr_neighborhood(tree, prune, keep, radius=2)
+            serial = []
+            pb, ks = prune, keep
+            for target in list(targets):
+                move = _apply_spr(tree, pb, ks, target)
+                _, lnl = engine.makenewz(
+                    move.connect_branch, max_iterations=8, tolerance=1e-8
+                )
+                serial.append(lnl)
+                pb = _revert_spr(tree, move)
+                ks = pb.nodes[0]
+            fresh = spr_neighborhood(tree, pb, ks, radius=2)
+            scores, _, _ = engine.score_spr_candidates(
+                pb, ks, fresh, max_iterations=8
+            )
+            assert np.max(np.abs(scores - np.array(serial))) <= 1e-10
+        finally:
+            engine.detach()
+
+
+class TestBatchedHillClimb:
+    def test_batched_search_improves_and_traces(self):
+        aln = synthetic_dataset(n_taxa=10, n_sites=500, seed=21)
+        patterns = aln.compress()
+        rng = np.random.default_rng(17)
+        tree = stepwise_addition_tree(patterns, rng)
+        model = default_gtr().with_frequencies(patterns.base_frequencies())
+        tracer = Tracer()
+        engine = LikelihoodEngine(
+            patterns, model, GammaRates(0.7, 4), tree, tracer=tracer
+        )
+        try:
+            start = engine.evaluate()
+            result = hill_climb(
+                engine,
+                SearchConfig(
+                    initial_radius=2, max_radius=3, max_rounds=2,
+                    batch_spr=True,
+                ),
+                np.random.default_rng(17),
+            )
+            assert np.isfinite(result.log_likelihood)
+            assert result.log_likelihood >= start
+            # The batched scorer actually ran and was traced.
+            assert engine.spr_batch_calls > 0
+            assert tracer.spr_batch_count == engine.spr_batch_calls
+            assert tracer.perf_counters()["spr_batch_calls"] > 0
+            # FLOP reconstruction includes the batched work.
+            summary = tracer.summary()
+            assert summary.spr_batch_count == tracer.spr_batch_count
+            assert summary.paper_equivalent_flops() > 0
+            scaled = summary.scale(2.0)
+            assert scaled.spr_batch_candidates == pytest.approx(
+                2 * summary.spr_batch_candidates, abs=1
+            )
+        finally:
+            engine.detach()
+
+    def test_batched_and_serial_reach_comparable_likelihoods(self):
+        aln = synthetic_dataset(n_taxa=9, n_sites=400, seed=33)
+        patterns = aln.compress()
+        model = default_gtr().with_frequencies(patterns.base_frequencies())
+        results = {}
+        for batch in (False, True):
+            rng = np.random.default_rng(5)
+            tree = stepwise_addition_tree(patterns, rng)
+            engine = LikelihoodEngine(
+                patterns, model, GammaRates(0.7, 4), tree
+            )
+            try:
+                results[batch] = hill_climb(
+                    engine,
+                    SearchConfig(
+                        initial_radius=2, max_radius=3, max_rounds=3,
+                        batch_spr=batch,
+                    ),
+                    np.random.default_rng(5),
+                ).log_likelihood
+            finally:
+                engine.detach()
+        # The batched preview is a lower bound, so trajectories differ,
+        # but both searches must land in the same likelihood basin.
+        assert abs(results[True] - results[False]) < 5.0

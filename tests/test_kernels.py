@@ -126,6 +126,42 @@ class TestScaling:
         counts = np.zeros(1, dtype=np.int64)
         assert kernels.scale_clv(clv, counts) == 0
 
+    def test_nan_raises_floating_point_error(self):
+        # Regression: NaN compares false against the threshold, so the
+        # old max()-based check silently skipped rescaling and the NaN
+        # surfaced much later as an inscrutable log-likelihood failure.
+        clv = np.full((4, 2, 4), 0.5)
+        clv[2, 1, 0] = np.nan
+        counts = np.zeros(4, dtype=np.int64)
+        with pytest.raises(FloatingPointError, match="pattern 2"):
+            kernels.scale_clv(clv, counts)
+
+    def test_inf_raises_floating_point_error(self):
+        clv = np.full((3, 1, 4), 0.5)
+        clv[0, 0, 1] = np.inf
+        counts = np.zeros(3, dtype=np.int64)
+        with pytest.raises(FloatingPointError, match="non-finite"):
+            kernels.scale_clv(clv, counts)
+
+    def test_empty_clv_is_safe(self):
+        # np.max with initial= must not raise on a zero-pattern CLV.
+        clv = np.empty((0, 2, 4))
+        counts = np.zeros(0, dtype=np.int64)
+        assert kernels.scale_clv(clv, counts) == 0
+
+
+class TestContractionPathCache:
+    def test_paths_are_memoized_per_shape(self):
+        a = np.ones((4, 4, 4))
+        b = np.ones((9, 4, 4))
+        path1 = kernels.contraction_path("cij,scj->sci", a, b)
+        path2 = kernels.contraction_path("cij,scj->sci", a, b)
+        assert path2 is path1  # same cached object, not re-derived
+        # A different operand shape gets its own entry.
+        c = np.ones((13, 4, 4))
+        path3 = kernels.contraction_path("cij,scj->sci", a, c)
+        assert path3 is not path1
+
 
 class TestEvaluate:
     def test_matches_reference(self):
