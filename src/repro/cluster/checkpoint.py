@@ -1,0 +1,141 @@
+"""Append-only JSONL run journal with exact checkpoint/resume.
+
+Every scheduling event and every per-replicate result payload is
+appended to the journal as one JSON line.  Because each replicate's
+result is a pure function of ``(seed, kind, replicate)``, replaying the
+journal and re-running only the missing replicates reproduces the
+uninterrupted run *bit-identically*: floats survive the JSON round trip
+exactly (``repr`` shortest round-trip), and Newick strings are stored
+verbatim.
+
+Event vocabulary::
+
+    run_started     {"spec": {...}}
+    run_resumed     {"remaining": n}
+    task_started    {"task", "attempt", "worker"}
+    replicate_done  {"payload": {...}}     # trees, lnl, perf counters
+    task_finished   {"task", "attempt", "worker"}
+    task_failed     {"task", "attempt", "error", "will_retry"}
+    worker_dead     {"worker", "task", "reason"}
+    run_finished    {"n_results", "phases", "perf"}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["RunJournal", "JournalState", "replay"]
+
+
+class RunJournal:
+    """Append-only JSONL sink; ``path=None`` keeps events in memory only.
+
+    The in-memory mode backs ephemeral runs (the
+    :func:`repro.phylo.parallel.parallel_analysis` facade) that want
+    retry/heartbeat semantics without a durable artifact.
+    """
+
+    def __init__(self, path: Optional[str] = None, append: bool = False):
+        self.path = path
+        self.events: List[dict] = []
+        self._fh = None
+        if path is not None:
+            self._fh = open(path, "a" if append else "w")
+
+    def append(self, event: str, **fields) -> dict:
+        record = {"event": event, "time": time.time(), **fields}
+        self.events.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record) + "\n")
+            self._fh.flush()
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """Everything :func:`replay` can reconstruct from a journal."""
+
+    spec: Optional[dict] = None
+    #: (kind, replicate) -> result payload (first occurrence wins; a
+    #: retried task may journal duplicate replicates, all bit-identical)
+    payloads: Dict[Tuple[str, int], dict] = field(default_factory=dict)
+    failures: List[dict] = field(default_factory=list)
+    worker_deaths: List[dict] = field(default_factory=list)
+    tasks_started: int = 0
+    tasks_finished: int = 0
+    resumes: int = 0
+    finished: bool = False
+    events: List[dict] = field(default_factory=list)
+
+    @property
+    def done_inferences(self) -> Set[int]:
+        return {r for (k, r) in self.payloads if k == "inference"}
+
+    @property
+    def done_bootstraps(self) -> Set[int]:
+        return {r for (k, r) in self.payloads if k == "bootstrap"}
+
+    @property
+    def retries(self) -> List[dict]:
+        return [f for f in self.failures if f.get("will_retry")]
+
+    def perf_totals(self) -> Dict[str, int]:
+        """Sum the per-task engine perf counters across all payloads."""
+        totals: Dict[str, int] = {}
+        for payload in self.payloads.values():
+            for name, value in (payload.get("perf") or {}).items():
+                totals[name] = totals.get(name, 0) + int(value)
+        return totals
+
+
+def replay(path: str) -> JournalState:
+    """Reconstruct run state from a journal file.
+
+    Tolerates a truncated final line (the process may have died while
+    writing), which is exactly the crash case resume exists for.
+    """
+    state = JournalState()
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail write from a dying process
+            state.events.append(record)
+            event = record.get("event")
+            if event == "run_started":
+                state.spec = record["spec"]
+            elif event == "run_resumed":
+                state.resumes += 1
+            elif event == "task_started":
+                state.tasks_started += 1
+            elif event == "task_finished":
+                state.tasks_finished += 1
+            elif event == "replicate_done":
+                payload = record["payload"]
+                key = (payload["kind"], payload["replicate"])
+                state.payloads.setdefault(key, payload)
+            elif event == "task_failed":
+                state.failures.append(record)
+            elif event == "worker_dead":
+                state.worker_deaths.append(record)
+            elif event == "run_finished":
+                state.finished = True
+    return state

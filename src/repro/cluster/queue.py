@@ -1,0 +1,463 @@
+"""Fault-tolerant multiprocessing work queue (the live master-worker).
+
+The master owns per-worker inboxes and one shared outbox.  Workers run
+a daemon heartbeat thread, stream one message per finished *replicate*
+(so a batch that dies mid-way loses only its tail), and report failures
+with full tracebacks.  The master requeues work from dead, hung, or
+timed-out workers with bounded exponential backoff and spawns
+replacements, so an injected ``os._exit`` mid-task (see
+:class:`WorkerPlans`) costs one retry, never the run.
+
+Determinism: every replicate result is a pure function of
+``(seed, kind, replicate)``, so retry count, worker count, arrival
+order, and task granularity are all invisible in the final
+:class:`~repro.phylo.inference.AnalysisResult`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as _queue
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..phylo.inference import default_model_for, infer_tree
+from ..phylo.models import GTR, HKY85, JC69, K80
+from ..phylo.rates import GammaRates
+from ..phylo.search import SearchConfig
+from ..sched.mgps import summarize_phases
+from .aggregate import StreamingAggregator
+from .checkpoint import RunJournal
+from .jobs import ClusterTask, JobSpec, PendingTask
+from .scheduler import MultigrainScheduler
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterQueue",
+    "TaskExecutionError",
+    "WorkerPlans",
+    "execute_replicate",
+]
+
+
+class TaskExecutionError(RuntimeError):
+    """A task failed permanently; carries the originating spec."""
+
+    def __init__(self, task: ClusterTask, attempt: int, error: str):
+        self.task = task
+        self.attempt = attempt
+        self.error = error
+        super().__init__(
+            f"task {task.task_id} (kind={task.kind}, "
+            f"replicates={list(task.replicates)}, seed={task.seed}) "
+            f"failed after {attempt} attempt(s): {error}"
+        )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Fault-tolerance knobs of the master loop."""
+
+    n_workers: int = 2
+    task_timeout_s: float = 300.0
+    max_retries: int = 2
+    retry_backoff_s: float = 0.05
+    heartbeat_interval_s: float = 0.2
+    heartbeat_timeout_s: float = 10.0
+
+
+@dataclass(frozen=True)
+class WorkerPlans:
+    """Failure injection for tests: ``task_id -> attempts`` to sabotage.
+
+    ``crash`` kills the worker process mid-task (``os._exit``: after
+    streaming all but the task's last replicate, so partial batch
+    results are exercised), ``fail`` raises inside the task, ``hang``
+    sleeps past any timeout.
+    """
+
+    crash: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    fail: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    hang: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Model/search parameters shipped to every worker."""
+
+    config: Optional[SearchConfig] = None
+    model_name: Optional[str] = None
+    alpha: Optional[float] = None
+    categories: int = 4
+
+    @classmethod
+    def from_spec(cls, spec: JobSpec) -> "ExecutionContext":
+        return cls(config=spec.config, model_name=spec.model_name,
+                   alpha=spec.alpha, categories=spec.categories)
+
+
+class _CounterCollector:
+    """Minimal tracer: harvests ``engine.perf_counters`` per task.
+
+    Every other tracer hook is a no-op, so attaching it cannot perturb
+    the search trajectory (bit-identical to an untraced run).
+    """
+
+    def __init__(self):
+        self._sources = []
+
+    def add_counter_source(self, source) -> None:
+        self._sources.append(source)
+
+    def perf_counters(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for source in self._sources:
+            merged.update(source())
+        return merged
+
+    def push_context(self, name):  # engine calls these unconditionally
+        return None
+
+    def __getattr__(self, name):
+        return lambda *args, **kwargs: None
+
+
+def _build_model(ctx: ExecutionContext, patterns):
+    """The same model the serial CLI path would construct."""
+    name = ctx.model_name
+    if name is None:
+        return None  # infer_tree applies default_model_for per replicate
+    if name == "GTR":
+        return GTR((1.0, 2.5, 1.0, 1.0, 2.5, 1.0),
+                   tuple(patterns.base_frequencies()))
+    if name == "JC69":
+        return JC69()
+    if name == "K80":
+        return K80()
+    if name == "HKY85":
+        return HKY85(2.0, tuple(patterns.base_frequencies()))
+    if name == "default":
+        return default_model_for(patterns)
+    raise ValueError(f"unknown model {name}")
+
+
+def execute_replicate(patterns, ctx: ExecutionContext, kind: str,
+                      replicate: int, seed: int) -> dict:
+    """Run one replicate; the seed derivation of ``parallel.TaskSpec``.
+
+    Returns a JSON-safe payload (Newick, log likelihood, kernel call
+    counts, and the engine's :meth:`perf_counters` snapshot).
+    """
+    collector = _CounterCollector()
+    model = _build_model(ctx, patterns)
+    rate_model = (GammaRates(ctx.alpha, ctx.categories)
+                  if ctx.alpha is not None else None)
+    if kind == "inference":
+        result = infer_tree(
+            patterns, model=model, rate_model=rate_model, config=ctx.config,
+            seed=seed, tracer=collector, replicate=replicate,
+        )
+    elif kind == "bootstrap":
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, 7919, replicate])
+        )
+        result = infer_tree(
+            patterns.bootstrap_replicate(rng), model=model,
+            rate_model=rate_model, config=ctx.config, seed=seed + 1,
+            tracer=collector, is_bootstrap=True, replicate=replicate,
+        )
+    else:
+        raise ValueError(f"unknown task kind {kind!r}")
+    return {
+        "kind": kind,
+        "replicate": replicate,
+        "seed": seed,
+        "newick": result.newick,
+        "log_likelihood": result.log_likelihood,
+        "newview_calls": result.newview_calls,
+        "makenewz_calls": result.makenewz_calls,
+        "evaluate_calls": result.evaluate_calls,
+        "is_bootstrap": result.is_bootstrap,
+        "perf": collector.perf_counters(),
+    }
+
+
+def _worker_main(worker_id: int, inbox, outbox, patterns,
+                 ctx: ExecutionContext, plans: WorkerPlans,
+                 heartbeat_interval_s: float) -> None:
+    """Worker process: heartbeat thread + task loop."""
+    import threading
+
+    stop = threading.Event()
+
+    def beat():
+        while not stop.is_set():
+            try:
+                outbox.put(("heartbeat", worker_id))
+            except Exception:
+                return
+            stop.wait(heartbeat_interval_s)
+
+    threading.Thread(target=beat, daemon=True).start()
+    try:
+        while True:
+            item = inbox.get()
+            if item is None:
+                break
+            task, attempt = item
+            outbox.put(("started", worker_id, task.task_id, attempt))
+            try:
+                if attempt in plans.fail.get(task.task_id, ()):
+                    raise RuntimeError(
+                        f"injected failure ({task.task_id} attempt {attempt})"
+                    )
+                if attempt in plans.hang.get(task.task_id, ()):
+                    time.sleep(3600)
+                crash = attempt in plans.crash.get(task.task_id, ())
+                last = len(task.replicates) - 1
+                for position, replicate in enumerate(task.replicates):
+                    if crash and position == last:
+                        os._exit(17)  # simulated mid-task worker death
+                    payload = execute_replicate(
+                        patterns, ctx, task.kind, replicate, task.seed
+                    )
+                    outbox.put(
+                        ("replicate", worker_id, task.task_id, attempt,
+                         payload)
+                    )
+                outbox.put(("finished", worker_id, task.task_id, attempt))
+            except BaseException:
+                outbox.put(
+                    ("failed", worker_id, task.task_id, attempt,
+                     traceback.format_exc())
+                )
+    finally:
+        stop.set()
+
+
+@dataclass
+class _Worker:
+    proc: multiprocessing.Process
+    inbox: object
+    last_seen: float
+    current: Optional[Tuple[ClusterTask, int, float]] = None  # task, attempt, t0
+
+
+class ClusterQueue:
+    """The master loop: dispatch, monitor, retry, aggregate."""
+
+    def __init__(
+        self,
+        patterns,
+        ctx: Optional[ExecutionContext] = None,
+        cluster: Optional[ClusterConfig] = None,
+        journal: Optional[RunJournal] = None,
+        plans: Optional[WorkerPlans] = None,
+        aggregator: Optional[StreamingAggregator] = None,
+    ):
+        self.patterns = patterns
+        self.ctx = ctx or ExecutionContext()
+        self.cfg = cluster or ClusterConfig()
+        self.journal = journal or RunJournal(None)
+        self.plans = plans or WorkerPlans()
+        self.aggregator = aggregator or StreamingAggregator()
+        self.scheduler: Optional[MultigrainScheduler] = None
+
+    def run(
+        self,
+        tasks: List[ClusterTask],
+        already: Optional[Dict[Tuple[str, int], dict]] = None,
+    ) -> Dict[Tuple[str, int], dict]:
+        """Execute *tasks*; returns ``(kind, replicate) -> payload``.
+
+        *already* seeds results replayed from a journal (their tasks
+        must not be in *tasks* - :func:`~repro.cluster.jobs.expand_job`
+        handles the exclusion).
+        """
+        results: Dict[Tuple[str, int], dict] = dict(already or {})
+        for payload in results.values():
+            self.aggregator.ingest(payload)
+        remaining = {
+            key for t in tasks for key in t.keys() if key not in results
+        }
+        pending: List[PendingTask] = [PendingTask(t) for t in tasks]
+        if not remaining:
+            return results
+
+        mp = multiprocessing.get_context("fork")
+        outbox = mp.Queue()
+        workers: Dict[int, _Worker] = {}
+        self._next_wid = 0
+        n_workers = min(self.cfg.n_workers, max(1, len(pending)))
+        self.scheduler = MultigrainScheduler(n_workers)
+
+        def spawn() -> None:
+            wid = self._next_wid
+            self._next_wid += 1
+            inbox = mp.Queue()
+            proc = mp.Process(
+                target=_worker_main,
+                args=(wid, inbox, outbox, self.patterns, self.ctx,
+                      self.plans, self.cfg.heartbeat_interval_s),
+                daemon=True,
+            )
+            proc.start()
+            workers[wid] = _Worker(proc=proc, inbox=inbox,
+                                   last_seen=time.monotonic())
+
+        def requeue(task: ClusterTask, attempt: int, error: str,
+                    now: float) -> None:
+            if all(key in results for key in task.keys()):
+                return  # everything streamed out before the death
+            will_retry = attempt < 1 + self.cfg.max_retries
+            self.journal.append(
+                "task_failed", task=task.task_id, attempt=attempt,
+                error=error.strip().splitlines()[-1] if error else "",
+                will_retry=will_retry,
+            )
+            if not will_retry:
+                raise TaskExecutionError(task, attempt, error)
+            backoff = self.cfg.retry_backoff_s * (2 ** (attempt - 1))
+            pending.append(PendingTask(task, attempt + 1, now + backoff))
+
+        for _ in range(n_workers):
+            spawn()
+
+        try:
+            while remaining:
+                now = time.monotonic()
+
+                # -- dispatch to idle workers --------------------------------
+                idle = [w for w in workers.values()
+                        if w.current is None and w.proc.is_alive()]
+                if idle and pending:
+                    pending = self.scheduler.plan(pending, now)
+                    for worker in idle:
+                        ready = next(
+                            (p for p in pending if p.not_before <= now), None
+                        )
+                        if ready is None:
+                            break
+                        pending.remove(ready)
+                        worker.current = (ready.task, ready.attempt, now)
+                        worker.inbox.put((ready.task, ready.attempt))
+                        self.scheduler.dispatched(ready)
+
+                # -- drain worker messages -----------------------------------
+                try:
+                    message = outbox.get(timeout=0.05)
+                except _queue.Empty:
+                    message = None
+                while message is not None:
+                    now = time.monotonic()
+                    self._handle(message, workers, results, remaining,
+                                 requeue, now)
+                    try:
+                        message = outbox.get_nowait()
+                    except _queue.Empty:
+                        message = None
+
+                # -- liveness / timeout sweep --------------------------------
+                now = time.monotonic()
+                for wid, worker in list(workers.items()):
+                    dead = not worker.proc.is_alive()
+                    if worker.current is not None:
+                        task, attempt, t0 = worker.current
+                        timed_out = now - t0 > self.cfg.task_timeout_s
+                        stale = (now - worker.last_seen
+                                 > self.cfg.heartbeat_timeout_s)
+                        if dead or timed_out or stale:
+                            reason = ("crash" if dead else
+                                      "timeout" if timed_out else "heartbeat")
+                            self.journal.append(
+                                "worker_dead", worker=wid,
+                                task=task.task_id, reason=reason,
+                            )
+                            if not dead:
+                                worker.proc.terminate()
+                                worker.proc.join(timeout=2.0)
+                            del workers[wid]
+                            requeue(task, attempt,
+                                    f"worker {wid} died ({reason})", now)
+                            if remaining:
+                                spawn()
+                    elif dead:
+                        del workers[wid]
+                        if pending or remaining:
+                            spawn()
+
+            # All replicates landed; drain the trailing task_finished
+            # acknowledgements so the journal closes every task.
+            deadline = time.monotonic() + 1.0
+            while (any(w.current is not None for w in workers.values())
+                   and time.monotonic() < deadline):
+                try:
+                    message = outbox.get(timeout=0.05)
+                except _queue.Empty:
+                    continue
+                self._handle(message, workers, results, remaining,
+                             requeue, time.monotonic())
+        finally:
+            self._shutdown(workers)
+
+        phases = self.scheduler.finish()
+        self.journal.append(
+            "run_progress",
+            phases=summarize_phases(phases),
+            splits=self.scheduler.splits,
+        )
+        return results
+
+    # -- internals ----------------------------------------------------------
+
+    def _handle(self, message, workers, results, remaining, requeue,
+                now: float) -> None:
+        kind, wid = message[0], message[1]
+        worker = workers.get(wid)
+        if worker is not None:
+            worker.last_seen = now
+        if kind == "heartbeat":
+            return
+        if kind == "started":
+            _, _, task_id, attempt = message
+            self.journal.append("task_started", task=task_id,
+                                attempt=attempt, worker=wid)
+        elif kind == "replicate":
+            _, _, task_id, attempt, payload = message
+            key = (payload["kind"], payload["replicate"])
+            if key not in results:
+                results[key] = payload
+                self.aggregator.ingest(payload)
+                self.journal.append("replicate_done", task=task_id,
+                                    payload=payload)
+            remaining.discard(key)
+        elif kind == "finished":
+            _, _, task_id, attempt = message
+            self.journal.append("task_finished", task=task_id,
+                                attempt=attempt, worker=wid)
+            if worker is not None:
+                worker.current = None
+        elif kind == "failed":
+            _, _, task_id, attempt, error = message
+            if worker is not None and worker.current is not None:
+                task = worker.current[0]
+                worker.current = None
+                requeue(task, attempt, error, now)
+
+    def _shutdown(self, workers: Dict[int, _Worker]) -> None:
+        for worker in workers.values():
+            try:
+                worker.inbox.put(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for worker in workers.values():
+            worker.proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=1.0)

@@ -1,0 +1,174 @@
+"""High-level run / resume / status entry points over the cluster queue.
+
+``run_job`` starts a fresh journalled run, ``resume_job`` replays a
+journal and executes only the missing replicates (bit-identical to an
+uninterrupted run), and ``job_status`` summarizes a journal for the
+``cluster status`` CLI without spawning any workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..phylo.alignment import Alignment, PatternAlignment
+from ..phylo.inference import AnalysisResult
+from .aggregate import StreamingAggregator
+from .checkpoint import JournalState, RunJournal, replay
+from .jobs import JobSpec, expand_job
+from .queue import ClusterConfig, ClusterQueue, ExecutionContext, WorkerPlans
+
+__all__ = ["run_job", "resume_job", "job_status"]
+
+
+def _as_patterns(alignment) -> PatternAlignment:
+    if isinstance(alignment, PatternAlignment):
+        return alignment
+    compress = getattr(alignment, "compress", None)
+    if compress is not None:
+        return compress()
+    raise TypeError("expected an alignment or pattern alignment")
+
+
+def _load_patterns(spec: JobSpec) -> PatternAlignment:
+    if spec.alignment_path is None:
+        raise ValueError(
+            "job spec has no alignment_path; pass the alignment explicitly"
+        )
+    with open(spec.alignment_path) as fh:
+        text = fh.read()
+    if spec.aa:
+        from ..phylo.protein import ProteinAlignment
+
+        cls = ProteinAlignment
+    else:
+        cls = Alignment
+    if text.lstrip().startswith(">"):
+        return cls.from_fasta(text).compress()
+    return cls.from_phylip(text).compress()
+
+
+def _finalize(journal: RunJournal, aggregator: StreamingAggregator
+              ) -> AnalysisResult:
+    analysis = aggregator.analysis()
+    journal.append(
+        "run_finished",
+        n_results=len(aggregator.payloads()),
+        best_log_likelihood=analysis.best.log_likelihood,
+        perf=aggregator.perf_totals(),
+    )
+    journal.close()
+    return analysis
+
+
+def run_job(
+    spec: JobSpec,
+    alignment=None,
+    n_workers: Optional[int] = None,
+    journal_path: Optional[str] = None,
+    cluster: Optional[ClusterConfig] = None,
+    plans: Optional[WorkerPlans] = None,
+) -> AnalysisResult:
+    """Execute a job from scratch, journalling to *journal_path*.
+
+    The alignment comes from *alignment* (any alignment object) or,
+    when omitted, from ``spec.alignment_path``.  Results match
+    :func:`repro.phylo.inference.run_full_analysis` bit for bit.
+    """
+    patterns = (_as_patterns(alignment) if alignment is not None
+                else _load_patterns(spec))
+    cluster = _with_workers(cluster, n_workers)
+    journal = RunJournal(journal_path)
+    journal.append("run_started", spec=spec.to_json(),
+                   n_workers=cluster.n_workers)
+    queue = ClusterQueue(
+        patterns, ctx=ExecutionContext.from_spec(spec), cluster=cluster,
+        journal=journal, plans=plans,
+    )
+    try:
+        queue.run(expand_job(spec))
+    except BaseException:
+        journal.close()
+        raise
+    return _finalize(journal, queue.aggregator)
+
+
+def resume_job(
+    journal_path: str,
+    alignment=None,
+    n_workers: Optional[int] = None,
+    cluster: Optional[ClusterConfig] = None,
+    plans: Optional[WorkerPlans] = None,
+) -> AnalysisResult:
+    """Resume an interrupted run from its journal.
+
+    Finished replicates are taken verbatim from the journal (floats
+    round-trip exactly through JSON); only the remainder is executed.
+    The final trees, likelihoods, and supports are bit-identical to an
+    uninterrupted run.
+    """
+    state = replay(journal_path)
+    if state.spec is None:
+        raise ValueError(f"{journal_path}: no run_started header to resume")
+    spec = JobSpec.from_json(state.spec)
+    tasks = expand_job(spec, state.done_inferences, state.done_bootstraps)
+
+    if not tasks:
+        aggregator = StreamingAggregator()
+        for payload in state.payloads.values():
+            aggregator.ingest(payload)
+        journal = RunJournal(journal_path, append=True)
+        journal.append("run_resumed", remaining=0)
+        return _finalize(journal, aggregator)
+
+    patterns = (_as_patterns(alignment) if alignment is not None
+                else _load_patterns(spec))
+    cluster = _with_workers(cluster, n_workers)
+    journal = RunJournal(journal_path, append=True)
+    journal.append("run_resumed", remaining=sum(t.grain for t in tasks),
+                   n_workers=cluster.n_workers)
+    queue = ClusterQueue(
+        patterns, ctx=ExecutionContext.from_spec(spec), cluster=cluster,
+        journal=journal, plans=plans,
+    )
+    try:
+        queue.run(tasks, already=dict(state.payloads))
+    except BaseException:
+        journal.close()
+        raise
+    return _finalize(journal, queue.aggregator)
+
+
+def job_status(journal_path: str) -> Dict[str, object]:
+    """Summarize a journal: progress, faults, streaming partials."""
+    state = replay(journal_path)
+    aggregator = StreamingAggregator()
+    for payload in state.payloads.values():
+        aggregator.ingest(payload)
+    spec = JobSpec.from_json(state.spec) if state.spec else None
+    consensus_supports, consensus_tree = aggregator.consensus()
+    return {
+        "spec": spec,
+        "state": state,
+        "finished": state.finished,
+        "n_inferences_done": aggregator.n_inferences,
+        "n_bootstraps_done": aggregator.n_bootstraps,
+        "n_inferences_total": spec.n_inferences if spec else None,
+        "n_bootstraps_total": spec.n_bootstraps if spec else None,
+        "best": aggregator.best,
+        "supports": aggregator.supports(),
+        "consensus_supports": consensus_supports,
+        "consensus_newick": consensus_tree,
+        "retries": state.retries,
+        "worker_deaths": state.worker_deaths,
+        "perf": state.perf_totals(),
+    }
+
+
+def _with_workers(cluster: Optional[ClusterConfig],
+                  n_workers: Optional[int]) -> ClusterConfig:
+    cluster = cluster or ClusterConfig()
+    if n_workers is not None and n_workers != cluster.n_workers:
+        from dataclasses import replace
+
+        cluster = replace(cluster, n_workers=n_workers)
+    return cluster

@@ -6,7 +6,13 @@ from typing import Iterable, List, Optional
 
 from .experiments import ExperimentResult, run_all_experiments
 
-__all__ = ["render_experiment", "render_report", "render_markdown", "main"]
+__all__ = [
+    "render_experiment",
+    "render_report",
+    "render_markdown",
+    "render_cluster_status",
+    "main",
+]
 
 
 def _fmt(value: Optional[float]) -> str:
@@ -100,6 +106,67 @@ def render_markdown(results: Optional[Iterable[ExperimentResult]] = None) -> str
             out.append(f"- {mark} {check.claim}{detail}")
     out.append("")
     return "\n".join(out)
+
+
+def render_cluster_status(journal_path: str) -> str:
+    """Summarize a :mod:`repro.cluster` run journal as a text block.
+
+    Backs ``repro-phylo cluster status``: progress, fault/retry
+    accounting, the merged per-task engine perf counters (PR 1's
+    cache/arena statistics, now visible for distributed runs), and the
+    streaming partial results (running best tree and majority-rule
+    consensus) that are servable before the run completes.
+    """
+    from ..cluster.runner import job_status
+
+    status = job_status(journal_path)
+    state = status["state"]
+    lines: List[str] = [f"== cluster run {journal_path} =="]
+    if status["spec"] is not None:
+        spec = status["spec"]
+        lines.append(
+            f"   job: {spec.n_inferences} inference(s) + "
+            f"{spec.n_bootstraps} bootstrap(s), seed {spec.seed}, "
+            f"batch size {spec.batch_size}"
+        )
+    lines.append(
+        f"   progress: inferences {status['n_inferences_done']}"
+        f"/{status['n_inferences_total'] or '?'}, "
+        f"bootstraps {status['n_bootstraps_done']}"
+        f"/{status['n_bootstraps_total'] or '?'}"
+        f"{'  [finished]' if status['finished'] else ''}"
+    )
+    lines.append(
+        f"   faults: {len(status['retries'])} retr"
+        f"{'y' if len(status['retries']) == 1 else 'ies'}, "
+        f"{len(status['worker_deaths'])} worker death(s), "
+        f"{state.resumes} resume(s)"
+    )
+    if status["best"] is not None:
+        lines.append(
+            f"   best so far: replicate {status['best']['replicate']}, "
+            f"lnL = {status['best']['log_likelihood']:.4f}"
+        )
+    for split, support in sorted(status["supports"].items(),
+                                 key=lambda kv: (-kv[1], sorted(kv[0]))):
+        lines.append(f"   support {support * 100:5.1f}%  "
+                     f"{{{','.join(sorted(split))}}}")
+    if status["consensus_newick"]:
+        lines.append(f"   majority-rule consensus: "
+                     f"{status['consensus_newick']}")
+    perf = status["perf"]
+    if perf:
+        interesting = [
+            "newview_calls", "pmat_hits", "pmat_misses",
+            "arena_acquires", "spr_batch_candidates",
+        ]
+        shown = {k: perf[k] for k in interesting if k in perf}
+        if shown:
+            lines.append(
+                "   engine counters: "
+                + ", ".join(f"{k}={v}" for k, v in shown.items())
+            )
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover

@@ -11,6 +11,7 @@ from .alignment import Alignment, PatternAlignment, parse_fasta, parse_phylip
 from .inference import (
     AnalysisResult,
     InferenceResult,
+    assemble_analysis,
     bootstrap_analysis,
     infer_tree,
     multiple_inferences,
@@ -61,6 +62,7 @@ __all__ = [
     "parse_phylip",
     "AnalysisResult",
     "InferenceResult",
+    "assemble_analysis",
     "bootstrap_analysis",
     "infer_tree",
     "multiple_inferences",

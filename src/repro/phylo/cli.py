@@ -6,11 +6,18 @@ RAxML-flavoured usage::
     python -m repro.phylo.cli simulate --taxa 42 --sites 1167 -o synth.fasta
     python -m repro.phylo.cli distances -s data.fasta --method ml --nj
     python -m repro.phylo.cli report
+    python -m repro.phylo.cli cluster run -s data.phy -n 2 -b 20 \
+        --journal run.jsonl --workers 4
+    python -m repro.phylo.cli cluster resume --journal run.jsonl
+    python -m repro.phylo.cli cluster status --journal run.jsonl
 
 ``infer`` runs the full workflow of the paper's section 3.1: ``-n``
 independent searches from randomized stepwise-addition parsimony
 starting trees plus ``-b`` non-parametric bootstraps, then maps support
-values onto the best tree.
+values onto the best tree.  ``cluster`` runs the same workflow on the
+fault-tolerant master-worker queue (:mod:`repro.cluster`) with an
+append-only journal: an interrupted run resumed from its journal is
+bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -90,6 +97,58 @@ def build_parser() -> argparse.ArgumentParser:
                            "the matrix")
 
     sub.add_parser("report", help="run the full paper-vs-measured report")
+
+    cluster = sub.add_parser(
+        "cluster", help="fault-tolerant journalled master-worker runs"
+    )
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    crun = csub.add_parser("run", help="start a journalled cluster run")
+    crun.add_argument("-s", "--sequences", required=True,
+                      help="alignment file (FASTA or PHYLIP)")
+    crun.add_argument("-n", "--runs", type=int, default=1,
+                      help="independent inferences (default 1)")
+    crun.add_argument("-b", "--bootstraps", type=int, default=0,
+                      help="bootstrap replicates (default 0)")
+    crun.add_argument("-m", "--model", default="GTR",
+                      choices=["GTR", "JC69", "K80", "HKY85"],
+                      help="substitution model (default GTR)")
+    crun.add_argument("--aa", action="store_true",
+                      help="treat the input as amino-acid sequences")
+    crun.add_argument("--alpha", type=float, default=1.0,
+                      help="Gamma shape (default 1.0)")
+    crun.add_argument("--categories", type=int, default=4,
+                      help="Gamma rate categories (default 4)")
+    crun.add_argument("--radius", type=int, default=3,
+                      help="initial SPR rearrangement radius (default 3)")
+    crun.add_argument("--max-radius", type=int, default=6,
+                      help="maximum SPR radius (default 6)")
+    crun.add_argument("--rounds", type=int, default=8,
+                      help="maximum SPR rounds (default 8)")
+    crun.add_argument("--seed", type=int, default=0, help="RNG seed")
+    crun.add_argument("--workers", type=int, default=2,
+                      help="worker processes (default 2)")
+    crun.add_argument("--batch-size", type=int, default=4,
+                      help="bootstraps per coarse task before the "
+                      "multigrain scheduler splits them (default 4)")
+    crun.add_argument("--journal", required=True,
+                      help="append-only JSONL run journal path")
+    crun.add_argument("-o", "--output",
+                      help="write the best tree (newick, with support "
+                      "labels when bootstrapping) here")
+
+    cresume = csub.add_parser("resume",
+                              help="resume an interrupted run bit-"
+                              "identically from its journal")
+    cresume.add_argument("--journal", required=True)
+    cresume.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: as journalled)")
+    cresume.add_argument("-o", "--output", help="best-tree output path")
+
+    cstatus = csub.add_parser("status",
+                              help="summarize a run journal (streaming "
+                              "partial results included)")
+    cstatus.add_argument("--journal", required=True)
     return parser
 
 
@@ -147,17 +206,7 @@ def _cmd_infer(args) -> int:
         config=config,
         seed=args.seed,
     )
-    for result in analysis.inferences:
-        marker = "  *best*" if result is analysis.best else ""
-        print(f"inference {result.replicate}: "
-              f"lnL = {result.log_likelihood:.4f}{marker}")
-    if analysis.bootstraps:
-        print(f"bootstraps: {len(analysis.bootstraps)}")
-        for split, support in sorted(analysis.supports.items(),
-                                     key=lambda kv: -kv[1]):
-            print(f"  support {support * 100:5.1f}%  "
-                  f"{{{','.join(sorted(split))}}}")
-    print(f"best tree:\n{analysis.best.newick}")
+    _print_analysis(analysis)
     if args.draw:
         from .drawing import ascii_tree
         from .tree import Tree
@@ -165,17 +214,7 @@ def _cmd_infer(args) -> int:
         print()
         print(ascii_tree(Tree.from_newick(analysis.best.newick)))
     if args.output:
-        out_newick = analysis.best.newick
-        if analysis.bootstraps:
-            from .drawing import newick_with_support
-            from .tree import Tree
-
-            out_newick = newick_with_support(
-                Tree.from_newick(analysis.best.newick), analysis.supports
-            )
-        with open(args.output, "w") as fh:
-            fh.write(out_newick + "\n")
-        print(f"wrote {args.output}")
+        _write_best_tree(analysis, args.output)
     return 0
 
 
@@ -217,6 +256,71 @@ def _cmd_report(_args) -> int:
     return 0
 
 
+def _print_analysis(analysis) -> None:
+    for result in analysis.inferences:
+        marker = "  *best*" if result is analysis.best else ""
+        print(f"inference {result.replicate}: "
+              f"lnL = {result.log_likelihood:.4f}{marker}")
+    if analysis.bootstraps:
+        print(f"bootstraps: {len(analysis.bootstraps)}")
+        for split, support in sorted(analysis.supports.items(),
+                                     key=lambda kv: -kv[1]):
+            print(f"  support {support * 100:5.1f}%  "
+                  f"{{{','.join(sorted(split))}}}")
+    print(f"best tree:\n{analysis.best.newick}")
+
+
+def _write_best_tree(analysis, output: str) -> None:
+    out_newick = analysis.best.newick
+    if analysis.bootstraps:
+        from .drawing import newick_with_support
+        from .tree import Tree
+
+        out_newick = newick_with_support(
+            Tree.from_newick(analysis.best.newick), analysis.supports
+        )
+    with open(output, "w") as fh:
+        fh.write(out_newick + "\n")
+    print(f"wrote {output}")
+
+
+def _cmd_cluster(args) -> int:
+    from ..cluster import JobSpec, resume_job, run_job
+
+    if args.cluster_command == "status":
+        from ..harness.report import render_cluster_status
+
+        print(render_cluster_status(args.journal))
+        return 0
+
+    if args.cluster_command == "run":
+        spec = JobSpec(
+            n_inferences=args.runs,
+            n_bootstraps=args.bootstraps,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            alignment_path=args.sequences,
+            aa=args.aa,
+            model_name="default" if args.aa else args.model,
+            alpha=args.alpha,
+            categories=args.categories,
+            config=SearchConfig(
+                initial_radius=args.radius,
+                max_radius=args.max_radius,
+                max_rounds=args.rounds,
+            ),
+        )
+        analysis = run_job(spec, n_workers=args.workers,
+                           journal_path=args.journal)
+    else:  # resume
+        analysis = resume_job(args.journal, n_workers=args.workers)
+    _print_analysis(analysis)
+    if args.output:
+        _write_best_tree(analysis, args.output)
+    print(f"journal: {args.journal}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -224,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "distances": _cmd_distances,
         "report": _cmd_report,
+        "cluster": _cmd_cluster,
     }
     return handlers[args.command](args)
 

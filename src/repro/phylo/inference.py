@@ -27,6 +27,7 @@ from .tree import Tree
 __all__ = [
     "InferenceResult",
     "AnalysisResult",
+    "assemble_analysis",
     "infer_tree",
     "multiple_inferences",
     "bootstrap_analysis",
@@ -200,6 +201,32 @@ def support_values(
     return supports
 
 
+def assemble_analysis(
+    inferences: List[InferenceResult],
+    bootstraps: List[InferenceResult],
+) -> AnalysisResult:
+    """Pick the best tree and attach supports (the analysis epilogue).
+
+    The single assembly point shared by the serial workflow, the
+    process-parallel facade, and the cluster aggregator — all three
+    must agree bit for bit, so the best-tree tie-break (``max`` keeps
+    the first, i.e. lowest-replicate, maximal element) and the support
+    arithmetic live here once.  *inferences* and *bootstraps* must be
+    in replicate order.
+    """
+    if not inferences:
+        raise ValueError("need at least one inference to pick a best tree")
+    best = max(inferences, key=lambda r: r.log_likelihood)
+    supports = support_values(
+        Tree.from_newick(best.newick),
+        [Tree.from_newick(b.newick) for b in bootstraps],
+    )
+    return AnalysisResult(
+        best=best, inferences=inferences, bootstraps=bootstraps,
+        supports=supports,
+    )
+
+
 def run_full_analysis(
     alignment,
     n_inferences: int = 2,
@@ -217,11 +244,4 @@ def run_full_analysis(
     bootstraps = bootstrap_analysis(
         alignment, n_bootstraps, model, rate_model, config, seed, tracer
     )
-    best = max(inferences, key=lambda r: r.log_likelihood)
-    supports = support_values(
-        Tree.from_newick(best.newick),
-        [Tree.from_newick(b.newick) for b in bootstraps],
-    )
-    return AnalysisResult(
-        best=best, inferences=inferences, bootstraps=bootstraps, supports=supports
-    )
+    return assemble_analysis(inferences, bootstraps)

@@ -2,9 +2,12 @@
 
 The paper's MPI layer distributes independent tree searches to worker
 ranks (section 3.1).  Inside the reproduction the *simulated* MPI
-runtime (:mod:`repro.sched.simmpi`) models that layer's scheduling; this
-module is its executable counterpart: the same embarrassingly parallel
-workload run on real host cores with :mod:`concurrent.futures`.
+runtime (:mod:`repro.sched.simmpi`) models that layer's scheduling;
+this module is its executable counterpart — and, since the
+:mod:`repro.cluster` subsystem landed, a thin compatibility facade over
+its fault-tolerant work queue: the same embarrassingly parallel
+workload run on real host cores with heartbeats, bounded retry, and
+dead-worker requeue underneath.
 
 Determinism: each task derives its RNG from ``(seed, kind, replicate)``
 only, so a parallel run produces bit-identical trees and likelihoods to
@@ -13,26 +16,24 @@ the serial one — the property the tests assert.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from .alignment import Alignment, PatternAlignment
-from .inference import (
-    AnalysisResult,
-    InferenceResult,
-    infer_tree,
-    support_values,
-)
+from .inference import AnalysisResult, InferenceResult, assemble_analysis
 from .search import SearchConfig
-from .tree import Tree
 
 __all__ = ["parallel_analysis", "TaskSpec"]
 
 
 @dataclass(frozen=True)
 class TaskSpec:
-    """One schedulable unit: an inference or a bootstrap replicate."""
+    """One schedulable unit: an inference or a bootstrap replicate.
+
+    Kept as the stable public vocabulary; :mod:`repro.cluster.jobs`
+    generalizes it to batched :class:`~repro.cluster.jobs.ClusterTask`
+    units with the same ``(seed, kind, replicate)`` derivation.
+    """
 
     kind: str  # "inference" | "bootstrap"
     replicate: int
@@ -50,25 +51,27 @@ def _task_list(n_inferences: int, n_bootstraps: int, seed: int
     return tasks
 
 
-def _run_task(args: Tuple[TaskSpec, PatternAlignment, Optional[SearchConfig]]
-              ) -> InferenceResult:
-    """Worker entry point (must be top-level for pickling)."""
-    import numpy as np
+def _run_task(spec: TaskSpec, patterns: PatternAlignment,
+              config: Optional[SearchConfig]) -> InferenceResult:
+    """Execute one task in-process, surfacing the spec on failure."""
+    from ..cluster.aggregate import _to_result
+    from ..cluster.queue import (
+        ExecutionContext,
+        TaskExecutionError,
+        execute_replicate,
+    )
+    from ..cluster.jobs import ClusterTask
 
-    spec, patterns, config = args
-    if spec.kind == "inference":
-        return infer_tree(
-            patterns, config=config, seed=spec.seed,
-            replicate=spec.replicate,
+    try:
+        payload = execute_replicate(
+            patterns, ExecutionContext(config=config), spec.kind,
+            spec.replicate, spec.seed,
         )
-    rng = np.random.default_rng(
-        np.random.SeedSequence([spec.seed, 7919, spec.replicate])
-    )
-    replicate = patterns.bootstrap_replicate(rng)
-    return infer_tree(
-        replicate, config=config, seed=spec.seed + 1,
-        is_bootstrap=True, replicate=spec.replicate,
-    )
+    except Exception as exc:
+        task = ClusterTask(f"{spec.kind}/{spec.replicate}", spec.kind,
+                           (spec.replicate,), spec.seed)
+        raise TaskExecutionError(task, 1, repr(exc)) from exc
+    return _to_result(payload)
 
 
 def parallel_analysis(
@@ -82,8 +85,11 @@ def parallel_analysis(
     """The section-3.1 workflow on real host cores.
 
     Matches :func:`repro.phylo.inference.run_full_analysis` result-for-
-    result (same seeds, same trees) while running tasks concurrently.
-    With ``n_workers=1`` the pool is skipped entirely (serial fallback,
+    result (same seeds, same trees) while running tasks concurrently on
+    the :class:`repro.cluster.queue.ClusterQueue`.  Worker failures are
+    surfaced as :class:`repro.cluster.queue.TaskExecutionError` naming
+    the originating task's kind, replicate, and seed.  With
+    ``n_workers=1`` the queue is skipped entirely (serial fallback,
     useful under debuggers and on restricted platforms).
     """
     patterns = (
@@ -91,25 +97,26 @@ def parallel_analysis(
     )
     if not isinstance(patterns, PatternAlignment):
         raise TypeError("expected Alignment or PatternAlignment")
-    tasks = _task_list(n_inferences, n_bootstraps, seed)
-    payloads = [(spec, patterns, config) for spec in tasks]
+    if n_inferences < 1:
+        raise ValueError("need at least one inference to pick a best tree")
 
     if n_workers == 1:
-        results = [_run_task(p) for p in payloads]
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            results = list(pool.map(_run_task, payloads))
+        tasks = _task_list(n_inferences, n_bootstraps, seed)
+        results = [_run_task(t, patterns, config) for t in tasks]
+        inferences = [r for r in results if not r.is_bootstrap]
+        bootstraps = [r for r in results if r.is_bootstrap]
+        return assemble_analysis(inferences, bootstraps)
 
-    inferences = [r for r in results if not r.is_bootstrap]
-    bootstraps = [r for r in results if r.is_bootstrap]
-    if not inferences:
-        raise ValueError("need at least one inference to pick a best tree")
-    best = max(inferences, key=lambda r: r.log_likelihood)
-    supports = support_values(
-        Tree.from_newick(best.newick),
-        [Tree.from_newick(b.newick) for b in bootstraps],
+    import os
+
+    from ..cluster.jobs import JobSpec
+    from ..cluster.runner import run_job
+
+    spec = JobSpec(
+        n_inferences=n_inferences, n_bootstraps=n_bootstraps, seed=seed,
+        config=config,
     )
-    return AnalysisResult(
-        best=best, inferences=inferences, bootstraps=bootstraps,
-        supports=supports,
-    )
+    if n_workers is None:
+        n_workers = min(os.cpu_count() or 1,
+                        max(1, n_inferences + n_bootstraps))
+    return run_job(spec, alignment=patterns, n_workers=n_workers)

@@ -8,7 +8,7 @@ switches between them based on available task-level parallelism.
 
 from .edtlp import EDTLPResult, simulate_edtlp
 from .llp import LLPResult, simulate_llp
-from .mgps import MGPSPhase, MGPSResult, simulate_mgps
+from .mgps import MGPSPhase, MGPSResult, simulate_mgps, summarize_phases
 from .simmpi import DONE_TAG, STOP_TAG, WORK_TAG, MasterWorker, SimMPI
 from .static import StaticResult, simulate_static
 from .taskmodel import CellTask, make_tasks
@@ -21,6 +21,7 @@ __all__ = [
     "MGPSPhase",
     "MGPSResult",
     "simulate_mgps",
+    "summarize_phases",
     "DONE_TAG",
     "STOP_TAG",
     "WORK_TAG",

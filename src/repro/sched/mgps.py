@@ -17,14 +17,14 @@ provided; the test suite checks they agree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from ..cell.timing import CellTiming, DEFAULT_TIMING
 from .edtlp import EDTLPResult, simulate_edtlp
 from .llp import LLPResult, simulate_llp
 from .taskmodel import CellTask
 
-__all__ = ["MGPSPhase", "MGPSResult", "simulate_mgps"]
+__all__ = ["MGPSPhase", "MGPSResult", "simulate_mgps", "summarize_phases"]
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,29 @@ class MGPSResult:
     @property
     def llp_tasks(self) -> int:
         return sum(p.n_tasks for p in self.phases if p.mode == "llp")
+
+    def phase_summary(self) -> Dict[str, Dict[str, float]]:
+        return summarize_phases(self.phases)
+
+
+def summarize_phases(phases: Sequence[MGPSPhase]
+                     ) -> Dict[str, Dict[str, float]]:
+    """Per-mode phase accounting (phase/task counts and total time).
+
+    Shared vocabulary between the discrete-event simulation above and
+    the live cluster scheduler
+    (:class:`repro.cluster.scheduler.MultigrainScheduler`), whose run
+    journals record this summary.
+    """
+    summary: Dict[str, Dict[str, float]] = {}
+    for phase in phases:
+        entry = summary.setdefault(
+            phase.mode, {"phases": 0, "tasks": 0, "time_s": 0.0}
+        )
+        entry["phases"] += 1
+        entry["tasks"] += phase.n_tasks
+        entry["time_s"] += phase.duration_s
+    return summary
 
 
 def simulate_mgps(

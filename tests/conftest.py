@@ -76,3 +76,36 @@ def engine(small_patterns, small_tree) -> LikelihoodEngine:
 @pytest.fixture(scope="session")
 def tiny_search_config() -> SearchConfig:
     return SearchConfig(initial_radius=2, max_radius=3, max_rounds=2)
+
+
+# -- cluster fixtures --------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def tiny_patterns():
+    """6 taxa x 120 sites — small enough for many-process cluster tests."""
+    return synthetic_dataset(n_taxa=6, n_sites=120, seed=3).compress()
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> SearchConfig:
+    return SearchConfig(initial_radius=1, max_radius=1, max_rounds=1,
+                        smoothing_passes=1, final_smoothing_passes=1)
+
+
+@pytest.fixture(scope="session")
+def cluster_workers() -> int:
+    """Worker count for cluster tests; CI sweeps 2 and 4 to catch
+    scheduling nondeterminism."""
+    import os
+
+    return int(os.environ.get("REPRO_CLUSTER_WORKERS", "2"))
+
+
+@pytest.fixture(scope="session")
+def serial_reference(tiny_patterns, fast_config):
+    """The uninterrupted single-core result every cluster run must
+    reproduce bit-identically: 1 inference + 4 bootstraps, seed 9."""
+    from repro.phylo import run_full_analysis
+
+    return run_full_analysis(tiny_patterns, n_inferences=1, n_bootstraps=4,
+                             config=fast_config, seed=9)

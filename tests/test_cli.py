@@ -104,3 +104,40 @@ class TestDistances:
         assert code == 0
         tree = Tree.from_newick(capsys.readouterr().out.strip())
         assert tree.n_tips == 6
+
+
+class TestCluster:
+    def test_cluster_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["cluster", "run", "-s", "x.phy", "--journal", "j.jsonl"]
+        )
+        assert args.workers == 2
+        assert args.batch_size == 4
+        assert args.cluster_command == "run"
+
+    def test_cluster_run_resume_status(self, fasta_path, tmp_path, capsys):
+        journal = str(tmp_path / "run.jsonl")
+        out_file = str(tmp_path / "best.nwk")
+        code = main([
+            "cluster", "run", "-s", fasta_path, "-n", "1", "-b", "2",
+            "--rounds", "1", "--radius", "1", "--max-radius", "1",
+            "--workers", "2", "--batch-size", "2",
+            "--journal", journal, "-o", out_file,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lnL =" in out
+        assert "bootstraps: 2" in out
+        tree = Tree.from_newick(open(out_file).read())
+        assert tree.n_tips == 6
+
+        code = main(["cluster", "status", "--journal", journal])
+        assert code == 0
+        status = capsys.readouterr().out
+        assert "bootstraps 2/2" in status
+        assert "[finished]" in status
+
+        # Resuming a finished run reuses the journal verbatim.
+        code = main(["cluster", "resume", "--journal", journal])
+        assert code == 0
+        assert "best tree:" in capsys.readouterr().out

@@ -1,0 +1,180 @@
+"""Journal replay and resume-determinism tests.
+
+The acceptance bar: a run interrupted at any task boundary and resumed
+from its journal produces bit-identical trees, log likelihoods, and
+bootstrap supports to an uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    JobSpec,
+    RunJournal,
+    replay,
+    resume_job,
+    run_job,
+)
+from repro.harness.report import render_cluster_status
+
+
+def _truncate_after(journal_path: str, out_path: str, k: int) -> int:
+    """Keep the run header and the first *k* replicate results —
+    simulating a run killed at a task boundary after *k* replicates."""
+    kept, replicates = [], 0
+    with open(journal_path) as fh:
+        for line in fh:
+            record = json.loads(line)
+            if record["event"] == "replicate_done":
+                replicates += 1
+                if replicates > k:
+                    continue
+            if record["event"] in ("run_finished", "run_progress"):
+                continue
+            kept.append(line.rstrip("\n"))
+    with open(out_path, "w") as fh:
+        fh.write("\n".join(kept) + "\n")
+    return min(k, replicates)
+
+
+class TestJournal:
+    def test_append_and_replay_round_trip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path) as journal:
+            journal.append("run_started", spec={"n_inferences": 1})
+            journal.append("task_started", task="inference/0", attempt=1,
+                           worker=0)
+            journal.append(
+                "replicate_done", task="inference/0",
+                payload={"kind": "inference", "replicate": 0,
+                         "newick": "(a,b,c);", "log_likelihood": -1.5,
+                         "is_bootstrap": False, "perf": {"pmat_hits": 2}},
+            )
+            journal.append("task_finished", task="inference/0", attempt=1,
+                           worker=0)
+        state = replay(path)
+        assert state.spec == {"n_inferences": 1}
+        assert state.payloads[("inference", 0)]["log_likelihood"] == -1.5
+        assert state.tasks_started == 1 and state.tasks_finished == 1
+        assert not state.finished
+        assert state.perf_totals() == {"pmat_hits": 2}
+
+    def test_duplicate_replicates_first_wins(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path) as journal:
+            for i in range(2):
+                journal.append(
+                    "replicate_done", task="bootstrap/0",
+                    payload={"kind": "bootstrap", "replicate": 0,
+                             "newick": "(a,b,c);", "log_likelihood": -2.0,
+                             "is_bootstrap": True},
+                )
+        assert len(replay(path).payloads) == 1
+
+    def test_replay_tolerates_torn_tail_line(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path) as journal:
+            journal.append("run_started", spec={"n_inferences": 1})
+        with open(path, "a") as fh:
+            fh.write('{"event": "replicate_done", "payl')  # torn write
+        state = replay(path)
+        assert state.spec == {"n_inferences": 1}
+        assert not state.payloads
+
+    def test_in_memory_journal_has_no_file(self):
+        journal = RunJournal(None)
+        journal.append("run_started", spec={})
+        assert journal.path is None and len(journal.events) == 1
+
+
+class TestResumeDeterminism:
+    @pytest.mark.parametrize("k", [0, 2, 4])
+    def test_resume_after_k_replicates_is_bit_identical(
+            self, k, tiny_patterns, fast_config, serial_reference,
+            cluster_workers, tmp_path):
+        # A clean journalled run, then a copy truncated after k of its 5
+        # replicate results (1 inference + 4 bootstraps) to simulate an
+        # interruption at a task boundary.
+        full = str(tmp_path / "full.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=4, seed=9, batch_size=2,
+                       config=fast_config)
+        run_job(spec, alignment=tiny_patterns, n_workers=cluster_workers,
+                journal_path=full)
+
+        truncated = str(tmp_path / f"cut{k}.jsonl")
+        _truncate_after(full, truncated, k)
+        resumed = resume_job(truncated, alignment=tiny_patterns,
+                             n_workers=cluster_workers)
+
+        assert resumed.best.newick == serial_reference.best.newick
+        assert resumed.best.log_likelihood == \
+            serial_reference.best.log_likelihood
+        assert [r.newick for r in resumed.inferences] == \
+            [r.newick for r in serial_reference.inferences]
+        assert [b.newick for b in resumed.bootstraps] == \
+            [b.newick for b in serial_reference.bootstraps]
+        assert [b.log_likelihood for b in resumed.bootstraps] == \
+            [b.log_likelihood for b in serial_reference.bootstraps]
+        assert resumed.supports == serial_reference.supports
+
+        state = replay(truncated)
+        assert state.resumes == 1
+        assert state.finished
+
+    def test_resume_of_complete_run_spawns_no_workers(
+            self, tiny_patterns, fast_config, serial_reference,
+            cluster_workers, tmp_path):
+        journal = str(tmp_path / "full.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=4, seed=9,
+                       config=fast_config)
+        run_job(spec, alignment=tiny_patterns, n_workers=cluster_workers,
+                journal_path=journal)
+        # No alignment passed: a complete journal must not need one (it
+        # would have to load from spec.alignment_path, which is unset).
+        resumed = resume_job(journal)
+        assert resumed.supports == serial_reference.supports
+        assert resumed.best.newick == serial_reference.best.newick
+
+    def test_resume_requires_a_header(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        with pytest.raises(ValueError, match="no run_started header"):
+            resume_job(path)
+
+
+class TestStatusRendering:
+    def test_status_of_partial_run(self, tiny_patterns, fast_config,
+                                   cluster_workers, tmp_path):
+        full = str(tmp_path / "full.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=4, seed=9, batch_size=2,
+                       config=fast_config)
+        run_job(spec, alignment=tiny_patterns, n_workers=cluster_workers,
+                journal_path=full)
+        # Keep the inference and the first two bootstraps (arrival order
+        # of the journal is nondeterministic, so filter by kind).
+        partial = str(tmp_path / "partial.jsonl")
+        kept, boots = [], 0
+        with open(full) as fh:
+            for line in fh:
+                record = json.loads(line)
+                if record["event"] in ("run_finished", "run_progress"):
+                    continue
+                if (record["event"] == "replicate_done"
+                        and record["payload"]["is_bootstrap"]):
+                    boots += 1
+                    if boots > 2:
+                        continue
+                kept.append(line.rstrip("\n"))
+        with open(partial, "w") as fh:
+            fh.write("\n".join(kept) + "\n")
+
+        text = render_cluster_status(partial)
+        assert "1 inference(s) + 4 bootstrap(s)" in text
+        assert "best so far" in text
+        assert "engine counters" in text
+        assert "[finished]" not in text
+
+        finished = render_cluster_status(full)
+        assert "[finished]" in finished
+        assert "bootstraps 4/4" in finished

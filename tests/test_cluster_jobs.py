@@ -1,0 +1,99 @@
+"""Tests for job specs and their expansion into the task DAG."""
+
+from repro.cluster.jobs import (
+    AGGREGATE_NODE,
+    ClusterTask,
+    JobSpec,
+    TaskGraph,
+    expand_job,
+)
+from repro.phylo.search import SearchConfig
+
+
+class TestExpansion:
+    def test_fine_grain_expansion(self):
+        tasks = expand_job(JobSpec(n_inferences=2, n_bootstraps=3, seed=7))
+        assert [t.task_id for t in tasks] == [
+            "inference/0", "inference/1",
+            "bootstrap/0", "bootstrap/1", "bootstrap/2",
+        ]
+        assert all(t.grain == 1 for t in tasks)
+        assert all(t.seed == 7 for t in tasks)
+
+    def test_coarse_bootstrap_batches(self):
+        tasks = expand_job(JobSpec(n_inferences=1, n_bootstraps=5,
+                                   batch_size=2))
+        boot = [t for t in tasks if t.kind == "bootstrap"]
+        assert [t.task_id for t in boot] == [
+            "bootstrap/0-1", "bootstrap/2-3", "bootstrap/4",
+        ]
+        assert [t.replicates for t in boot] == [(0, 1), (2, 3), (4,)]
+
+    def test_expansion_is_deterministic(self):
+        spec = JobSpec(n_inferences=2, n_bootstraps=6, seed=1, batch_size=3)
+        assert expand_job(spec) == expand_job(spec)
+
+    def test_done_replicates_are_excluded(self):
+        spec = JobSpec(n_inferences=2, n_bootstraps=4, batch_size=2)
+        tasks = expand_job(spec, done_inferences={0}, done_bootstraps={1, 2})
+        assert [t.task_id for t in tasks] == [
+            "inference/1", "bootstrap/0", "bootstrap/3",
+        ]
+
+    def test_non_consecutive_survivors_never_share_a_batch(self):
+        # After a resume excluded replicate 1, replicates 0 and 2 must not
+        # collapse into a "bootstrap/0-2" batch that would lie about its
+        # range.
+        spec = JobSpec(n_inferences=0, n_bootstraps=3, batch_size=2)
+        tasks = expand_job(spec, done_bootstraps={1})
+        assert [t.replicates for t in tasks] == [(0,), (2,)]
+
+    def test_split_produces_fine_children(self):
+        task = ClusterTask("bootstrap/2-4", "bootstrap", (2, 3, 4), seed=5)
+        children = task.split()
+        assert [c.task_id for c in children] == [
+            "bootstrap/2", "bootstrap/3", "bootstrap/4",
+        ]
+        assert all(c.seed == 5 and c.grain == 1 for c in children)
+        assert [k for c in children for k in c.keys()] == task.keys()
+
+    def test_singleton_split_is_identity(self):
+        task = ClusterTask("inference/0", "inference", (0,), seed=5)
+        assert task.split() == [task]
+
+
+class TestTaskGraph:
+    def test_graph_is_flat_with_aggregate_barrier(self):
+        graph = TaskGraph.from_spec(JobSpec(n_inferences=1, n_bootstraps=2))
+        assert len(graph.ready()) == 3  # every task immediately runnable
+        assert graph.dependencies[AGGREGATE_NODE] == (
+            "inference/0", "bootstrap/0", "bootstrap/1",
+        )
+        assert graph.n_replicates == 3
+
+    def test_graph_expansion_idempotent(self):
+        spec = JobSpec(n_inferences=2, n_bootstraps=4, batch_size=2)
+        assert TaskGraph.from_spec(spec).tasks == TaskGraph.from_spec(spec).tasks
+
+
+class TestJobSpecJson:
+    def test_round_trip_without_config(self):
+        spec = JobSpec(n_inferences=2, n_bootstraps=4, seed=3, batch_size=2,
+                       alignment_path="d.phy", model_name="GTR", alpha=0.5)
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_with_search_config(self):
+        config = SearchConfig(initial_radius=1, max_radius=2, max_rounds=3)
+        spec = JobSpec(n_inferences=1, n_bootstraps=1, config=config)
+        restored = JobSpec.from_json(spec.to_json())
+        assert restored.config == config
+        assert restored == spec
+
+    def test_json_payload_is_json_native(self):
+        import json
+
+        spec = JobSpec(n_inferences=1, n_bootstraps=1,
+                       config=SearchConfig())
+        assert JobSpec.from_json(
+            json.loads(json.dumps(spec.to_json()))
+        ) == spec

@@ -1,0 +1,170 @@
+"""Tests for the fault-tolerant work queue (retry, backoff, surfacing).
+
+Worker-count sensitive scheduling paths run under the
+``REPRO_CLUSTER_WORKERS`` worker count (CI sweeps 2 and 4).
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    JobSpec,
+    TaskExecutionError,
+    WorkerPlans,
+    replay,
+    run_job,
+)
+from repro.phylo.alignment import PatternAlignment
+from repro.phylo.parallel import parallel_analysis
+
+FAST_RETRY = dict(retry_backoff_s=0.01)
+
+
+class TestCleanRuns:
+    def test_matches_serial_bit_for_bit(self, tiny_patterns, fast_config,
+                                        serial_reference, cluster_workers,
+                                        tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=4, seed=9, batch_size=2,
+                       config=fast_config)
+        result = run_job(spec, alignment=tiny_patterns,
+                         n_workers=cluster_workers, journal_path=journal)
+        assert result.best.newick == serial_reference.best.newick
+        assert result.best.log_likelihood == \
+            serial_reference.best.log_likelihood
+        assert [b.newick for b in result.bootstraps] == \
+            [b.newick for b in serial_reference.bootstraps]
+        assert result.supports == serial_reference.supports
+
+    def test_journal_records_full_lifecycle(self, tiny_patterns, fast_config,
+                                            cluster_workers, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=2, seed=2,
+                       config=fast_config)
+        run_job(spec, alignment=tiny_patterns, n_workers=cluster_workers,
+                journal_path=journal)
+        state = replay(journal)
+        assert state.spec is not None
+        assert len(state.payloads) == 3
+        assert state.finished
+        assert state.tasks_started >= 3
+        assert state.tasks_finished >= 3
+
+    def test_perf_counters_journalled_per_task(self, tiny_patterns,
+                                               fast_config, cluster_workers,
+                                               tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=1, seed=2,
+                       config=fast_config)
+        run_job(spec, alignment=tiny_patterns, n_workers=cluster_workers,
+                journal_path=journal)
+        state = replay(journal)
+        for payload in state.payloads.values():
+            assert payload["perf"]["newview_calls"] > 0
+            assert "pmat_hits" in payload["perf"]
+            assert "arena_acquires" in payload["perf"]
+        totals = state.perf_totals()
+        assert totals["newview_calls"] == sum(
+            p["perf"]["newview_calls"] for p in state.payloads.values()
+        )
+
+
+class TestRetries:
+    def test_transient_failure_is_retried(self, tiny_patterns, fast_config,
+                                          serial_reference, cluster_workers,
+                                          tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=4, seed=9, batch_size=2,
+                       config=fast_config)
+        plans = WorkerPlans(fail={"bootstrap/0-1": (1,)})  # attempt 1 only
+        result = run_job(
+            spec, alignment=tiny_patterns, journal_path=journal, plans=plans,
+            cluster=ClusterConfig(n_workers=cluster_workers, **FAST_RETRY),
+        )
+        assert result.supports == serial_reference.supports
+        state = replay(journal)
+        assert len(state.retries) == 1
+        retry = state.retries[0]
+        assert retry["task"] == "bootstrap/0-1"
+        assert retry["attempt"] == 1
+        assert "injected failure" in retry["error"]
+
+    def test_exhausted_retries_surface_the_task_spec(self, tiny_patterns,
+                                                     fast_config,
+                                                     cluster_workers,
+                                                     tmp_path):
+        spec = JobSpec(n_inferences=1, n_bootstraps=1, seed=2,
+                       config=fast_config)
+        plans = WorkerPlans(fail={"bootstrap/0": (1, 2)})
+        with pytest.raises(TaskExecutionError) as err:
+            run_job(
+                spec, alignment=tiny_patterns,
+                journal_path=str(tmp_path / "run.jsonl"), plans=plans,
+                cluster=ClusterConfig(n_workers=cluster_workers,
+                                      max_retries=1, **FAST_RETRY),
+            )
+        message = str(err.value)
+        assert "kind=bootstrap" in message
+        assert "replicates=[0]" in message
+        assert "seed=2" in message
+
+    def test_scheduler_phases_journalled(self, tiny_patterns, fast_config,
+                                         cluster_workers, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=6, seed=2, batch_size=3,
+                       config=fast_config)
+        run_job(spec, alignment=tiny_patterns, n_workers=cluster_workers,
+                journal_path=journal)
+        state = replay(journal)
+        progress = [e for e in state.events if e["event"] == "run_progress"]
+        assert progress, "queue should journal its phase accounting"
+        phases = progress[-1]["phases"]
+        assert set(phases) <= {"edtlp", "llp"}
+        total = sum(entry["tasks"] for entry in phases.values())
+        assert total >= 3  # every dispatched task is accounted somewhere
+
+
+class TestParallelFacade:
+    def test_facade_matches_serial(self, tiny_patterns, fast_config,
+                                   serial_reference, cluster_workers):
+        result = parallel_analysis(
+            tiny_patterns, n_inferences=1, n_bootstraps=4,
+            config=fast_config, seed=9, n_workers=cluster_workers,
+        )
+        assert result.best.newick == serial_reference.best.newick
+        assert result.supports == serial_reference.supports
+
+    def test_serial_fallback_surfaces_task_spec(self, fast_config):
+        with pytest.raises(TaskExecutionError) as err:
+            parallel_analysis(
+                _BrokenPatterns(), n_inferences=1, n_bootstraps=1,
+                config=fast_config, seed=6, n_workers=1,
+            )
+        message = str(err.value)
+        assert "kind=inference" in message or "kind=bootstrap" in message
+        assert "seed=6" in message
+
+    def test_pool_failure_surfaces_task_spec(self, fast_config,
+                                             cluster_workers):
+        with pytest.raises(TaskExecutionError) as err:
+            parallel_analysis(
+                _BrokenPatterns(), n_inferences=1, n_bootstraps=1,
+                config=fast_config, seed=6, n_workers=cluster_workers,
+            )
+        assert "seed=6" in str(err.value)
+
+
+class _BrokenPatterns(PatternAlignment):
+    """Passes the type check but explodes inside the task body."""
+
+    def __init__(self):  # noqa: D401 — deliberately skips parent init
+        pass
+
+    def __reduce__(self):  # picklable across worker processes
+        return (_BrokenPatterns, ())
+
+    def base_frequencies(self):
+        raise RuntimeError("boom: broken alignment")
+
+    def bootstrap_replicate(self, rng):
+        raise RuntimeError("boom: broken alignment")

@@ -1,0 +1,85 @@
+"""Crash-recovery tests: workers die mid-task; the run must not.
+
+``WorkerPlans.crash`` makes the victim worker ``os._exit`` mid-task
+(after streaming all but its last replicate), which exercises the
+master's dead-worker detection, task requeue, and replacement spawning.
+The recovered run must be bit-identical to a clean serial run.
+"""
+
+from repro.cluster import (
+    ClusterConfig,
+    JobSpec,
+    WorkerPlans,
+    replay,
+    run_job,
+)
+
+FAULT_CFG = dict(retry_backoff_s=0.01, heartbeat_interval_s=0.1)
+
+
+class TestWorkerCrash:
+    def test_crash_mid_bootstrap_recovers_bit_identically(
+            self, tiny_patterns, fast_config, serial_reference,
+            cluster_workers, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=4, seed=9, batch_size=2,
+                       config=fast_config)
+        # Kill whichever worker picks up the first bootstrap batch, on
+        # its first attempt only.
+        plans = WorkerPlans(crash={"bootstrap/0-1": (1,)})
+        result = run_job(
+            spec, alignment=tiny_patterns, journal_path=journal, plans=plans,
+            cluster=ClusterConfig(n_workers=cluster_workers, **FAULT_CFG),
+        )
+
+        # The final result is exactly the clean serial run.
+        assert result.best.newick == serial_reference.best.newick
+        assert result.best.log_likelihood == \
+            serial_reference.best.log_likelihood
+        assert [b.newick for b in result.bootstraps] == \
+            [b.newick for b in serial_reference.bootstraps]
+        assert result.supports == serial_reference.supports
+
+        # The journal shows the death and the retry.
+        state = replay(journal)
+        assert [d["reason"] for d in state.worker_deaths] == ["crash"]
+        assert state.worker_deaths[0]["task"] == "bootstrap/0-1"
+        assert len(state.retries) == 1
+        assert state.retries[0]["task"] == "bootstrap/0-1"
+        assert state.retries[0]["will_retry"] is True
+        assert state.finished
+
+    def test_partial_batch_results_survive_the_crash(
+            self, tiny_patterns, fast_config, cluster_workers, tmp_path):
+        # The worker streams replicate 0 before dying ahead of replicate
+        # 1, so the journal must contain bootstrap/0 exactly once from
+        # the first attempt *and* the task retry must only have to
+        # confirm it (idempotent ingest).
+        journal = str(tmp_path / "run.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=2, seed=9, batch_size=2,
+                       config=fast_config)
+        plans = WorkerPlans(crash={"bootstrap/0-1": (1,)})
+        result = run_job(
+            spec, alignment=tiny_patterns, journal_path=journal, plans=plans,
+            cluster=ClusterConfig(n_workers=cluster_workers, **FAULT_CFG),
+        )
+        assert len(result.bootstraps) == 2
+        state = replay(journal)
+        assert ("bootstrap", 0) in state.payloads
+        assert ("bootstrap", 1) in state.payloads
+
+    def test_hung_worker_is_timed_out_and_task_requeued(
+            self, tiny_patterns, fast_config, cluster_workers, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=1, seed=2,
+                       config=fast_config)
+        plans = WorkerPlans(hang={"bootstrap/0": (1,)})
+        result = run_job(
+            spec, alignment=tiny_patterns, journal_path=journal, plans=plans,
+            cluster=ClusterConfig(n_workers=cluster_workers,
+                                  task_timeout_s=0.7, **FAULT_CFG),
+        )
+        assert len(result.bootstraps) == 1
+        state = replay(journal)
+        assert any(d["reason"] == "timeout" for d in state.worker_deaths)
+        assert len(state.retries) == 1
