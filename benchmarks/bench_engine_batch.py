@@ -160,7 +160,14 @@ def _full_hill_climb(batch_spr: bool) -> dict:
     }
 
 
-def run_benchmark() -> dict:
+def run_benchmark(write: bool = True, include_context: bool = True) -> dict:
+    """Measure both sweep modes; optionally persist to BENCH_engine.json.
+
+    ``write=False`` leaves the committed baseline untouched (the CI
+    regression gate in ``bench_engine_regression.py`` measures against
+    it and must not overwrite it); ``include_context=False`` skips the
+    two full hill climbs for a faster measurement-only run.
+    """
     serial = _sweep("serial")
     batched = _sweep("batched")
     speedup = serial["wall_seconds"] / batched["wall_seconds"]
@@ -178,12 +185,14 @@ def run_benchmark() -> dict:
             "batched": batched,
             "speedup": speedup,
         },
-        "hill_climb_context": {
+    }
+    if include_context:
+        report["hill_climb_context"] = {
             "serial": _full_hill_climb(batch_spr=False),
             "batched": _full_hill_climb(batch_spr=True),
-        },
-    }
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        }
+    if write:
+        RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
 

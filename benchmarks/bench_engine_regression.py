@@ -1,0 +1,89 @@
+"""CI regression gate for the batched likelihood pipeline.
+
+Two complementary checks:
+
+* ``test_batched_neighborhood_benchmark`` is a plain pytest-benchmark
+  measurement of one fused SPR-neighborhood scoring pass.  CI runs it
+  with ``--benchmark-autosave --benchmark-compare
+  --benchmark-compare-fail=mean:25%`` so a cached ``.benchmarks/``
+  directory turns it into a hard >25%-slower gate between runs.
+* ``test_speedup_no_worse_than_committed_baseline`` compares the
+  serial/batched *ratio* against the speedup recorded in the committed
+  ``BENCH_engine.json``.  The ratio is insensitive to absolute machine
+  speed, so this works even on a cold cache or a different runner.
+
+Run locally::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_regression.py -q \
+        --benchmark-autosave --benchmark-compare \
+        --benchmark-compare-fail=mean:25%
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from bench_engine_batch import (
+    NEWTON_ITERATIONS,
+    RADIUS,
+    RESULT_PATH,
+    _fresh_engine,
+    _setup,
+    run_benchmark,
+)
+from repro.phylo.search import spr_neighborhood
+
+#: Fail if the measured sweep speedup falls more than this fraction
+#: below the committed ``BENCH_engine.json`` baseline ratio.
+MAX_SPEEDUP_REGRESSION = 0.25
+
+
+def test_batched_neighborhood_benchmark(benchmark):
+    """Time one fused scoring pass over a radius-3 SPR neighborhood."""
+    patterns, model, base_newick = _setup()
+
+    def setup():
+        engine, tree = _fresh_engine(patterns, model, base_newick)
+        inner = [b for b in tree.branches if not b.nodes[0].is_tip]
+        prune = inner[0]
+        keep = prune.nodes[0]
+        targets = spr_neighborhood(tree, prune, keep, RADIUS)
+        return (engine, prune, keep, targets), {}
+
+    def run(engine, prune, keep, targets):
+        try:
+            engine.score_spr_candidates(
+                prune, keep, targets, max_iterations=NEWTON_ITERATIONS
+            )
+        finally:
+            engine.detach()
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+
+
+def test_speedup_no_worse_than_committed_baseline():
+    assert RESULT_PATH.is_file(), (
+        f"{RESULT_PATH.name} missing; regenerate with "
+        "`PYTHONPATH=src python benchmarks/bench_engine_batch.py`"
+    )
+    committed = json.loads(RESULT_PATH.read_text())
+    baseline = committed["neighborhood_sweep"]["speedup"]
+    # Measurement-only run: do not clobber the committed baseline.
+    report = run_benchmark(write=False, include_context=False)
+    measured = report["neighborhood_sweep"]["speedup"]
+    floor = (1.0 - MAX_SPEEDUP_REGRESSION) * baseline
+    print(
+        f"\ncommitted speedup: {baseline:.2f}x, measured: {measured:.2f}x, "
+        f"floor: {floor:.2f}x"
+    )
+    assert measured >= floor, (
+        f"batched sweep speedup regressed: {measured:.2f}x measured vs "
+        f"{baseline:.2f}x committed baseline (> "
+        f"{MAX_SPEEDUP_REGRESSION:.0%} regression)"
+    )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q", "-s"])

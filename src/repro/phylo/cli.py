@@ -10,6 +10,8 @@ RAxML-flavoured usage::
         --journal run.jsonl --workers 4
     python -m repro.phylo.cli cluster resume --journal run.jsonl
     python -m repro.phylo.cli cluster status --journal run.jsonl
+    python -m repro.phylo.cli verify --check
+    python -m repro.phylo.cli verify --fuzz 200
 
 ``infer`` runs the full workflow of the paper's section 3.1: ``-n``
 independent searches from randomized stepwise-addition parsimony
@@ -149,6 +151,32 @@ def build_parser() -> argparse.ArgumentParser:
                               help="summarize a run journal (streaming "
                               "partial results included)")
     cstatus.add_argument("--journal", required=True)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential / metamorphic / golden-corpus verification",
+        description="Check the fast likelihood engine against the "
+        "loop-based oracle (repro.verify). Default: validate the "
+        "committed golden corpus and run a short differential fuzz; "
+        "--write regenerates the corpus after an intentional numeric "
+        "change.",
+    )
+    verify.add_argument("--check", action="store_true",
+                        help="only validate the committed golden corpus")
+    verify.add_argument("--write", action="store_true",
+                        help="regenerate the golden corpus in place")
+    verify.add_argument("--fuzz", type=int, default=None, metavar="N",
+                        help="differential fuzz case count (default 25; "
+                        "0 disables; acceptance bar is 200)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="base fuzz seed; case i uses seed+i "
+                        "(default 0)")
+    verify.add_argument("--rel-tol", type=float, default=1e-9,
+                        help="fast-vs-oracle relative tolerance "
+                        "(default 1e-9)")
+    verify.add_argument("--corpus-dir", default=None,
+                        help="golden corpus directory (default "
+                        "tests/golden/ in the checkout)")
     return parser
 
 
@@ -321,6 +349,45 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from pathlib import Path
+
+    from ..verify import check_corpus, run_differential, write_corpus
+
+    if args.check and args.write:
+        print("verify: --check and --write are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    corpus_dir = Path(args.corpus_dir) if args.corpus_dir else None
+
+    if args.write:
+        for path in write_corpus(corpus_dir):
+            print(f"wrote {path}")
+        return 0
+
+    mismatches = check_corpus(corpus_dir)
+    if mismatches:
+        print(f"golden corpus: {len(mismatches)} mismatch(es)")
+        for message in mismatches:
+            print(f"  {message}")
+        print("(regenerate with `repro-phylo verify --write` only after "
+              "an intentional numeric change)")
+        return 1
+    print("golden corpus: OK")
+    if args.check:
+        return 0
+
+    n_cases = 25 if args.fuzz is None else args.fuzz
+    if n_cases:
+        report = run_differential(
+            n_cases=n_cases, seed=args.seed, rel_tol=args.rel_tol
+        )
+        print(report.summary())
+        if report.failures:
+            return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -329,6 +396,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "distances": _cmd_distances,
         "report": _cmd_report,
         "cluster": _cmd_cluster,
+        "verify": _cmd_verify,
     }
     return handlers[args.command](args)
 

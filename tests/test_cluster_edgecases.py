@@ -1,0 +1,124 @@
+"""Cluster edge cases: degenerate journals and single-replicate aggregation.
+
+The recovery tests cover the happy crash/resume paths; these pin down the
+corners — a journal with nothing in it, a journal holding only a torn
+tail, and consensus/support behavior when only one replicate exists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.aggregate import StreamingAggregator
+from repro.cluster.checkpoint import replay
+from repro.cluster.runner import job_status, resume_job
+from repro.phylo import Tree
+
+
+# -- degenerate journals -----------------------------------------------------
+
+
+def test_resume_empty_journal_refuses(tmp_path):
+    journal = tmp_path / "empty.jsonl"
+    journal.write_text("")
+    with pytest.raises(ValueError, match="no run_started header"):
+        resume_job(str(journal))
+
+
+def test_resume_torn_tail_only_journal_refuses(tmp_path):
+    """A journal whose only content is a half-written record: replay
+    must skip the torn line (not crash on it) and resume must then
+    refuse for want of a header."""
+    journal = tmp_path / "torn.jsonl"
+    journal.write_text('{"event": "run_started", "spec": {"n_inf')
+    state = replay(str(journal))
+    assert state.spec is None
+    assert state.events == []
+    with pytest.raises(ValueError, match="no run_started header"):
+        resume_job(str(journal))
+
+
+def test_replay_blank_lines_only(tmp_path):
+    journal = tmp_path / "blank.jsonl"
+    journal.write_text("\n\n   \n")
+    state = replay(str(journal))
+    assert state.spec is None
+    assert state.events == []
+
+
+def test_job_status_on_empty_journal(tmp_path):
+    """Status must degrade gracefully: no spec, nothing done, no best."""
+    journal = tmp_path / "empty.jsonl"
+    journal.write_text("")
+    status = job_status(str(journal))
+    assert status["spec"] is None
+    assert status["finished"] is False
+    assert status["n_inferences_done"] == 0
+    assert status["n_bootstraps_done"] == 0
+    assert status["best"] is None
+    assert status["consensus_newick"] is None
+
+
+# -- single-replicate aggregation --------------------------------------------
+
+
+def _random_newick(seed, n_taxa=5):
+    rng = np.random.default_rng(seed)
+    return Tree.from_tip_names(
+        [f"t{i}" for i in range(n_taxa)], rng
+    ).to_newick()
+
+
+def test_consensus_single_bootstrap_replicate():
+    """With one bootstrap, every split of that tree has support 1.0 and
+    the majority-rule consensus is the tree's own topology."""
+    aggregator = StreamingAggregator()
+    newick = _random_newick(41)
+    assert aggregator.ingest({
+        "replicate": 0, "is_bootstrap": True,
+        "newick": newick, "log_likelihood": -123.0,
+    })
+    supports, consensus = aggregator.consensus()
+    source_splits = Tree.from_newick(newick).bipartitions()
+    assert set(supports) == source_splits
+    assert all(value == 1.0 for value in supports.values())
+    assert consensus is not None
+    assert Tree.from_newick(consensus).bipartitions() == source_splits
+
+
+def test_consensus_without_bootstraps_is_none():
+    aggregator = StreamingAggregator()
+    aggregator.ingest({
+        "replicate": 0, "is_bootstrap": False,
+        "newick": _random_newick(42), "log_likelihood": -100.0,
+    })
+    supports, consensus = aggregator.consensus()
+    assert supports == {}
+    assert consensus is None
+
+
+def test_supports_single_inference_no_bootstraps():
+    """Best-tree splits exist but every support is 0.0 (0/0 replicates)."""
+    aggregator = StreamingAggregator()
+    newick = _random_newick(43)
+    aggregator.ingest({
+        "replicate": 0, "is_bootstrap": False,
+        "newick": newick, "log_likelihood": -100.0,
+    })
+    supports = aggregator.supports()
+    assert set(supports) == Tree.from_newick(newick).bipartitions()
+    assert all(value == 0.0 for value in supports.values())
+
+
+def test_single_replicate_ingest_is_idempotent():
+    aggregator = StreamingAggregator()
+    payload = {
+        "replicate": 0, "is_bootstrap": True,
+        "newick": _random_newick(44), "log_likelihood": -90.0,
+    }
+    assert aggregator.ingest(payload)
+    assert not aggregator.ingest(dict(payload))
+    _supports, consensus = aggregator.consensus()
+    # The duplicate must not double-count splits: supports stay exactly 1.
+    supports, _ = aggregator.consensus()
+    assert all(value == 1.0 for value in supports.values())
+    assert consensus is not None

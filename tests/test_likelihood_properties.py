@@ -13,29 +13,20 @@ from repro.phylo import (
     Tree,
     UniformRate,
 )
-
-positive = st.floats(min_value=0.1, max_value=8.0)
-frequency = st.floats(min_value=0.05, max_value=1.0)
-
-
-def random_instance(seed, n_taxa, n_sites, rates, freqs):
-    rng = np.random.default_rng(seed)
-    seqs = {
-        f"t{i}": "".join(rng.choice(list("ACGT"), n_sites))
-        for i in range(n_taxa)
-    }
-    patterns = Alignment.from_sequences(seqs).compress()
-    tree = Tree.from_tip_names(patterns.taxa, rng)
-    model = GTR(rates, freqs)
-    return patterns, tree, model
+from tests.strategies import (
+    base_frequencies,
+    gtr_rates,
+    random_instance,
+    seeds,
+)
 
 
 class TestEngineProperties:
     @given(
-        st.integers(0, 10_000),
+        seeds,
         st.integers(min_value=4, max_value=8),
-        st.tuples(*([positive] * 6)),
-        st.tuples(*([frequency] * 4)),
+        gtr_rates,
+        base_frequencies,
     )
     @settings(max_examples=20, deadline=None)
     def test_branch_invariance_property(self, seed, n_taxa, rates, freqs):
@@ -49,7 +40,7 @@ class TestEngineProperties:
         finally:
             engine.detach()
 
-    @given(st.integers(0, 10_000))
+    @given(seeds)
     @settings(max_examples=15, deadline=None)
     def test_likelihood_bounded_above_by_zero(self, seed):
         """Site likelihoods are probabilities, so lnL <= 0."""
@@ -63,7 +54,7 @@ class TestEngineProperties:
         finally:
             engine.detach()
 
-    @given(st.integers(0, 10_000), st.floats(min_value=0.05, max_value=2.0))
+    @given(seeds, st.floats(min_value=0.05, max_value=2.0))
     @settings(max_examples=15, deadline=None)
     def test_makenewz_never_decreases(self, seed, start_length):
         patterns, tree, model = random_instance(
@@ -80,7 +71,7 @@ class TestEngineProperties:
         finally:
             engine.detach()
 
-    @given(st.integers(0, 10_000))
+    @given(seeds)
     @settings(max_examples=10, deadline=None)
     def test_bootstrap_weights_change_lnl_not_validity(self, seed):
         patterns, tree, model = random_instance(
@@ -96,7 +87,7 @@ class TestEngineProperties:
         finally:
             engine.detach()
 
-    @given(st.integers(0, 10_000))
+    @given(seeds)
     @settings(max_examples=10, deadline=None)
     def test_duplicate_columns_scale_lnl_linearly(self, seed):
         """Doubling every column exactly doubles the log likelihood."""

@@ -1,0 +1,83 @@
+"""End-to-end regression tests for the NaN/Inf CLV guard.
+
+``kernels.scale_clv`` refuses to rescale non-finite CLVs; these tests
+prove the guard actually fires through the *public*
+:class:`LikelihoodEngine` surface when a cached CLV is poisoned — not
+just when the kernel is called directly — so numeric corruption can
+never be silently rescaled into a plausible-looking likelihood.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phylo import JC69, LikelihoodEngine, Tree
+from tests.strategies import random_patterns
+
+
+def _engine_with_poisonable_child(seed=5):
+    """An engine plus (branch, poisoned inner-child CLV entry).
+
+    Picks a branch whose propagated side is an inner node with an inner
+    child, caches that child's CLV, and poisons it in place — the next
+    ``newview`` above it must consume the NaNs.
+    """
+    rng = np.random.default_rng(seed)
+    patterns = random_patterns(rng, 7, 40)
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = LikelihoodEngine(patterns, JC69(), None, tree)
+    for branch in tree.branches:
+        u, v = branch.nodes
+        if v.is_tip and not u.is_tip:
+            u, v = v, u  # mirror evaluate(): v is the propagated side
+        if v.is_tip:
+            continue
+        for child_branch in v.branches:
+            if child_branch is branch:
+                continue
+            child = child_branch.other(v)
+            if child.is_tip:
+                continue
+            entry = engine.clv(child, child_branch)
+            entry.clv[:] = np.nan
+            return engine, branch, v
+    raise AssertionError("no suitable branch in the random tree")
+
+
+def test_poisoned_clv_raises_through_evaluate():
+    engine, branch, _inner = _engine_with_poisonable_child()
+    try:
+        with pytest.raises(FloatingPointError, match="non-finite CLV"):
+            engine.evaluate(branch)
+    finally:
+        engine.detach()
+
+
+def test_poisoned_clv_raises_through_clv_refresh():
+    engine, branch, inner = _engine_with_poisonable_child(seed=12)
+    try:
+        with pytest.raises(FloatingPointError, match="non-finite CLV"):
+            engine.clv(inner, branch)
+    finally:
+        engine.detach()
+
+
+def test_poisoned_clv_raises_through_makenewz():
+    engine, branch, _inner = _engine_with_poisonable_child(seed=23)
+    try:
+        with pytest.raises(FloatingPointError, match="non-finite CLV"):
+            engine.makenewz(branch)
+    finally:
+        engine.detach()
+
+
+def test_clean_engine_does_not_trip_the_guard():
+    """The guard is inert on healthy data (no false positives)."""
+    rng = np.random.default_rng(99)
+    patterns = random_patterns(rng, 6, 50)
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = LikelihoodEngine(patterns, JC69(), None, tree)
+    try:
+        value = engine.evaluate()
+        assert np.isfinite(value) and value < 0.0
+    finally:
+        engine.detach()

@@ -19,31 +19,23 @@ from hypothesis.stateful import (
 from hypothesis import strategies as st
 
 from repro.phylo import (
-    Alignment,
     GammaRates,
     LikelihoodEngine,
     Tree,
     default_gtr,
 )
 from repro.phylo.search import _apply_spr, spr_neighborhood
+from tests.strategies import random_patterns
 
 N_TAXA = 8
 N_SITES = 60
-
-
-def _make_patterns(rng):
-    seqs = {
-        f"t{i}": "".join(rng.choice(list("ACGT"), N_SITES))
-        for i in range(N_TAXA)
-    }
-    return Alignment.from_sequences(seqs).compress()
 
 
 class TreeEditMachine(RuleBasedStateMachine):
     @initialize(seed=st.integers(0, 2 ** 16))
     def setup(self, seed):
         self.rng = np.random.default_rng(seed)
-        self.patterns = _make_patterns(self.rng)
+        self.patterns = random_patterns(self.rng, N_TAXA, N_SITES)
         self.tree = Tree.from_tip_names(self.patterns.taxa, self.rng)
         self.model = default_gtr()
         self.engine = LikelihoodEngine(

@@ -1,0 +1,126 @@
+"""Golden corpus tests (repro.verify.golden) and the verify CLI.
+
+The committed-corpus check recomputes every case, so the heavier pieces
+carry ``@pytest.mark.verify``; a single-case determinism smoke stays in
+tier-1.
+"""
+
+import json
+
+import pytest
+
+from repro.phylo.cli import main
+from repro.verify import (
+    GOLDEN_CASES,
+    check_corpus,
+    compute_case,
+    default_corpus_dir,
+    write_corpus,
+)
+
+
+def test_corpus_dir_is_committed():
+    corpus = default_corpus_dir()
+    assert corpus.is_dir()
+    names = {p.name for p in corpus.glob("*.json")}
+    assert names == {f"{case.name}.json" for case in GOLDEN_CASES}
+
+
+def test_compute_case_is_deterministic():
+    case = GOLDEN_CASES[0]
+    first, second = compute_case(case), compute_case(case)
+    assert first == second
+    assert json.dumps(first, sort_keys=True) == json.dumps(second,
+                                                           sort_keys=True)
+
+
+def test_compute_case_record_shape():
+    record = compute_case(GOLDEN_CASES[0])
+    assert record["log_likelihood"] == pytest.approx(
+        record["oracle_log_likelihood"], rel=1e-9
+    )
+    assert record["consensus"]["newick"]
+    assert record["perf_counter_keys"] == sorted(record["perf_counter_keys"])
+    assert "newview_calls" in record["perf_counter_keys"]
+
+
+@pytest.mark.verify
+def test_committed_corpus_is_valid():
+    assert check_corpus() == []
+
+
+@pytest.mark.verify
+def test_corpus_regeneration_is_byte_deterministic(tmp_path):
+    first_dir, second_dir = tmp_path / "a", tmp_path / "b"
+    first = write_corpus(first_dir)
+    second = write_corpus(second_dir)
+    for path_a, path_b in zip(first, second):
+        assert path_a.read_bytes() == path_b.read_bytes()
+    # ...and matches the committed corpus too.
+    for path_a in first:
+        committed = default_corpus_dir() / path_a.name
+        assert json.loads(path_a.read_text()) == json.loads(
+            committed.read_text()
+        )
+
+
+def test_check_corpus_flags_tampering(tmp_path):
+    case = GOLDEN_CASES[0]
+    path = tmp_path / f"{case.name}.json"
+    record = compute_case(case)
+    record["log_likelihood"] += 1e-3
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    mismatches = check_corpus(tmp_path, cases=[case])
+    assert mismatches and "log_likelihood" in mismatches[0]
+
+
+def test_check_corpus_flags_missing_and_unreadable(tmp_path):
+    case = GOLDEN_CASES[0]
+    assert "missing golden file" in check_corpus(tmp_path, cases=[case])[0]
+    (tmp_path / f"{case.name}.json").write_text("{not json")
+    assert "unreadable" in check_corpus(tmp_path, cases=[case])[0]
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+@pytest.mark.verify
+def test_cli_verify_check_passes_on_committed_corpus(capsys):
+    assert main(["verify", "--check"]) == 0
+    assert "golden corpus: OK" in capsys.readouterr().out
+
+
+def test_cli_verify_check_fails_on_corrupt_corpus(tmp_path, capsys):
+    case = GOLDEN_CASES[0]
+    record = compute_case(case)
+    record["log_likelihood"] += 0.5
+    (tmp_path / f"{case.name}.json").write_text(json.dumps(record))
+    code = main(["verify", "--check", "--corpus-dir", str(tmp_path)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "mismatch" in out
+
+
+def test_cli_verify_write_then_check_roundtrip(tmp_path, capsys):
+    assert main(["verify", "--write", "--corpus-dir", str(tmp_path)]) == 0
+    assert main(["verify", "--check", "--corpus-dir", str(tmp_path)]) == 0
+
+
+def test_cli_verify_fuzz_smoke(tmp_path, capsys):
+    main(["verify", "--write", "--corpus-dir", str(tmp_path)])
+    capsys.readouterr()
+    code = main(["verify", "--corpus-dir", str(tmp_path), "--fuzz", "5"])
+    assert code == 0
+    assert "all cases agree" in capsys.readouterr().out
+
+
+def test_cli_verify_fuzz_failure_is_nonzero(tmp_path, capsys):
+    main(["verify", "--write", "--corpus-dir", str(tmp_path)])
+    code = main(["verify", "--corpus-dir", str(tmp_path),
+                 "--fuzz", "3", "--rel-tol", "0"])
+    assert code == 1
+    assert "reproduce:" in capsys.readouterr().out
+
+
+def test_cli_verify_check_and_write_conflict(capsys):
+    assert main(["verify", "--check", "--write"]) == 2

@@ -1,0 +1,185 @@
+"""Metamorphic invariant tests (repro.verify.invariants).
+
+Tier-1 runs each invariant on a few fixed seeds; the hypothesis-driven
+sweeps over random models carry ``@pytest.mark.verify`` and run under
+the seeded ``ci`` profile in the CI verify job.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.phylo import GammaRates, JC69, LikelihoodEngine, Tree, UniformRate
+from repro.phylo.models import GTR
+from repro.verify import (
+    InvariantViolation,
+    ReferenceEngine,
+    pattern_compression_invariance,
+    rerooting_invariance,
+    site_permutation_invariance,
+    spr_roundtrip_invariance,
+    taxon_permutation_invariance,
+)
+from tests.strategies import (
+    base_frequencies,
+    gtr_rates,
+    random_sequences,
+    seeds,
+    substitution_models,
+)
+
+
+def _fixture(seed, n_taxa=7, n_sites=50):
+    rng = np.random.default_rng(seed)
+    sequences = random_sequences(rng, n_taxa, n_sites)
+    return sequences, rng
+
+
+MODEL = GTR((1.2, 2.9, 0.7, 1.1, 3.4, 1.0), (0.32, 0.18, 0.24, 0.26))
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_rerooting_invariance_fast_and_oracle(seed):
+    sequences, rng = _fixture(seed)
+    from repro.phylo import Alignment
+
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    rates = GammaRates(0.7, 4)
+    fast = LikelihoodEngine(patterns, MODEL, rates, tree)
+    try:
+        assert rerooting_invariance(fast) < 1e-12
+    finally:
+        fast.detach()
+    assert rerooting_invariance(
+        ReferenceEngine(patterns, MODEL, rates, tree)
+    ) < 1e-12
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+def test_site_permutation_bit_identical(seed):
+    sequences, rng = _fixture(seed)
+    assert site_permutation_invariance(
+        sequences, MODEL, UniformRate(), rng
+    ) == 0.0
+
+
+@pytest.mark.parametrize("seed", [6, 7])
+def test_taxon_permutation_within_roundoff(seed):
+    sequences, rng = _fixture(seed)
+    assert taxon_permutation_invariance(
+        sequences, MODEL, GammaRates(0.5, 2), rng
+    ) < 1e-12
+
+
+@pytest.mark.parametrize("seed", [8, 9])
+def test_pattern_compression_matches_per_site(seed):
+    sequences, rng = _fixture(seed)
+    assert pattern_compression_invariance(
+        sequences, MODEL, UniformRate(), rng
+    ) < 1e-12
+
+
+def test_per_site_rate_models_rejected_where_unsound():
+    """Permuting taxa / dropping compression invalidates a CAT model's
+    per-pattern category map, so those checks must refuse it."""
+    from repro.phylo import Alignment, CatRates
+
+    sequences, rng = _fixture(10)
+    patterns = Alignment.from_sequences(sequences).compress()
+    cat = CatRates(np.linspace(0.5, 2.0, patterns.n_patterns), 2)
+    with pytest.raises(ValueError, match="CAT"):
+        taxon_permutation_invariance(sequences, MODEL, cat, rng)
+    with pytest.raises(ValueError, match="CAT"):
+        pattern_compression_invariance(sequences, MODEL, cat, rng)
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_spr_roundtrip_restores_everything(seed):
+    sequences, rng = _fixture(seed)
+    from repro.phylo import Alignment
+
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = LikelihoodEngine(patterns, MODEL, GammaRates(0.8, 2), tree)
+    try:
+        lnl_before, lnl_moved = spr_roundtrip_invariance(engine, rng)
+        # The move itself must have actually changed something.
+        assert np.isfinite(lnl_moved)
+    finally:
+        engine.detach()
+
+
+def test_invariant_violation_is_reported():
+    """A deliberately broken engine must trip the pulley check."""
+
+    class _Broken:
+        def __init__(self, engine):
+            self._engine = engine
+            self.tree = engine.tree
+            self._calls = 0
+
+        def evaluate(self, branch=None):
+            self._calls += 1
+            value = self._engine.evaluate(branch)
+            return value + (1e-3 if self._calls > 1 else 0.0)
+
+    sequences, rng = _fixture(14)
+    from repro.phylo import Alignment
+
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = LikelihoodEngine(patterns, JC69(), None, tree)
+    try:
+        with pytest.raises(InvariantViolation, match="pulley"):
+            rerooting_invariance(_Broken(engine))
+    finally:
+        engine.detach()
+
+
+# -- hypothesis sweeps (CI verify job) --------------------------------------
+
+
+@pytest.mark.verify
+@given(seeds, gtr_rates, base_frequencies)
+@settings(max_examples=25, deadline=None)
+def test_rerooting_invariance_property(seed, rates, freqs):
+    from repro.phylo import Alignment
+
+    rng = np.random.default_rng(seed)
+    sequences = random_sequences(rng, 6, 40)
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = LikelihoodEngine(patterns, GTR(rates, freqs), None, tree)
+    try:
+        rerooting_invariance(engine)
+    finally:
+        engine.detach()
+
+
+@pytest.mark.verify
+@given(seeds, substitution_models())
+@settings(max_examples=25, deadline=None)
+def test_permutation_and_compression_properties(seed, model):
+    rng = np.random.default_rng(seed)
+    sequences = random_sequences(rng, 6, 40)
+    site_permutation_invariance(sequences, model, None, rng)
+    taxon_permutation_invariance(sequences, model, None, rng)
+    pattern_compression_invariance(sequences, model, None, rng)
+
+
+@pytest.mark.verify
+@given(seeds, substitution_models())
+@settings(max_examples=25, deadline=None)
+def test_spr_roundtrip_property(seed, model):
+    from repro.phylo import Alignment
+
+    rng = np.random.default_rng(seed)
+    sequences = random_sequences(rng, 7, 40)
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = LikelihoodEngine(patterns, model, None, tree)
+    try:
+        spr_roundtrip_invariance(engine, rng)
+    finally:
+        engine.detach()
