@@ -1,0 +1,182 @@
+"""Thread-scaling benchmark for the partitioned kernel backend.
+
+Runs the same kernel-bound workload — one full-tree CLV computation plus
+one Newton branch-smoothing pass over every branch — on a >= 1000-pattern
+synthetic alignment (the regime where the paper reports SPE partitioning
+pays off; below ~1000 patterns the stripe fan-out overhead dominates,
+exactly like the paper's loop-level parallelization overhead) through:
+
+* the flat single-thread ``einsum`` backend (baseline), and
+* the ``partitioned`` backend at 1, 2 and 4 stripes/threads.
+
+Results merge into the ``backend_scaling`` section of the committed
+``BENCH_engine.json`` (the batched-pipeline sections are left untouched)
+together with ``os.cpu_count()``, because the scaling claim is only
+meaningful on a multi-core host: stripes overlap via NumPy releasing the
+GIL, so on a single-core container every thread count serializes and the
+partitioned numbers just measure fan-out overhead.  The "4 threads beat
+1 thread" assertion is therefore gated on ``cpu_count >= 2``; the
+correctness assertions (identical lnL within 1e-9, bit-identical scale
+totals) always run.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_backends.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_backends.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.phylo import Tree, create_engine, default_gtr, synthetic_dataset
+from repro.phylo.rates import GammaRates
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: The >= 1000-pattern workload: a divergent synthetic alignment (long
+#: branches, almost no invariant sites) so compression keeps most columns.
+N_TAXA = 42
+N_SITES = 2400
+DATA_SEED = 42
+TREE_SEED = 7
+MEAN_BRANCH_LENGTH = 0.15
+INVARIANT_FRACTION = 0.05
+
+#: Backend specs swept, in reporting order.
+SPECS = ("einsum", "partitioned:1", "partitioned:2", "partitioned:4")
+
+#: Timed repetitions per spec (best-of, to shed scheduler noise).
+ROUNDS = 3
+
+#: With >= 2 cores, 4 partitioned threads must beat single-thread einsum.
+MIN_MULTICORE_SPEEDUP = 1.0
+
+
+def _setup():
+    patterns = synthetic_dataset(
+        n_taxa=N_TAXA,
+        n_sites=N_SITES,
+        seed=DATA_SEED,
+        mean_branch_length=MEAN_BRANCH_LENGTH,
+        invariant_fraction=INVARIANT_FRACTION,
+    ).compress()
+    assert patterns.n_patterns >= 1000, patterns.n_patterns
+    model = default_gtr().with_frequencies(patterns.base_frequencies())
+    tree = Tree.from_tip_names(
+        patterns.taxa, np.random.default_rng(TREE_SEED)
+    )
+    return patterns, model, tree.to_newick(digits=17)
+
+
+def _measure(spec: str, patterns, model, base_newick: str) -> dict:
+    """Best-of-``ROUNDS`` wall time for one full-likelihood workload."""
+    best = float("inf")
+    lnl = scale_total = counters = None
+    for _ in range(ROUNDS):
+        tree = Tree.from_newick(base_newick)
+        engine = create_engine(
+            patterns, model, GammaRates(0.7, 4), tree, backend=spec
+        )
+        try:
+            start = time.perf_counter()
+            engine.evaluate()  # full bottom-up CLV traversal
+            engine.optimize_all_branches(passes=1)
+            lnl = engine.evaluate()
+            best = min(best, time.perf_counter() - start)
+            anchor = tree.branches[0]
+            inner = anchor.nodes[0] if not anchor.nodes[0].is_tip \
+                else anchor.nodes[1]
+            scale_total = int(engine.clv(inner, anchor).scale_counts.sum())
+            counters = engine.perf_counters()
+        finally:
+            engine.detach()
+    return {
+        "backend": spec,
+        "wall_seconds": best,
+        "log_likelihood": lnl,
+        "scale_count_total": scale_total,
+        "backend_counters": {
+            key: counters[key]
+            for key in sorted(counters)
+            if key.startswith("backend_")
+        },
+    }
+
+
+def run_benchmark(write: bool = True) -> dict:
+    patterns, model, base_newick = _setup()
+    runs = {
+        spec: _measure(spec, patterns, model, base_newick) for spec in SPECS
+    }
+    baseline = runs["einsum"]["wall_seconds"]
+    report = {
+        "workload": {
+            "n_taxa": N_TAXA,
+            "n_sites": N_SITES,
+            "n_patterns": patterns.n_patterns,
+            "data_seed": DATA_SEED,
+            "tree_seed": TREE_SEED,
+            "mean_branch_length": MEAN_BRANCH_LENGTH,
+            "invariant_fraction": INVARIANT_FRACTION,
+        },
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+        "speedup_vs_einsum": {
+            spec: baseline / runs[spec]["wall_seconds"] for spec in SPECS
+        },
+    }
+    if write:
+        committed = (
+            json.loads(RESULT_PATH.read_text())
+            if RESULT_PATH.is_file() else {}
+        )
+        committed["backend_scaling"] = report
+        RESULT_PATH.write_text(json.dumps(committed, indent=2) + "\n")
+    return report
+
+
+def test_backend_scaling():
+    report = run_benchmark()
+    runs = report["runs"]
+    for spec in SPECS:
+        r = runs[spec]
+        print(
+            f"\n{spec:15s}: {r['wall_seconds']:.3f} s  "
+            f"lnL {r['log_likelihood']:.6f}  "
+            f"({report['speedup_vs_einsum'][spec]:.2f}x vs einsum)"
+        )
+    # Correctness on the big instance, whatever the host: every backend
+    # lands on the same likelihood and the same underflow-scaling totals.
+    base = runs["einsum"]
+    for spec in SPECS[1:]:
+        assert runs[spec]["log_likelihood"] == pytest.approx(
+            base["log_likelihood"], rel=1e-9
+        ), spec
+        assert runs[spec]["scale_count_total"] == base["scale_count_total"]
+    # The headline scaling claim needs real cores to overlap stripes on.
+    cpus = report["cpu_count"] or 1
+    if cpus >= 2:
+        speedup = report["speedup_vs_einsum"]["partitioned:4"]
+        assert speedup >= MIN_MULTICORE_SPEEDUP, (
+            f"partitioned:4 only {speedup:.2f}x vs single-thread einsum "
+            f"on {cpus} cores (need >= {MIN_MULTICORE_SPEEDUP}x)"
+        )
+    else:
+        print(
+            f"single-core host (cpu_count={cpus}): stripe threads cannot "
+            "overlap, skipping the multi-thread speedup assertion"
+        )
+
+
+if __name__ == "__main__":
+    test_backend_scaling()

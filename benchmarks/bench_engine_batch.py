@@ -192,7 +192,14 @@ def run_benchmark(write: bool = True, include_context: bool = True) -> dict:
             "batched": _full_hill_climb(batch_spr=True),
         }
     if write:
-        RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        # Merge: other sections (e.g. backend_scaling from
+        # bench_engine_backends.py) live in the same file.
+        committed = (
+            json.loads(RESULT_PATH.read_text())
+            if RESULT_PATH.is_file() else {}
+        )
+        committed.update(report)
+        RESULT_PATH.write_text(json.dumps(committed, indent=2) + "\n")
     return report
 
 

@@ -94,7 +94,7 @@ def get_cat_trace(seed: int = 2) -> TraceSummary:
 
         from ..phylo import (
             CatRates,
-            LikelihoodEngine,
+            create_engine,
             estimate_site_rates,
             hill_climb,
             stepwise_addition_tree,
@@ -108,7 +108,7 @@ def get_cat_trace(seed: int = 2) -> TraceSummary:
         site_rates = estimate_site_rates(patterns, model, tree)
         cat = CatRates(site_rates, n_categories=8)
         tracer = Tracer()
-        engine = LikelihoodEngine(patterns, model, cat, tree, tracer=tracer)
+        engine = create_engine(patterns, model, cat, tree, tracer=tracer)
         try:
             hill_climb(engine, TRACE_PROFILES["quick"]["search"], rng)
         finally:

@@ -25,7 +25,15 @@ from .distances import (
     ml_distance,
     neighbor_joining,
 )
-from .likelihood import LikelihoodEngine, NewviewCase, estimate_site_rates
+from .engine import (
+    KernelBackend,
+    LikelihoodEngine,
+    NewviewCase,
+    available_backends,
+    create_engine,
+    estimate_site_rates,
+    register_backend,
+)
 from .models import GTR, HKY85, JC69, K80, SubstitutionModel
 from .optimize import (
     ModelOptimizationResult,
@@ -68,9 +76,13 @@ __all__ = [
     "multiple_inferences",
     "run_full_analysis",
     "support_values",
+    "KernelBackend",
     "LikelihoodEngine",
     "NewviewCase",
+    "available_backends",
+    "create_engine",
     "estimate_site_rates",
+    "register_backend",
     "ascii_tree",
     "newick_with_support",
     "distance_matrix",

@@ -177,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--corpus-dir", default=None,
                         help="golden corpus directory (default "
                         "tests/golden/ in the checkout)")
+    verify.add_argument("--backend", default=None, metavar="NAME",
+                        help="kernel backend for the fast engine in the "
+                        "fuzz pass: a registered name (einsum, reference, "
+                        "partitioned, partitioned:N) or 'all' to fuzz "
+                        "every registered backend (default: the "
+                        "REPRO_ENGINE_BACKEND override, else einsum)")
     return parser
 
 
@@ -379,11 +385,23 @@ def _cmd_verify(args) -> int:
 
     n_cases = 25 if args.fuzz is None else args.fuzz
     if n_cases:
-        report = run_differential(
-            n_cases=n_cases, seed=args.seed, rel_tol=args.rel_tol
-        )
-        print(report.summary())
-        if report.failures:
+        from .engine import available_backends
+
+        if args.backend == "all":
+            backends = available_backends()
+        else:
+            backends = [args.backend]  # None = session default
+        failed = False
+        for backend in backends:
+            report = run_differential(
+                n_cases=n_cases, seed=args.seed, rel_tol=args.rel_tol,
+                backend=backend,
+            )
+            label = backend if backend is not None else "default"
+            print(f"[backend={label}] {report.summary()}")
+            if report.failures:
+                failed = True
+        if failed:
             return 1
     return 0
 

@@ -1,0 +1,293 @@
+"""The pattern-striped thread-parallel backend.
+
+This is the reproduction of the paper's PPE→SPE work partitioning
+(section 5.2): the alignment's site patterns are cut into contiguous
+stripes, every kernel call fans the stripes out to a thread pool, and
+per-stripe partial results (log likelihoods, derivative accumulators,
+scale counts) are reduced **in stripe order** — the same fixed-order
+reduction the PPE performs over SPE partial results, which keeps runs
+deterministic for a given stripe count.
+
+Inside each stripe the arithmetic is exactly the einsum kernels of
+:mod:`repro.phylo.kernels` operating on array views, so NumPy releases
+the GIL in the hot contractions and the stripes genuinely overlap on
+multi-core hosts.  Three determinism/accuracy properties fall out of the
+striping discipline:
+
+* **Scale counts are bit-identical to every other backend.**  The
+  underflow test is an exact per-pattern comparison; striping only
+  changes which loop visits a pattern, never the comparison itself.
+* **CLVs are bit-identical to the einsum backend.**  Propagation and
+  combine are elementwise per pattern.
+* **Log likelihoods agree to summation round-off** (well inside the
+  1e-9 verification tolerance): only the pattern-sum association
+  changes, ``(stripe_0) + (stripe_1) + ...`` instead of one flat dot
+  product.  For a fixed stripe count the grouping is fixed, so repeated
+  runs are bit-identical regardless of thread count or scheduling.
+
+Thread count only sets pool width (speed); stripe count sets the
+reduction grouping (bits).  Both default to ``REPRO_ENGINE_THREADS`` or
+``min(4, os.cpu_count())``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ... import kernels
+from ..protocol import KernelBackend, register_backend
+
+__all__ = ["PartitionedBackend", "default_thread_count"]
+
+#: Environment override for the default worker/stripe count.
+THREADS_ENV_VAR = "REPRO_ENGINE_THREADS"
+
+
+def default_thread_count() -> int:
+    """Pool width when the caller does not choose: ``REPRO_ENGINE_THREADS``
+    if set, else ``min(4, os.cpu_count())``."""
+    env = os.environ.get(THREADS_ENV_VAR, "").strip()
+    if env:
+        return max(1, int(env))
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@register_backend("partitioned")
+class PartitionedBackend(KernelBackend):
+    """Contiguous pattern stripes on a ``ThreadPoolExecutor``."""
+
+    name = "partitioned"
+    uses_pmat_cache = True
+
+    def __init__(self, n_stripes: Optional[int] = None,
+                 n_threads: Optional[int] = None) -> None:
+        if n_threads is None:
+            n_threads = n_stripes if n_stripes is not None \
+                else default_thread_count()
+        if n_stripes is None:
+            n_stripes = n_threads
+        if n_stripes < 1 or n_threads < 1:
+            raise ValueError("n_stripes and n_threads must be >= 1")
+        self.n_stripes = int(n_stripes)
+        self.n_threads = int(n_threads)
+        self.kernel_calls = 0
+        self.stripe_tasks = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._bounds: Dict[int, List[Tuple[int, int]]] = {}
+
+    # -- striping machinery --------------------------------------------------
+
+    def _stripes(self, n_patterns: int) -> List[Tuple[int, int]]:
+        """Fixed contiguous ``[start, stop)`` stripe bounds for a pattern
+        count; the first ``n_patterns % n_stripes`` stripes carry one
+        extra pattern.  Empty stripes are dropped so tiny instances do
+        not spawn no-op tasks."""
+        bounds = self._bounds.get(n_patterns)
+        if bounds is None:
+            base, extra = divmod(n_patterns, self.n_stripes)
+            bounds = []
+            start = 0
+            for k in range(self.n_stripes):
+                stop = start + base + (1 if k < extra else 0)
+                if stop > start:
+                    bounds.append((start, stop))
+                start = stop
+            self._bounds[n_patterns] = bounds
+        return bounds
+
+    def _run(self, task, bounds):
+        """Run ``task(start, stop)`` over every stripe, returning results
+        in stripe order.  A single stripe runs inline (no pool handoff);
+        otherwise the lazily-built pool executes the stripes and
+        ``Executor.map`` preserves submission order for the reduction."""
+        self.stripe_tasks += len(bounds)
+        if len(bounds) == 1:
+            start, stop = bounds[0]
+            return [task(start, stop)]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_threads,
+                thread_name_prefix="repro-stripe",
+            )
+        return list(self._pool.map(lambda b: task(*b), bounds))
+
+    # -- newview -------------------------------------------------------------
+
+    def tip_terms(self, p, masks, code_table, out=None, per_site=False):
+        self.kernel_calls += 1
+        n_patterns = len(masks)
+        if out is None:
+            n_cats = 1 if per_site else p.shape[0]
+            n = p.shape[-1]
+            out = np.empty((n_patterns, n_cats, n), dtype=np.float64)
+
+        def task(start, stop):
+            if per_site:
+                kernels.tip_terms_persite(
+                    p[start:stop], masks[start:stop], code_table,
+                    out=out[start:stop],
+                )
+            else:
+                kernels.tip_terms(
+                    p, masks[start:stop], code_table, out=out[start:stop]
+                )
+
+        self._run(task, self._stripes(n_patterns))
+        return out
+
+    def inner_terms(self, p, clv, out=None, per_site=False):
+        self.kernel_calls += 1
+        if out is None:
+            out = np.empty_like(clv)
+
+        def task(start, stop):
+            if per_site:
+                kernels.inner_terms_persite(
+                    p[start:stop], clv[start:stop], out=out[start:stop]
+                )
+            else:
+                kernels.inner_terms(p, clv[start:stop], out=out[start:stop])
+
+        self._run(task, self._stripes(clv.shape[0]))
+        return out
+
+    def newview_combine(self, left_term, right_term, out=None):
+        self.kernel_calls += 1
+        if out is None:
+            out = np.empty_like(left_term)
+
+        def task(start, stop):
+            kernels.newview_combine(
+                left_term[start:stop], right_term[start:stop],
+                out=out[start:stop],
+            )
+
+        self._run(task, self._stripes(left_term.shape[0]))
+        return out
+
+    def scale_clv(self, clv, scale_counts) -> int:
+        self.kernel_calls += 1
+
+        def task(start, stop):
+            return kernels.scale_clv(
+                clv[start:stop], scale_counts[start:stop]
+            )
+
+        # Per-pattern exact comparisons: stripe-local counts sum to the
+        # same total (and the same per-pattern counters) as one flat call.
+        return sum(self._run(task, self._stripes(clv.shape[0])))
+
+    # -- evaluate ------------------------------------------------------------
+
+    def evaluate_loglik(self, pi, cat_weights, pattern_weights, u_term,
+                        v_term, scale_counts) -> float:
+        self.kernel_calls += 1
+
+        def task(start, stop):
+            return kernels.evaluate_loglik(
+                pi, cat_weights, pattern_weights[start:stop],
+                u_term[start:stop], v_term[start:stop],
+                scale_counts[start:stop],
+            )
+
+        parts = self._run(task, self._stripes(u_term.shape[0]))
+        total = 0.0
+        for part in parts:  # fixed stripe-order reduction
+            total += part
+        return total
+
+    def evaluate_loglik_batch(self, pi, cat_weights, pattern_weights,
+                              u_terms, v_terms, scale_counts) -> np.ndarray:
+        self.kernel_calls += 1
+
+        def task(start, stop):
+            return kernels.evaluate_loglik_batch(
+                pi, cat_weights, pattern_weights[start:stop],
+                u_terms[:, start:stop], v_terms[:, start:stop],
+                scale_counts[:, start:stop],
+            )
+
+        parts = self._run(task, self._stripes(u_terms.shape[1]))
+        total = np.zeros(u_terms.shape[0], dtype=np.float64)
+        for part in parts:
+            total += part
+        return total
+
+    # -- makenewz ------------------------------------------------------------
+
+    def branch_derivatives(self, model_terms, pi, cat_weights,
+                           pattern_weights, u_clv, v_clv, scale_counts,
+                           per_site=False) -> Tuple[float, float, float]:
+        self.kernel_calls += 1
+        p, dp, d2p = model_terms
+
+        def task(start, stop):
+            if per_site:
+                return kernels.branch_derivatives_persite(
+                    (p[start:stop], dp[start:stop], d2p[start:stop]),
+                    pi, pattern_weights[start:stop], u_clv[start:stop],
+                    v_clv[start:stop], scale_counts[start:stop],
+                )
+            return kernels.branch_derivatives(
+                (p, dp, d2p), pi, cat_weights, pattern_weights[start:stop],
+                u_clv[start:stop], v_clv[start:stop],
+                scale_counts[start:stop],
+            )
+
+        parts = self._run(task, self._stripes(u_clv.shape[0]))
+        lnl = dlnl = d2lnl = 0.0
+        for part in parts:
+            lnl += part[0]
+            dlnl += part[1]
+            d2lnl += part[2]
+        return lnl, dlnl, d2lnl
+
+    def branch_derivatives_batch(self, model_terms, pi, cat_weights,
+                                 pattern_weights, u_clv, v_clv, scale_counts,
+                                 per_site=False):
+        self.kernel_calls += 1
+        p, dp, d2p = model_terms
+
+        def task(start, stop):
+            if per_site:
+                return kernels.branch_derivatives_batch_persite(
+                    (p[:, start:stop], dp[:, start:stop],
+                     d2p[:, start:stop]),
+                    pi, pattern_weights[start:stop], u_clv[:, start:stop],
+                    v_clv[:, start:stop], scale_counts[:, start:stop],
+                )
+            return kernels.branch_derivatives_batch(
+                (p, dp, d2p), pi, cat_weights, pattern_weights[start:stop],
+                u_clv[:, start:stop], v_clv[:, start:stop],
+                scale_counts[:, start:stop],
+            )
+
+        parts = self._run(task, self._stripes(u_clv.shape[1]))
+        k = u_clv.shape[0]
+        lnl = np.zeros(k, dtype=np.float64)
+        dlnl = np.zeros(k, dtype=np.float64)
+        d2lnl = np.zeros(k, dtype=np.float64)
+        for part in parts:
+            lnl += part[0]
+            dlnl += part[1]
+            d2lnl += part[2]
+        return lnl, dlnl, d2lnl
+
+    # -- instrumentation -----------------------------------------------------
+
+    def perf_counters(self) -> Dict[str, int]:
+        return {
+            "backend_kernel_calls": self.kernel_calls,
+            "backend_stripe_tasks": self.stripe_tasks,
+            "backend_stripes": self.n_stripes,
+            "backend_threads": self.n_threads,
+        }
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

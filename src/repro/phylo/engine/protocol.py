@@ -1,0 +1,324 @@
+"""The kernel-backend protocol: the engine's offload boundary.
+
+The paper's central restructuring is an *interface*: RAxML's three hot
+functions (``newview``, ``makenewz``, ``evaluate``) were cut at a seam so
+their compute bodies could run on SPE workers while the PPE kept the
+tree, the caches, and the search logic.  :class:`KernelBackend` is that
+seam in the reproduction: everything numerical that the likelihood
+engine does per site pattern flows through one of its methods, and the
+engine core (:mod:`repro.phylo.engine.core`) holds everything else —
+CLV cache and arena, P-matrix LRU, dirty tracking, traversal order,
+Newton iteration, SPR batching.
+
+Three backends register here:
+
+``einsum``
+    The vectorized NumPy kernels of :mod:`repro.phylo.kernels` — the
+    fast default (the "SIMD-vectorized SPE kernel" analogue).
+``reference``
+    Deliberately slow plain-Python loops sharing **no** vectorized code
+    with ``einsum`` (it even projects its own transition matrices
+    element-wise, bypassing the engine's P-matrix cache).  Backing the
+    differential oracle: same core, two backends, so the oracle can no
+    longer drift from the engine surface.
+``partitioned``
+    The paper's PPE→SPE work partitioning: site patterns are sharded
+    into contiguous stripes and every kernel runs stripe-parallel on a
+    thread pool (NumPy releases the GIL inside the einsum bodies), with
+    per-stripe partial log likelihoods and scale counts reduced exactly
+    as the SPE version reduces its partial results.
+
+Select a backend with :func:`create_engine`'s ``backend=`` argument, the
+``REPRO_ENGINE_BACKEND`` environment variable (``name`` or ``name:N``
+where ``N`` sets the partitioned stripe/thread count), or by passing an
+already-built :class:`KernelBackend` instance.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "available_backends",
+    "create_engine",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Environment variable overriding the default backend for every engine
+#: built without an explicit ``backend=``: ``einsum``, ``reference``,
+#: ``partitioned``, or ``partitioned:N`` (N stripes on N threads).
+BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
+
+#: Backend used when neither the caller nor the environment chooses.
+DEFAULT_BACKEND = "einsum"
+
+#: Counter keys every backend must report (satellite contract: golden
+#: perf-counter checks and the benchmark harness never special-case the
+#: backend).  Values are cumulative since backend construction.
+BACKEND_COUNTER_KEYS = (
+    "backend_kernel_calls",
+    "backend_stripe_tasks",
+    "backend_stripes",
+    "backend_threads",
+)
+
+
+class KernelBackend:
+    """Abstract numerical backend behind :class:`LikelihoodEngine`.
+
+    Array-shape conventions (``s`` patterns, ``c`` rate categories,
+    ``n`` states, ``K`` stacked branch candidates):
+
+    * CLVs and propagated terms: ``(s, c, n)`` (batched: ``(K, s, c, n)``).
+    * Integrated-mode transition matrices: ``(c, n, n)``; CAT
+      (``per_site=True``) matrices: ``(s, n, n)`` — one per pattern,
+      with the CLV keeping a singleton category axis.
+    * Scale counts: ``(s,)`` ``int64`` (batched: ``(K, s)``).
+
+    Implementations must be *deterministic*: two calls on the same
+    inputs return bit-identical results (the partitioned backend fixes
+    its stripe boundaries and reduction order up front for exactly this
+    reason).  Scale counts must be bit-identical **across** backends —
+    the underflow threshold comparison is exact, so striping or loop
+    order must not change which patterns rescale.
+    """
+
+    #: Registry name (overridden per subclass).
+    name: str = "abstract"
+
+    #: When True the engine core serves transition matrices from its
+    #: quantized-length :class:`~repro.phylo.models.PMatrixCache`.  The
+    #: reference backend sets this False and projects its own matrices
+    #: element-wise, keeping the oracle independent of the vectorized
+    #: eigenbasis projection *and* of the cache's quantization.
+    uses_pmat_cache: bool = True
+
+    # -- newview kernels -----------------------------------------------------
+
+    def tip_terms(
+        self,
+        p: np.ndarray,
+        masks: np.ndarray,
+        code_table: Optional[np.ndarray],
+        out: Optional[np.ndarray] = None,
+        per_site: bool = False,
+    ) -> np.ndarray:
+        """Propagate tip states across a branch: ``sum_j P[.,i,j] tip[s,j]``."""
+        raise NotImplementedError
+
+    def inner_terms(
+        self,
+        p: np.ndarray,
+        clv: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        per_site: bool = False,
+    ) -> np.ndarray:
+        """Propagate an inner CLV across a branch: ``sum_j P[.,i,j] clv[s,c,j]``."""
+        raise NotImplementedError
+
+    def newview_combine(
+        self,
+        left_term: np.ndarray,
+        right_term: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Combine two propagated child terms into the parent CLV."""
+        raise NotImplementedError
+
+    def scale_clv(self, clv: np.ndarray, scale_counts: np.ndarray) -> int:
+        """Rescale underflowing patterns in place; returns how many scaled."""
+        raise NotImplementedError
+
+    # -- evaluate kernels ----------------------------------------------------
+
+    def evaluate_loglik(
+        self,
+        pi: np.ndarray,
+        cat_weights: np.ndarray,
+        pattern_weights: np.ndarray,
+        u_term: np.ndarray,
+        v_term: np.ndarray,
+        scale_counts: np.ndarray,
+    ) -> float:
+        """Weighted log likelihood at a branch."""
+        raise NotImplementedError
+
+    def evaluate_loglik_batch(
+        self,
+        pi: np.ndarray,
+        cat_weights: np.ndarray,
+        pattern_weights: np.ndarray,
+        u_terms: np.ndarray,
+        v_terms: np.ndarray,
+        scale_counts: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`evaluate_loglik` over ``K`` stacked branch candidates."""
+        raise NotImplementedError
+
+    # -- makenewz kernels ----------------------------------------------------
+
+    def branch_derivatives(
+        self,
+        model_terms: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        pi: np.ndarray,
+        cat_weights: np.ndarray,
+        pattern_weights: np.ndarray,
+        u_clv: np.ndarray,
+        v_clv: np.ndarray,
+        scale_counts: np.ndarray,
+        per_site: bool = False,
+    ) -> Tuple[float, float, float]:
+        """``(lnL, d lnL/dt, d2 lnL/dt2)`` at one branch length."""
+        raise NotImplementedError
+
+    def branch_derivatives_batch(
+        self,
+        model_terms: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        pi: np.ndarray,
+        cat_weights: np.ndarray,
+        pattern_weights: np.ndarray,
+        u_clv: np.ndarray,
+        v_clv: np.ndarray,
+        scale_counts: np.ndarray,
+        per_site: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`branch_derivatives` over ``K`` stacked candidates."""
+        raise NotImplementedError
+
+    # -- transition-matrix seam (only when uses_pmat_cache is False) ---------
+
+    def transition_matrices(self, model, rates: np.ndarray,
+                            branch_length: float) -> np.ndarray:
+        """Backend-owned ``P(r t)`` projection (oracle independence)."""
+        raise NotImplementedError
+
+    def transition_derivatives(
+        self, model, rates: np.ndarray, branch_length: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backend-owned ``(P, dP/dt, d2P/dt2)`` projection."""
+        raise NotImplementedError
+
+    def transition_derivatives_batch(
+        self, model, rates: np.ndarray, branch_lengths: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backend-owned batched ``(P, dP, d2P)`` stacks (``K`` lengths)."""
+        raise NotImplementedError
+
+    # -- instrumentation -----------------------------------------------------
+
+    def perf_counters(self) -> Dict[str, int]:
+        """Backend counters.  Every backend reports the exact key set
+        :data:`BACKEND_COUNTER_KEYS` so downstream perf-counter
+        consumers (golden corpus, benchmark gates, traces) never
+        special-case the backend."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (thread pools); idempotent."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[..., KernelBackend]] = {}
+
+
+def register_backend(name: str):
+    """Class/factory decorator adding a backend to the registry."""
+
+    def decorate(factory: Callable[..., KernelBackend]):
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def _ensure_registered() -> None:
+    # The built-in backends register on import; deferred so that
+    # protocol.py itself stays import-cycle free.
+    if "einsum" not in _REGISTRY:
+        from . import backends  # noqa: F401  (import side effect)
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def resolve_backend(
+    spec: Union[None, str, KernelBackend] = None, **options
+) -> KernelBackend:
+    """Turn a backend spec into a live :class:`KernelBackend`.
+
+    ``spec`` may be an instance (returned as-is), a registry name, a
+    ``name:N`` string (N = partitioned stripe/thread count), or ``None``
+    — which consults :data:`BACKEND_ENV_VAR` and finally falls back to
+    :data:`DEFAULT_BACKEND`.  Keyword options are forwarded to the
+    backend factory.
+    """
+    if isinstance(spec, KernelBackend):
+        if options:
+            raise ValueError(
+                "backend options cannot be combined with a backend instance"
+            )
+        return spec
+    _ensure_registered()
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR, "").strip() or DEFAULT_BACKEND
+    name, _, arg = spec.partition(":")
+    if arg:
+        try:
+            workers = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"malformed backend spec {spec!r}: expected name or name:N"
+            ) from None
+        options.setdefault("n_stripes", workers)
+        options.setdefault("n_threads", workers)
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown engine backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    return factory(**options)
+
+
+def create_engine(
+    patterns,
+    model,
+    rate_model=None,
+    tree=None,
+    tracer=None,
+    backend: Union[None, str, KernelBackend] = None,
+    **backend_options,
+):
+    """Build a :class:`~repro.phylo.engine.core.LikelihoodEngine` on the
+    chosen kernel backend.
+
+    This is the one construction path every caller (search, inference,
+    cluster workers, verification, CLI) goes through; ``backend=None``
+    honours the ``REPRO_ENGINE_BACKEND`` environment override, so a
+    whole test suite or cluster run can be re-pointed at another
+    backend without touching call sites.
+    """
+    from .core import LikelihoodEngine
+
+    return LikelihoodEngine(
+        patterns,
+        model,
+        rate_model,
+        tree,
+        tracer=tracer,
+        backend=resolve_backend(backend, **backend_options),
+    )

@@ -17,7 +17,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 import numpy as np
 
 from .alignment import Alignment, PatternAlignment
-from .likelihood import LikelihoodEngine
+from .engine import create_engine
 from .models import SubstitutionModel, GTR
 from .parsimony import stepwise_addition_tree
 from .rates import GammaRates, RateModel
@@ -115,7 +115,7 @@ def infer_tree(
     rng = np.random.default_rng(np.random.SeedSequence([seed, replicate]))
 
     tree = stepwise_addition_tree(patterns, rng)
-    engine = LikelihoodEngine(patterns, model, rate_model, tree, tracer=tracer)
+    engine = create_engine(patterns, model, rate_model, tree, tracer=tracer)
     try:
         search = hill_climb(engine, config, rng)
         return InferenceResult(

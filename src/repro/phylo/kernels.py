@@ -25,6 +25,7 @@ only as oracles for the test suite.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -58,17 +59,32 @@ __all__ = [
 # every call; at thousands of kernel invocations per sweep the path
 # search itself becomes measurable.  Paths depend only on the subscripts
 # and operand shapes, so they are derived once and memoized.
+#
+# The cache is shared by every engine in the process — including the
+# ``partitioned`` backend's stripe workers, which call these kernels
+# concurrently from a thread pool — so population is guarded by a lock.
+# Reads take the lock too: a plain dict ``get`` racing a concurrent
+# resize is not guaranteed safe, and the lock cost is dwarfed by the
+# einsum itself.  ``np.einsum_path`` is computed outside the lock (it is
+# pure); a race at worst derives the same path twice.
 
 _PATH_CACHE: Dict[Tuple, List] = {}
+_PATH_CACHE_LOCK = threading.Lock()
 
 
 def contraction_path(subscripts: str, *operands: np.ndarray) -> List:
-    """The cached optimal contraction path for ``np.einsum(subscripts, ...)``."""
+    """The cached optimal contraction path for ``np.einsum(subscripts, ...)``.
+
+    Thread-safe: concurrent stripe workers of the partitioned backend
+    may populate the cache simultaneously.
+    """
     key = (subscripts,) + tuple(op.shape for op in operands)
-    path = _PATH_CACHE.get(key)
+    with _PATH_CACHE_LOCK:
+        path = _PATH_CACHE.get(key)
     if path is None:
         path = np.einsum_path(subscripts, *operands, optimize="optimal")[0]
-        _PATH_CACHE[key] = path
+        with _PATH_CACHE_LOCK:
+            _PATH_CACHE[key] = path
     return path
 
 

@@ -1,715 +1,25 @@
-"""The likelihood engine: ``newview()``, ``evaluate()``, ``makenewz()``.
+"""Back-compat shim: the likelihood engine now lives in
+:mod:`repro.phylo.engine`.
 
-This module reimplements the three functions that consume 98.77 % of
-RAxML's runtime (76.8 % / 19.16 % / 2.37 % per the paper's gprof profile):
-
-* :meth:`LikelihoodEngine.newview` computes the conditional likelihood
-  vector (CLV) at an inner node by Felsenstein's pruning algorithm, with
-  the four specialized cases the paper describes (both children tips, one
-  child a tip, none) and numerical rescaling of underflowing patterns.
-* :meth:`LikelihoodEngine.evaluate` computes the log likelihood of the
-  tree at a branch by summing over the two CLVs facing it.  For a
-  time-reversible model the value is identical at every branch — a
-  property the test suite checks.
-* :meth:`LikelihoodEngine.makenewz` optimizes one branch length by
-  Newton-Raphson with analytic first and second derivatives.
-
-CLVs are cached per *direction* ``(node, entry_branch)`` and invalidated
-through the tree's branch-dirtying observer protocol, reproducing
-RAxML's lazy recomputation (and hence realistic ``newview()`` call
-counts in the workload traces fed to the Cell simulator).
-
-Both rate-heterogeneity treatments are supported: Gamma (every site
-integrates over all categories; shared per-category transition matrices)
-and CAT (one category per site; per-pattern transition matrices).
+The engine was split into a structural core
+(:mod:`repro.phylo.engine.core` — CLV cache/arena, P-matrix LRU, dirty
+tracking, traversal, Newton, SPR batching) and pluggable numerical
+kernel backends behind the :class:`~repro.phylo.engine.protocol.KernelBackend`
+protocol (``einsum`` / ``reference`` / ``partitioned``).  Import
+:class:`LikelihoodEngine` from here for source compatibility, or —
+preferred — build engines with :func:`repro.phylo.engine.create_engine`,
+which honours the ``REPRO_ENGINE_BACKEND`` environment override.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
-
-import numpy as np
-
-from . import kernels
-from .alignment import PatternAlignment
-from .arena import ClvArena, ClvSlot
-from .models import PMatrixCache, SubstitutionModel
-from .rates import RateModel, UniformRate
-from .tree import Branch, Node, Tree, MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH
-
-__all__ = ["LikelihoodEngine", "NewviewCase", "estimate_site_rates"]
-
-
-class NewviewCase:
-    """The four execution paths of ``newview()`` (paper section 5.2.3)."""
-
-    TIP_TIP = "tip_tip"
-    TIP_INNER = "tip_inner"
-    INNER_TIP = "inner_tip"
-    INNER_INNER = "inner_inner"
-
-
-@dataclass
-class _CachedCLV:
-    clv: np.ndarray  # (n_patterns, n_cats, 4) — a view into an arena slot
-    scale_counts: np.ndarray  # (n_patterns,) int64 — same slot
-    deps: FrozenSet[int]  # branch ids this CLV depends on
-    slot: Optional[ClvSlot] = None  # arena slot backing the views
-
-
-class LikelihoodEngine:
-    """Maximum-likelihood scoring of a tree on a pattern alignment.
-
-    Parameters
-    ----------
-    patterns:
-        The compressed alignment.
-    model:
-        Substitution model.
-    rate_model:
-        Among-site rate model (uniform, Gamma, or CAT).  For CAT the
-        ``site_categories`` assignment must cover every pattern.
-    tree:
-        The tree to score; the engine registers itself as an observer and
-        must remain attached while the tree is edited.
-    tracer:
-        Optional object receiving ``record_newview`` /
-        ``record_evaluate`` / ``record_makenewz`` calls; used by
-        :mod:`repro.port.trace` to build platform-simulation workloads.
-    """
-
-    def __init__(
-        self,
-        patterns: PatternAlignment,
-        model: SubstitutionModel,
-        rate_model: Optional[RateModel] = None,
-        tree: Optional[Tree] = None,
-        tracer=None,
-    ):
-        if tree is None:
-            raise ValueError("a tree is required")
-        self.patterns = patterns
-        self.model = model
-        self.rate_model = rate_model or UniformRate()
-        self.tree = tree
-        self.tracer = tracer
-        #: state-space size (4 for DNA, 20 for amino acids)
-        self._n_states = model.n_states
-        #: per-code tip indicator rows (None = the DNA mask table)
-        self._tip_table = getattr(patterns, "tip_code_table", None)
-
-        if self.rate_model.is_per_site:
-            if len(self.rate_model.site_categories) != patterns.n_patterns:
-                raise ValueError(
-                    "CAT site_categories must assign every pattern a category"
-                )
-            #: per-pattern rate multipliers (CAT mode)
-            self._site_rates = self.rate_model.rates[self.rate_model.site_categories]
-            self._cat_weights = np.ones(1)
-            self._n_cats = 1
-        else:
-            self._site_rates = None
-            self._cat_weights = self.rate_model.weights
-            self._n_cats = self.rate_model.n_categories
-
-        self._tip_index: Dict[int, int] = {}
-        for node in tree.tips:
-            self._tip_index[node.index] = patterns.taxon_index(node.name)
-
-        self._clv_cache: Dict[Tuple[int, int], _CachedCLV] = {}
-        #: quantized-branch-length P-matrix cache (shared by every kernel)
-        self._pmats = PMatrixCache(model, self._rates_for_pmat())
-        #: preallocated CLV slot pool with free-list recycling
-        self._arena = ClvArena(
-            patterns.n_patterns, self._n_cats, self._n_states
-        )
-        #: scratch buffers for the two propagated child terms of newview
-        #: (steady-state sweeps reuse these instead of allocating)
-        self._term_scratch = (
-            np.empty((patterns.n_patterns, self._n_cats, self._n_states)),
-            np.empty((patterns.n_patterns, self._n_cats, self._n_states)),
-        )
-        #: shared zero scale-count vector handed out for tip sides
-        self._zero_scale = np.zeros(patterns.n_patterns, dtype=np.int64)
-        self._zero_scale.setflags(write=False)
-        tree.add_observer(self._on_branch_dirty)
-
-        #: running counters (cheap, always on) — used for sanity checks
-        self.newview_calls = 0
-        self.evaluate_calls = 0
-        self.makenewz_calls = 0
-        self.spr_batch_calls = 0
-        self.spr_batch_candidates = 0
-
-        if tracer is not None and hasattr(tracer, "add_counter_source"):
-            tracer.add_counter_source(self.perf_counters)
-
-    # -- lifecycle ----------------------------------------------------------
-
-    def detach(self) -> None:
-        """Unregister from the tree and drop all caches."""
-        self.tree.remove_observer(self._on_branch_dirty)
-        self._drop_all_clvs()
-        self._pmats.invalidate()
-
-    def invalidate_all(self) -> None:
-        """Drop every cache (e.g. after a model-parameter change)."""
-        self._drop_all_clvs()
-        self._reset_pmats()
-
-    def _drop_all_clvs(self) -> None:
-        self._clv_cache.clear()
-        self._arena.release_all()
-
-    def _reset_pmats(self) -> None:
-        """Re-point the P-matrix cache at the current model/rates.
-
-        Cumulative hit/miss counters survive so whole-run cache
-        efficiency stays visible in :meth:`perf_counters`.
-        """
-        self._pmats.model = self.model
-        self._pmats.rates = np.asarray(
-            self._rates_for_pmat(), dtype=np.float64
-        )
-        self._pmats.invalidate()
-
-    def set_model(self, model: SubstitutionModel) -> None:
-        """Swap the substitution model and drop caches."""
-        self.model = model
-        self.invalidate_all()
-
-    def set_rate_model(self, rate_model: RateModel) -> None:
-        """Swap the rate model (same mode/category layout) and drop caches."""
-        if rate_model.is_per_site != self.rate_model.is_per_site:
-            raise ValueError("cannot switch between integrated and CAT modes")
-        self.rate_model = rate_model
-        if rate_model.is_per_site:
-            self._site_rates = rate_model.rates[rate_model.site_categories]
-        else:
-            self._cat_weights = rate_model.weights
-            self._n_cats = rate_model.n_categories
-        self._ensure_buffers()
-        self.invalidate_all()
-
-    def _ensure_buffers(self) -> None:
-        """Recreate arena/scratch buffers if the CLV shape changed
-        (e.g. a rate model with a different category count)."""
-        if self._arena.n_cats == self._n_cats:
-            return
-        shape = (self.patterns.n_patterns, self._n_cats, self._n_states)
-        self._clv_cache.clear()  # old entries view the old arena's blocks
-        self._arena = ClvArena(*shape)
-        self._term_scratch = (np.empty(shape), np.empty(shape))
-
-    def _push_context(self, name: str):
-        """Tell the tracer (if any) that nested kernel calls follow."""
-        if self.tracer is not None and hasattr(self.tracer, "push_context"):
-            return self.tracer.push_context(name)
-        return None
-
-    def _pop_context(self, token) -> None:
-        if token is not None:
-            self.tracer.pop_context(token)
-
-    def _on_branch_dirty(self, branch_id: int) -> None:
-        # The P-matrix cache is keyed by (quantized) length, not branch
-        # id, so a dirtied branch simply looks up its new length there.
-        stale = [
-            key
-            for key, entry in self._clv_cache.items()
-            if branch_id in entry.deps or key[1] == branch_id
-        ]
-        for key in stale:
-            entry = self._clv_cache.pop(key)
-            if entry.slot is not None:
-                self._arena.release(entry.slot)
-
-    # -- transition matrices ---------------------------------------------------
-
-    def _rates_for_pmat(self) -> np.ndarray:
-        if self._site_rates is not None:
-            return self._site_rates
-        return self.rate_model.rates
-
-    def _pmat(self, branch: Branch) -> np.ndarray:
-        """Transition matrices for *branch*: ``(n_cats, 4, 4)`` for the
-        integrated modes, ``(n_patterns, 4, 4)`` for CAT.  Served from the
-        quantized-length :class:`PMatrixCache`, so branches sharing a
-        length (reverted moves, clamped minima) share one stack."""
-        return self._pmats.matrices(branch.length)
-
-    # -- CLV computation ----------------------------------------------------------
-
-    def _is_tip(self, node: Node) -> bool:
-        return node.is_tip
-
-    def _tip_masks(self, node: Node) -> np.ndarray:
-        return self.patterns.patterns[self._tip_index[node.index]]
-
-    def _tip_clv(self, node: Node) -> np.ndarray:
-        """Tip CLV expanded to ``(n_patterns, n_cats, n_states)``."""
-        rows = self.patterns.tip_partials(self._tip_index[node.index])
-        return np.broadcast_to(
-            rows[:, None, :],
-            (self.patterns.n_patterns, self._n_cats, self._n_states),
-        )
-
-    def _propagated(
-        self, node: Node, via: Branch, out: Optional[np.ndarray] = None
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """CLV of the subtree at *node* away from *via*, propagated across
-        *via*.  Returns ``(term, scale_counts)``; with ``out`` the term is
-        written into the caller's buffer."""
-        return self._term_across(node, via, self._pmat(via), out=out)
-
-    def _term_across(
-        self, node: Node, via: Branch, p: np.ndarray,
-        out: Optional[np.ndarray] = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Propagate the CLV at *node* away from *via* across matrices *p*.
-
-        Tip sides return the engine's shared read-only zero scale-count
-        vector (callers only ever add it)."""
-        if node.is_tip:
-            masks = self._tip_masks(node)
-            if self._site_rates is not None:
-                term = kernels.tip_terms_persite(p, masks, self._tip_table, out=out)
-            else:
-                term = kernels.tip_terms(p, masks, self._tip_table, out=out)
-            return term, self._zero_scale
-        entry = self.clv(node, via)
-        if self._site_rates is not None:
-            term = kernels.inner_terms_persite(p, entry.clv, out=out)
-        else:
-            term = kernels.inner_terms(p, entry.clv, out=out)
-        return term, entry.scale_counts
-
-    def clv(self, node: Node, entry: Branch) -> _CachedCLV:
-        """The cached CLV at inner *node* for the subtree away from *entry*.
-
-        Missing CLVs (including any missing descendants) are computed
-        bottom-up; each computation is one ``newview()`` invocation.
-        """
-        if node.is_tip:
-            raise ValueError("tips have no stored CLV; use _propagated")
-        cached = self._clv_cache.get((node.index, entry.index))
-        if cached is not None:
-            return cached
-        # Gather the missing directions below (node, entry) in post-order.
-        order: List[Tuple[Node, Branch]] = []
-        stack: List[Tuple[Node, Branch, bool]] = [(node, entry, False)]
-        while stack:
-            current, came_from, expanded = stack.pop()
-            if expanded:
-                order.append((current, came_from))
-                continue
-            if current.is_tip or (current.index, came_from.index) in self._clv_cache:
-                continue
-            stack.append((current, came_from, True))
-            for branch in current.branches:
-                if branch is not came_from:
-                    stack.append((branch.other(current), branch, False))
-        for current, came_from in order:
-            self._newview(current, came_from)
-        return self._clv_cache[(node.index, entry.index)]
-
-    def _newview(self, node: Node, entry: Branch) -> _CachedCLV:
-        """Compute and cache one CLV (a single ``newview()`` invocation)."""
-        children = [b for b in node.branches if b is not entry]
-        if len(children) != 2:
-            raise ValueError("newview requires an inner node of degree 3")
-        (b1, b2) = children
-        q1, q2 = b1.other(node), b2.other(node)
-        # Children are already cached (clv() fills post-order), so nested
-        # newviews cannot clobber the two scratch term buffers.
-        term1, sc1 = self._propagated(q1, b1, out=self._term_scratch[0])
-        term2, sc2 = self._propagated(q2, b2, out=self._term_scratch[1])
-        slot = self._arena.acquire()
-        kernels.newview_combine(term1, term2, out=slot.clv)
-        np.add(sc1, sc2, out=slot.scale_counts)
-        scaled = kernels.scale_clv(slot.clv, slot.scale_counts)
-
-        deps = frozenset(self.tree.subtree_branches(node, entry))
-        entry_cache = _CachedCLV(
-            clv=slot.clv, scale_counts=slot.scale_counts, deps=deps, slot=slot
-        )
-        self._clv_cache[(node.index, entry.index)] = entry_cache
-
-        self.newview_calls += 1
-        if self.tracer is not None:
-            if q1.is_tip and q2.is_tip:
-                case = NewviewCase.TIP_TIP
-            elif q1.is_tip:
-                case = NewviewCase.TIP_INNER
-            elif q2.is_tip:
-                case = NewviewCase.INNER_TIP
-            else:
-                case = NewviewCase.INNER_INNER
-            self.tracer.record_newview(
-                case=case,
-                n_patterns=self.patterns.n_patterns,
-                n_cats=self._n_cats,
-                scaled=scaled,
-            )
-        return entry_cache
-
-    # -- evaluate -------------------------------------------------------------------
-
-    def _side(self, node: Node, branch: Branch) -> Tuple[np.ndarray, np.ndarray]:
-        """Unpropagated CLV facing *branch* from *node*'s side."""
-        if node.is_tip:
-            return self._tip_clv(node), np.zeros(
-                self.patterns.n_patterns, dtype=np.int64
-            )
-        entry = self.clv(node, branch)
-        return entry.clv, entry.scale_counts
-
-    def evaluate(self, branch: Optional[Branch] = None) -> float:
-        """Log likelihood of the tree, computed at *branch*.
-
-        For a reversible model the result is branch-independent; the
-        default uses an arbitrary branch.
-        """
-        if branch is None:
-            branch = self.tree.branches[0]
-        u, v = branch.nodes
-        # Keep the tip (if any) on the un-propagated side: RAxML's cheap case.
-        if v.is_tip and not u.is_tip:
-            u, v = v, u
-        # CLV refreshes triggered from here are nested inside this offload
-        # unit (no PPE<->SPE communication once evaluate lives on the SPE).
-        context = self._push_context("evaluate")
-        try:
-            u_clv, u_sc = self._side(u, branch)
-            v_term, v_sc = self._propagated(
-                v, branch, out=self._term_scratch[0]
-            )
-        finally:
-            self._pop_context(context)
-        result = kernels.evaluate_loglik(
-            self.model.pi,
-            self._cat_weights,
-            self.patterns.weights,
-            u_clv,
-            v_term,
-            u_sc + v_sc,
-        )
-        self.evaluate_calls += 1
-        if self.tracer is not None:
-            self.tracer.record_evaluate(
-                n_patterns=self.patterns.n_patterns, n_cats=self._n_cats
-            )
-        return result
-
-    def log_likelihood(self) -> float:
-        """Alias for :meth:`evaluate` at a default branch."""
-        return self.evaluate()
-
-    def site_log_likelihoods(self, branch: Optional[Branch] = None) -> np.ndarray:
-        """Per-pattern log likelihoods (diagnostics; CAT rate estimation)."""
-        if branch is None:
-            branch = self.tree.branches[0]
-        u, v = branch.nodes
-        if v.is_tip and not u.is_tip:
-            u, v = v, u
-        u_clv, u_sc = self._side(u, branch)
-        v_term, v_sc = self._propagated(v, branch)
-        per_cat = np.einsum(
-            "sci,i->sc", u_clv * v_term, self.model.pi, optimize=True
-        )
-        site_lik = per_cat @ self._cat_weights
-        return np.log(site_lik) - (u_sc + v_sc) * kernels.LOG_SCALE_FACTOR
-
-    # -- makenewz ---------------------------------------------------------------------
-
-    def makenewz(
-        self,
-        branch: Branch,
-        max_iterations: int = 32,
-        tolerance: float = 1e-8,
-    ) -> Tuple[float, float]:
-        """Optimize one branch length by Newton-Raphson.
-
-        Returns ``(new_length, log_likelihood)``.  The tree is updated in
-        place (which dirties dependent CLVs through the observer
-        protocol).  Mirrors RAxML's ``makenewz()``: it first ensures the
-        CLVs facing the branch exist (calling ``newview()`` as needed),
-        then iterates Newton steps with safeguards.
-        """
-        u, v = branch.nodes
-        context = self._push_context("makenewz")
-        try:
-            u_clv, u_sc = self._side(u, branch)
-            v_clv, v_sc = self._side(v, branch)
-        finally:
-            self._pop_context(context)
-        scale = u_sc + v_sc
-        pi = self.model.pi
-        weights = self.patterns.weights
-
-        def derivatives_at(length: float):
-            terms = self._pmats.derivatives(length)
-            if self._site_rates is not None:
-                return kernels.branch_derivatives_persite(
-                    terms, pi, weights, u_clv, v_clv, scale
-                )
-            return kernels.branch_derivatives(
-                terms, pi, self._cat_weights, weights, u_clv, v_clv, scale
-            )
-
-        t = branch.length
-        best_t, best_lnl = t, -np.inf
-        iterations = 0
-        for iterations in range(1, max_iterations + 1):
-            lnl, d1, d2 = derivatives_at(t)
-            if lnl > best_lnl:
-                best_lnl, best_t = lnl, t
-            if abs(d1) < tolerance:
-                break
-            if d2 < 0.0:
-                step = d1 / d2
-                new_t = t - step
-            else:
-                # Not locally concave: move in the uphill direction.
-                new_t = t * 2.0 if d1 > 0 else t * 0.5
-            new_t = min(max(new_t, MIN_BRANCH_LENGTH), MAX_BRANCH_LENGTH)
-            if abs(new_t - t) < tolerance:
-                t = new_t
-                break
-            t = new_t
-
-        # Score the final point too (the loop may end right after a step).
-        lnl, _, _ = derivatives_at(t)
-        if lnl > best_lnl:
-            best_lnl, best_t = lnl, t
-
-        self.tree.set_length(branch, best_t)
-        self.makenewz_calls += 1
-        if self.tracer is not None:
-            self.tracer.record_makenewz(
-                n_patterns=self.patterns.n_patterns,
-                n_cats=self._n_cats,
-                iterations=iterations,
-            )
-        return best_t, best_lnl
-
-    # -- batched SPR candidate scoring ---------------------------------------
-
-    def score_spr_candidates(
-        self,
-        prune_branch: Branch,
-        keep_side: Node,
-        targets: List[Branch],
-        max_iterations: int = 8,
-        tolerance: float = 1e-8,
-    ) -> Tuple[np.ndarray, np.ndarray, Branch]:
-        """Preview-score every SPR insertion of one pruned subtree at once.
-
-        The serial search applies each of the K candidate moves in turn,
-        Newton-optimizes the junction branches, evaluates, and reverts.
-        This method instead prunes the subtree *once*, builds the
-        junction CLV for every candidate target (two propagations and a
-        combine each, sharing P-matrix-cache entries for the split-target
-        half lengths), then runs a vectorized Newton-Raphson on all K
-        connect-branch lengths simultaneously through
-        :func:`kernels.branch_derivatives_batch` — one ``(K, s, c, 4)``
-        tensor contraction per iteration instead of K independent kernel
-        trips.  The tree is restored exactly before returning (same
-        geometry; fresh branch ids, like the serial revert).
-
-        Returns ``(scores, lengths, new_prune_branch)``: per-candidate
-        preview log likelihoods (connect branch optimized, the two target
-        halves fixed at their split lengths), the optimized connect
-        lengths, and the recreated prune branch (``nodes[0]`` is the
-        junction, matching :func:`Tree.regraft_subtree`).
-        """
-        if keep_side.is_tip:
-            raise ValueError("keep_side must be the inner junction node")
-        moved_root = prune_branch.other(keep_side)
-
-        # Snapshot the subtree-side CLV before pruning retires its entry.
-        if moved_root.is_tip:
-            sub_clv = self._tip_clv(moved_root)
-            sub_scale = self._zero_scale
-        else:
-            entry = self.clv(moved_root, prune_branch)
-            sub_clv = entry.clv.copy()
-            sub_scale = entry.scale_counts.copy()
-
-        bx, by = [b for b in keep_side.branches if b is not prune_branch]
-        origin_x, origin_y = bx.other(keep_side), by.other(keep_side)
-        lx, ly, lsub = bx.length, by.length, prune_branch.length
-        target_info = [(t, t.nodes[0], t.nodes[1], t.length) for t in targets]
-
-        self.tree.prune_subtree(prune_branch, keep_side=keep_side)
-
-        n_candidates = len(target_info)
-        s, c, n = self.patterns.n_patterns, self._n_cats, self._n_states
-        u_stack = np.empty((n_candidates, s, c, n))
-        scale_stack = np.empty((n_candidates, s), dtype=np.int64)
-        context = self._push_context("spr_batch")
-        try:
-            for k, (t, x, y, length) in enumerate(target_info):
-                half = max(length * 0.5, MIN_BRANCH_LENGTH)
-                p_half = self._pmats.matrices(half)
-                # Fill both side CLVs first: nested newviews use the same
-                # scratch buffers the terms are about to occupy.
-                if not x.is_tip:
-                    self.clv(x, t)
-                if not y.is_tip:
-                    self.clv(y, t)
-                tx, scx = self._term_across(
-                    x, t, p_half, out=self._term_scratch[0]
-                )
-                ty, scy = self._term_across(
-                    y, t, p_half, out=self._term_scratch[1]
-                )
-                kernels.newview_combine(tx, ty, out=u_stack[k])
-                np.add(scx, scy, out=scale_stack[k])
-                kernels.scale_clv(u_stack[k], scale_stack[k])
-                scale_stack[k] += sub_scale
-        finally:
-            self._pop_context(context)
-
-        v_stack = np.broadcast_to(sub_clv, u_stack.shape)
-        rates = self._rates_for_pmat()
-        pi = self.model.pi
-        weights = self.patterns.weights
-
-        def derivatives_at(ts: np.ndarray):
-            terms = self.model.transition_derivatives_batch(ts, rates)
-            if self._site_rates is not None:
-                return kernels.branch_derivatives_batch_persite(
-                    terms, pi, weights, u_stack, v_stack, scale_stack
-                )
-            return kernels.branch_derivatives_batch(
-                terms, pi, self._cat_weights, weights, u_stack, v_stack,
-                scale_stack,
-            )
-
-        # Vectorized Newton-Raphson mirroring makenewz's scalar updates.
-        start = min(max(lsub, MIN_BRANCH_LENGTH), MAX_BRANCH_LENGTH)
-        ts = np.full(n_candidates, start)
-        best_ts = ts.copy()
-        best_lnl = np.full(n_candidates, -np.inf)
-        active = np.ones(n_candidates, dtype=bool)
-        iterations = 0
-        for iterations in range(1, max_iterations + 1):
-            lnl, d1, d2 = derivatives_at(ts)
-            better = lnl > best_lnl
-            best_lnl = np.where(better, lnl, best_lnl)
-            best_ts = np.where(better, ts, best_ts)
-            small_d1 = np.abs(d1) < tolerance
-            newton = d2 < 0.0
-            new_t = np.where(
-                newton,
-                ts - d1 / np.where(newton, d2, 1.0),
-                np.where(d1 > 0.0, ts * 2.0, ts * 0.5),
-            )
-            np.clip(new_t, MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH, out=new_t)
-            small_step = np.abs(new_t - ts) < tolerance
-            move = active & ~small_d1
-            ts = np.where(move, new_t, ts)
-            active &= ~(small_d1 | small_step)
-            if not active.any():
-                break
-        # Score the final point too (a step may end the loop).
-        lnl, _, _ = derivatives_at(ts)
-        better = lnl > best_lnl
-        best_lnl = np.where(better, lnl, best_lnl)
-        best_ts = np.where(better, ts, best_ts)
-
-        # Restore the tree exactly (fresh ids, original geometry).
-        merged = None
-        for b in origin_x.branches:
-            if b.other(origin_x) is origin_y:
-                merged = b
-                break
-        if merged is None:  # pragma: no cover - structural invariant
-            raise RuntimeError("pruning did not merge the junction branches")
-        new_connect = self.tree.regraft_subtree(moved_root, merged, lsub)
-        junction = new_connect.nodes[0]
-        for b in junction.branches:
-            far = b.other(junction)
-            if far is moved_root:
-                self.tree.set_length(b, lsub)
-            elif far is origin_x:
-                self.tree.set_length(b, lx)
-            elif far is origin_y:
-                self.tree.set_length(b, ly)
-
-        self.spr_batch_calls += 1
-        self.spr_batch_candidates += n_candidates
-        if self.tracer is not None and hasattr(self.tracer, "record_spr_batch"):
-            self.tracer.record_spr_batch(
-                k=n_candidates,
-                n_patterns=s,
-                n_cats=self._n_cats,
-                iterations=iterations,
-            )
-        return best_lnl, best_ts, new_connect
-
-    # -- diagnostics ----------------------------------------------------------
-
-    def perf_counters(self) -> Dict[str, int]:
-        """Hot-path performance counters (cache, arena, batching).
-
-        Exposed to tracers through ``add_counter_source`` so workload
-        traces carry the engine-efficiency numbers alongside the kernel
-        mix.
-        """
-        counters = {
-            "newview_calls": self.newview_calls,
-            "evaluate_calls": self.evaluate_calls,
-            "makenewz_calls": self.makenewz_calls,
-            "spr_batch_calls": self.spr_batch_calls,
-            "spr_batch_candidates": self.spr_batch_candidates,
-            "clv_cache_entries": len(self._clv_cache),
-        }
-        counters.update(self._pmats.counters())
-        counters.update(self._arena.counters())
-        return counters
-
-    def optimize_all_branches(
-        self, passes: int = 3, tolerance: float = 1e-6
-    ) -> float:
-        """Round-robin Newton smoothing of every branch (RAxML 'smoothings').
-
-        Stops early when a full pass improves the likelihood by less than
-        *tolerance*.  Returns the final log likelihood.
-        """
-        last = -np.inf
-        lnl = last
-        for _ in range(passes):
-            for branch in self.tree.branches:
-                _, lnl = self.makenewz(branch)
-            if lnl - last < tolerance:
-                break
-            last = lnl
-        return lnl
-
-
-def estimate_site_rates(
-    patterns: PatternAlignment,
-    model: SubstitutionModel,
-    tree: Tree,
-    rate_grid: Optional[np.ndarray] = None,
-) -> np.ndarray:
-    """Per-pattern ML rate estimates over a grid (for building CAT models).
-
-    For each candidate rate the whole tree is scored with a single
-    rate category, and each pattern picks the rate maximizing its own
-    likelihood — a simplified version of RAxML's per-site rate
-    optimization that feeds :func:`repro.phylo.rates.CatRates`.
-    """
-    if rate_grid is None:
-        rate_grid = np.geomspace(1.0 / 16.0, 16.0, 25)
-    per_rate = np.empty((len(rate_grid), patterns.n_patterns))
-    for k, rate in enumerate(rate_grid):
-        rate_model = RateModel(np.array([rate]), np.ones(1), name=f"fixed({rate:g})")
-        engine = LikelihoodEngine(patterns, model, rate_model, tree)
-        per_rate[k] = engine.site_log_likelihoods()
-        engine.detach()
-    best = rate_grid[np.argmax(per_rate, axis=0)]
-    return np.asarray(best, dtype=np.float64)
+from .engine import available_backends, create_engine
+from .engine.core import LikelihoodEngine, NewviewCase, estimate_site_rates
+
+__all__ = [
+    "LikelihoodEngine",
+    "NewviewCase",
+    "available_backends",
+    "create_engine",
+    "estimate_site_rates",
+]

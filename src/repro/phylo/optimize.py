@@ -19,7 +19,7 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy.optimize import minimize_scalar
 
-from .likelihood import LikelihoodEngine
+from .engine import LikelihoodEngine
 from .models import SubstitutionModel
 from .rates import GammaRates
 

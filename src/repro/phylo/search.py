@@ -26,7 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .likelihood import LikelihoodEngine
+from .engine import LikelihoodEngine
 from .tree import Branch, Node, Tree
 
 __all__ = ["SearchConfig", "SearchResult", "hill_climb", "spr_neighborhood"]

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..phylo import kernels as _k
-from ..phylo.likelihood import NewviewCase
+from ..phylo.engine import NewviewCase
 
 __all__ = ["KernelEvent", "Tracer", "TraceSummary", "NESTED_TOP"]
 

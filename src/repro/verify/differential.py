@@ -2,7 +2,8 @@
 
 Every case is a random (alignment, tree, model, rate model) quadruple
 derived deterministically from one integer seed.  The fast
-:class:`~repro.phylo.likelihood.LikelihoodEngine` and the
+:class:`~repro.phylo.likelihood.LikelihoodEngine` — on any registered
+kernel backend, selectable per run — and the
 :class:`~repro.verify.oracle.ReferenceEngine` score the identical
 instance, and the harness compares:
 
@@ -26,7 +27,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..phylo.alignment import Alignment, PatternAlignment
-from ..phylo.likelihood import LikelihoodEngine
+from ..phylo.engine import LikelihoodEngine
 from ..phylo.models import GTR, HKY85, JC69, K80, SubstitutionModel
 from ..phylo.rates import CatRates, GammaRates, RateModel, UniformRate
 from ..phylo.tree import Tree
@@ -212,11 +213,22 @@ def _compare(result: CaseResult, what: str, fast: float, oracle: float,
         )
 
 
-def compare_case(case: Case, rel_tol: float = DEFAULT_REL_TOL) -> CaseResult:
-    """Diff the fast engine against the oracle on one case."""
+def compare_case(
+    case: Case, rel_tol: float = DEFAULT_REL_TOL, backend=None
+) -> CaseResult:
+    """Diff the fast engine (on *backend*) against the oracle on one case.
+
+    *backend* is any spec :func:`repro.phylo.engine.resolve_backend`
+    accepts — a registry name like ``"einsum"`` or ``"partitioned:2"``,
+    a live backend, or ``None`` for the session default.  Scale counts
+    must match the oracle **exactly** whatever the backend; log
+    likelihoods must agree within *rel_tol*.
+    """
     result = CaseResult(seed=case.seed, description=case.description)
     tree = case.tree
-    fast = LikelihoodEngine(case.patterns, case.model, case.rate_model, tree)
+    fast = LikelihoodEngine(
+        case.patterns, case.model, case.rate_model, tree, backend=backend
+    )
     oracle = ReferenceEngine(case.patterns, case.model, case.rate_model, tree)
     rng = np.random.default_rng(np.random.SeedSequence([0xD1FF + 1, case.seed]))
     try:
@@ -283,24 +295,10 @@ def fast_makenewz_derivatives(
     engine: LikelihoodEngine, branch, length: Optional[float] = None
 ) -> Tuple[float, float, float]:
     """The fast engine's ``(lnL, d1, d2)`` at a branch, via the same
-    kernel calls :meth:`LikelihoodEngine.makenewz` iterates."""
-    from ..phylo import kernels
-
-    u, v = branch.nodes
-    u_clv, u_sc = engine._side(u, branch)
-    v_clv, v_sc = engine._side(v, branch)
-    scale = u_sc + v_sc
-    t = branch.length if length is None else float(length)
-    terms = engine._pmats.derivatives(t)
-    if engine._site_rates is not None:
-        return kernels.branch_derivatives_persite(
-            terms, engine.model.pi, engine.patterns.weights, u_clv, v_clv,
-            scale,
-        )
-    return kernels.branch_derivatives(
-        terms, engine.model.pi, engine._cat_weights, engine.patterns.weights,
-        u_clv, v_clv, scale,
-    )
+    backend calls :meth:`LikelihoodEngine.makenewz` iterates.  Kept as
+    a thin wrapper over the engine's public ``branch_derivatives`` for
+    older call sites."""
+    return engine.branch_derivatives(branch, length)
 
 
 def run_differential(
@@ -310,17 +308,23 @@ def run_differential(
     max_taxa: int = 8,
     max_sites: int = 40,
     raise_on_failure: bool = False,
+    backend=None,
 ) -> FuzzReport:
     """Fuzz *n_cases* random instances; every case seed is ``seed + i``.
 
-    With ``raise_on_failure`` a :class:`DifferentialFailure` carrying the
+    *backend* selects the fast engine's kernel backend (default: the
+    session default, i.e. ``REPRO_ENGINE_BACKEND`` or ``einsum``); the
+    oracle side always runs the ``reference`` backend.  With
+    ``raise_on_failure`` a :class:`DifferentialFailure` carrying the
     full summary (including reproduction seeds) is raised at the end if
     any case diverged; otherwise inspect ``report.failures``.
     """
     report = FuzzReport(n_cases=n_cases, seed=seed, rel_tol=rel_tol)
     for i in range(n_cases):
         case = random_case(seed + i, max_taxa=max_taxa, max_sites=max_sites)
-        report.results.append(compare_case(case, rel_tol=rel_tol))
+        report.results.append(
+            compare_case(case, rel_tol=rel_tol, backend=backend)
+        )
     if raise_on_failure and report.failures:
         raise DifferentialFailure(report.summary())
     return report

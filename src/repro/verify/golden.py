@@ -29,7 +29,7 @@ import numpy as np
 
 from ..cluster.aggregate import StreamingAggregator
 from ..phylo.alignment import Alignment
-from ..phylo.likelihood import LikelihoodEngine
+from ..phylo.engine import LikelihoodEngine
 from ..phylo.models import GTR, HKY85, JC69, K80, SubstitutionModel
 from ..phylo.rates import CatRates, GammaRates, RateModel, UniformRate
 from ..phylo.search import SearchConfig, hill_climb
@@ -127,7 +127,12 @@ def compute_case(case: GoldenCase) -> Dict:
     rate_model = _build_rates(case.rates, patterns.n_patterns, rng)
     tree = Tree.from_tip_names(patterns.taxa, rng)
 
-    engine = LikelihoodEngine(patterns, model, rate_model, tree)
+    # Golden records are pinned to the einsum backend: a committed file
+    # must not depend on the REPRO_ENGINE_BACKEND override the suite
+    # happens to run under (stripe-order reduction shifts lnL round-off).
+    engine = LikelihoodEngine(
+        patterns, model, rate_model, tree, backend="einsum"
+    )
     try:
         log_likelihood = engine.evaluate(tree.branches[0])
         oracle = ReferenceEngine(patterns, model, rate_model, tree)
@@ -148,7 +153,8 @@ def compute_case(case: GoldenCase) -> Dict:
             replicate_patterns = patterns.bootstrap_replicate(rng)
             replicate_tree = Tree.from_tip_names(patterns.taxa, rng)
             replicate_engine = LikelihoodEngine(
-                replicate_patterns, model, rate_model, replicate_tree
+                replicate_patterns, model, rate_model, replicate_tree,
+                backend="einsum",
             )
             try:
                 replicate_result = hill_climb(

@@ -34,7 +34,7 @@ from typing import Dict, Optional, Tuple, Type
 import numpy as np
 
 from ..phylo.alignment import Alignment, PatternAlignment
-from ..phylo.likelihood import LikelihoodEngine
+from ..phylo.engine import LikelihoodEngine
 from ..phylo.models import SubstitutionModel
 from ..phylo.rates import RateModel
 from ..phylo.search import _apply_spr, _revert_spr, spr_neighborhood
@@ -103,8 +103,12 @@ def _engine_loglik(
     rate_model: Optional[RateModel],
     tree: Tree,
     engine_cls: Type = LikelihoodEngine,
+    backend=None,
 ) -> float:
-    engine = engine_cls(patterns, model, rate_model, tree)
+    # backend=None keeps engine classes without a backend parameter
+    # (e.g. the oracle, which hard-wires "reference") constructible.
+    kwargs = {} if backend is None else {"backend": backend}
+    engine = engine_cls(patterns, model, rate_model, tree, **kwargs)
     try:
         return engine.evaluate(tree.branches[0])
     finally:
@@ -118,6 +122,7 @@ def site_permutation_invariance(
     rate_model: Optional[RateModel],
     rng: np.random.Generator,
     engine_cls: Type = LikelihoodEngine,
+    backend=None,
 ) -> float:
     """Shuffling columns must leave the compressed lnL bit-identical.
 
@@ -141,8 +146,8 @@ def site_permutation_invariance(
         )
 
     tree = Tree.from_tip_names(base.taxa, rng)
-    lnl_base = _engine_loglik(base, model, rate_model, tree, engine_cls)
-    lnl_other = _engine_loglik(other, model, rate_model, tree, engine_cls)
+    lnl_base = _engine_loglik(base, model, rate_model, tree, engine_cls, backend)
+    lnl_other = _engine_loglik(other, model, rate_model, tree, engine_cls, backend)
     if lnl_base != lnl_other:
         raise InvariantViolation(
             f"site permutation changed the lnL bit pattern: "
@@ -158,6 +163,7 @@ def taxon_permutation_invariance(
     rng: np.random.Generator,
     rel_tol: float = 1e-9,
     engine_cls: Type = LikelihoodEngine,
+    backend=None,
 ) -> float:
     """Reordering alignment rows must not change the likelihood.
 
@@ -176,8 +182,8 @@ def taxon_permutation_invariance(
     other = Alignment.from_sequences(reordered).compress()
     tree = Tree.from_tip_names(sorted(names), rng)
 
-    lnl_base = _engine_loglik(base, model, rate_model, tree, engine_cls)
-    lnl_other = _engine_loglik(other, model, rate_model, tree, engine_cls)
+    lnl_base = _engine_loglik(base, model, rate_model, tree, engine_cls, backend)
+    lnl_other = _engine_loglik(other, model, rate_model, tree, engine_cls, backend)
     diff = _rel_diff(lnl_base, lnl_other)
     if diff > rel_tol:
         raise InvariantViolation(
@@ -194,6 +200,7 @@ def pattern_compression_invariance(
     rng: np.random.Generator,
     rel_tol: float = 1e-9,
     engine_cls: Type = LikelihoodEngine,
+    backend=None,
 ) -> float:
     """Compressed patterns must score like one weight-1 pattern per site.
 
@@ -213,9 +220,11 @@ def pattern_compression_invariance(
     )
     tree = Tree.from_tip_names(compressed.taxa, rng)
     lnl_compressed = _engine_loglik(
-        compressed, model, rate_model, tree, engine_cls
+        compressed, model, rate_model, tree, engine_cls, backend
     )
-    lnl_full = _engine_loglik(uncompressed, model, rate_model, tree, engine_cls)
+    lnl_full = _engine_loglik(
+        uncompressed, model, rate_model, tree, engine_cls, backend
+    )
     diff = _rel_diff(lnl_compressed, lnl_full)
     if diff > rel_tol:
         raise InvariantViolation(

@@ -1,54 +1,51 @@
-"""A deliberately slow, loop-based reference likelihood engine.
+"""The reference oracle: the shared engine core on the ``reference``
+backend.
 
-:class:`ReferenceEngine` recomputes Felsenstein's pruning recursion from
-first principles on every call: no einsum, no CLV arena, no P-matrix
-cache, no lazy invalidation — just nested Python loops over patterns,
-rate categories and states, seeded from the ``newview_combine_reference``
-/ ``evaluate_loglik_reference`` scalar kernels in
-:mod:`repro.phylo.kernels`.  Even the transition-matrix projection
-``R diag(exp(lambda r t)) L`` is expanded element-wise here, so the
-oracle shares **no** vectorized code path with
-:class:`~repro.phylo.likelihood.LikelihoodEngine` beyond the eigensystem
-of the substitution model itself.
+Historically this module carried a complete second likelihood engine (a
+322-line loop-based fork).  That fork is now collapsed into the layered
+engine: the scalar loops live in
+:class:`repro.phylo.engine.backends.reference.ReferenceBackend`, and
+:class:`ReferenceEngine` here is the ordinary
+:class:`~repro.phylo.engine.core.LikelihoodEngine` running on it —
+*same core, two backends*, so the oracle surface can no longer drift
+from the engine surface.
 
-It exposes the same numeric surface as the fast engine —
-:meth:`loglik` / :meth:`evaluate`, :meth:`newview`, and
-:meth:`branch_derivatives` — so the differential harness
-(:mod:`repro.verify.differential`) can diff the two implementations
-value-for-value.  The scaling discipline is identical (per-pattern
-threshold ``2^-256``, exact power-of-two multiplier, NaN/Inf guard), so
-scale counts must match the fast engine *exactly*, and because the
-multiplier is a power of two the scaled log likelihood is compensated
-without round-off.
+Two properties of the old standalone oracle are preserved deliberately:
 
-Orders of magnitude slower than the fast engine by design; use tiny
-instances (a handful of taxa, tens of patterns).
+* **Arithmetic.**  The reference backend replicates the old oracle's
+  accumulation orders exactly (including its element-wise
+  transition-matrix projection, bypassing the P-matrix cache via
+  ``uses_pmat_cache = False``), so the committed golden corpus' oracle
+  log likelihoods are bit-identical to the pre-refactor values.
+* **Statelessness.**  The old oracle kept no caches, which made it
+  immune to dirty-tracking bugs.  Sharing the core would silently give
+  up that independence — a CLV-invalidation bug would cancel out of the
+  differential diff.  :class:`ReferenceEngine` therefore drops every
+  cached CLV before each public scoring call, recomputing the whole
+  tree from scratch exactly like the old oracle did.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Optional, Tuple
 
 from ..phylo.alignment import PatternAlignment
-from ..phylo.kernels import LOG_SCALE_FACTOR, SCALE_FACTOR, SCALE_THRESHOLD
+from ..phylo.engine import LikelihoodEngine
 from ..phylo.models import SubstitutionModel
-from ..phylo.rates import RateModel, UniformRate
+from ..phylo.rates import RateModel
 from ..phylo.tree import Branch, Node, Tree
 
 __all__ = ["ReferenceEngine"]
 
 
-class ReferenceEngine:
-    """Loop-based oracle sharing :class:`LikelihoodEngine`'s surface.
+class ReferenceEngine(LikelihoodEngine):
+    """Loop-based oracle: the engine core on the ``reference`` backend.
 
     Parameters mirror the fast engine: a pattern alignment, a
     substitution model, an optional rate model (uniform, Gamma or CAT)
-    and the tree to score.  Unlike the fast engine it registers no
-    observers and keeps no caches — every public call walks the whole
-    tree again.
+    and the tree to score.  Every public scoring call recomputes from
+    scratch (no cache reuse between calls), keeping the oracle
+    independent of the core's dirty-tracking.
     """
 
     def __init__(
@@ -58,265 +55,34 @@ class ReferenceEngine:
         rate_model: Optional[RateModel] = None,
         tree: Optional[Tree] = None,
     ):
-        if tree is None:
-            raise ValueError("a tree is required")
-        self.patterns = patterns
-        self.model = model
-        self.rate_model = rate_model or UniformRate()
-        self.tree = tree
-        self._n_states = model.n_states
-
-        if self.rate_model.is_per_site:
-            if len(self.rate_model.site_categories) != patterns.n_patterns:
-                raise ValueError(
-                    "CAT site_categories must assign every pattern a category"
-                )
-            self._site_rates = [
-                float(self.rate_model.rates[c])
-                for c in self.rate_model.site_categories
-            ]
-            self._cat_weights = [1.0]
-            self._n_cats = 1
-        else:
-            self._site_rates = None
-            self._cat_weights = [float(w) for w in self.rate_model.weights]
-            self._n_cats = self.rate_model.n_categories
-
-        self._tip_index: Dict[int, int] = {
-            node.index: patterns.taxon_index(node.name) for node in tree.tips
-        }
-        # The eigensystem is the one shared numeric artifact: verifying
-        # it independently would mean reimplementing eigh.  The
-        # *projection* to P(t) below is expanded element-wise, so the
-        # model's einsum-based transition_matrices is NOT on this path.
-        self._eigenvalues = [float(x) for x in model._eigenvalues]
-        self._right = model._right.tolist()
-        self._left = model._left.tolist()
-        self._pi = [float(x) for x in model.pi]
-
-    # -- transition matrices (element-wise projection) -----------------------
-
-    def _rate_rows(self) -> List[float]:
-        """One rate multiplier per matrix row: categories, or patterns
-        in CAT mode."""
-        if self._site_rates is not None:
-            return self._site_rates
-        return [float(r) for r in self.rate_model.rates]
-
-    def _project(self, t: float, order: int) -> List[List[List[float]]]:
-        """``d^order/dt^order P(r t)`` for every rate row, as lists.
-
-        ``P[r][i][j] = sum_k R[i][k] (lam_k r)^order exp(lam_k r t) L[k][j]``.
-        """
-        n = self._n_states
-        out = []
-        for r in self._rate_rows():
-            mat = [[0.0] * n for _ in range(n)]
-            weights = []
-            for lam in self._eigenvalues:
-                lam_r = lam * r
-                weights.append((lam_r ** order) * math.exp(lam_r * t))
-            for i in range(n):
-                row_r = self._right[i]
-                row = mat[i]
-                for j in range(n):
-                    acc = 0.0
-                    for k in range(n):
-                        acc += row_r[k] * weights[k] * self._left[k][j]
-                    row[j] = acc
-            out.append(mat)
-        return out
-
-    def _pmatrix(self, length: float) -> List[List[List[float]]]:
-        if length < 0:
-            raise ValueError("branch length must be non-negative")
-        return self._project(length, 0)
-
-    # -- CLV recursion -------------------------------------------------------
-
-    def _p_row(self, p, s: int, c: int) -> List[List[float]]:
-        """The (n, n) transition matrix for pattern *s*, category *c*."""
-        return p[s] if self._site_rates is not None else p[c]
-
-    def _tip_rows(self, node: Node) -> List[List[float]]:
-        return self.patterns.tip_partials(self._tip_index[node.index]).tolist()
-
-    def _propagated(self, node: Node, via: Branch
-                    ) -> Tuple[List[List[List[float]]], List[int]]:
-        """CLV of the subtree at *node* away from *via*, pushed across
-        *via*'s transition matrices.  Returns ``(term, scale_counts)``."""
-        p = self._pmatrix(via.length)
-        n_patterns, n_cats, n = self.patterns.n_patterns, self._n_cats, self._n_states
-        if node.is_tip:
-            rows = self._tip_rows(node)
-            source = [[rows[s]] * n_cats for s in range(n_patterns)]
-            scale = [0] * n_patterns
-        else:
-            source, scale = self._clv(node, via)
-        term = [
-            [[0.0] * n for _ in range(n_cats)] for _ in range(n_patterns)
-        ]
-        for s in range(n_patterns):
-            for c in range(n_cats):
-                mat = self._p_row(p, s, c)
-                src = source[s][c]
-                dst = term[s][c]
-                for i in range(n):
-                    acc = 0.0
-                    row = mat[i]
-                    for j in range(n):
-                        acc += row[j] * src[j]
-                    dst[i] = acc
-        return term, scale
-
-    def _clv(self, node: Node, entry: Branch
-             ) -> Tuple[List[List[List[float]]], List[int]]:
-        """Recursive ``newview()``: combine the two propagated children,
-        then apply the underflow-rescaling check pattern by pattern."""
-        children = [b for b in node.branches if b is not entry]
-        if len(children) != 2:
-            raise ValueError("newview requires an inner node of degree 3")
-        (b1, b2) = children
-        term1, sc1 = self._propagated(b1.other(node), b1)
-        term2, sc2 = self._propagated(b2.other(node), b2)
-        n_patterns, n_cats, n = self.patterns.n_patterns, self._n_cats, self._n_states
-        clv = [[[0.0] * n for _ in range(n_cats)] for _ in range(n_patterns)]
-        scale = [sc1[s] + sc2[s] for s in range(n_patterns)]
-        for s in range(n_patterns):
-            pattern_max = 0.0
-            for c in range(n_cats):
-                t1, t2, dst = term1[s][c], term2[s][c], clv[s][c]
-                for i in range(n):
-                    value = t1[i] * t2[i]
-                    dst[i] = value
-                    if not math.isfinite(value):
-                        raise FloatingPointError(
-                            f"non-finite CLV entries at pattern {s} "
-                            f"(NaN/Inf reached the underflow-rescaling check)"
-                        )
-                    if value > pattern_max:
-                        pattern_max = value
-            if pattern_max < SCALE_THRESHOLD:
-                for c in range(n_cats):
-                    row = clv[s][c]
-                    for i in range(n):
-                        row[i] *= SCALE_FACTOR
-                scale[s] += 1
-        return clv, scale
+        super().__init__(
+            patterns, model, rate_model, tree, backend="reference"
+        )
+        # The standalone oracle owned its eigensystem; tests poison it
+        # (``oracle._eigenvalues[0] = nan``) to exercise the NaN guard.
+        # The reference backend re-projects from the model on every
+        # call, so aliasing the model's arrays keeps that contract.
+        self._eigenvalues = model._eigenvalues
+        self._right = model._right
+        self._left = model._left
 
     def newview(self, node: Node, entry: Branch
-                ) -> Tuple[np.ndarray, np.ndarray]:
-        """The CLV at inner *node* for the subtree away from *entry*.
-
-        Returns ``(clv, scale_counts)`` with the fast engine's shapes:
-        ``(n_patterns, n_cats, n_states)`` and ``(n_patterns,)``.
-        """
+                ) -> Tuple["np.ndarray", "np.ndarray"]:
         if node.is_tip:
             raise ValueError("tips have no CLV")
-        clv, scale = self._clv(node, entry)
-        return np.asarray(clv, dtype=np.float64), np.asarray(scale, dtype=np.int64)
-
-    def _side(self, node: Node, branch: Branch
-              ) -> Tuple[List[List[List[float]]], List[int]]:
-        """Unpropagated CLV facing *branch* from *node*'s side."""
-        n_patterns, n_cats = self.patterns.n_patterns, self._n_cats
-        if node.is_tip:
-            rows = self._tip_rows(node)
-            return [[rows[s]] * n_cats for s in range(n_patterns)], [0] * n_patterns
-        return self._clv(node, branch)
-
-    # -- evaluate ------------------------------------------------------------
+        self._drop_all_clvs()
+        return super().newview(node, entry)
 
     def evaluate(self, branch: Optional[Branch] = None) -> float:
-        """Log likelihood of the tree at *branch* (branch-independent for
-        a reversible model — the pulley principle)."""
-        if branch is None:
-            branch = self.tree.branches[0]
-        u, v = branch.nodes
-        if v.is_tip and not u.is_tip:
-            u, v = v, u
-        u_clv, u_sc = self._side(u, branch)
-        v_term, v_sc = self._propagated(v, branch)
-        n_patterns, n_cats, n = self.patterns.n_patterns, self._n_cats, self._n_states
-        weights = self.patterns.weights
-        pi = self._pi
-        total = 0.0
-        for s in range(n_patterns):
-            site = 0.0
-            for c in range(n_cats):
-                us, vs = u_clv[s][c], v_term[s][c]
-                cat = 0.0
-                for i in range(n):
-                    cat += pi[i] * us[i] * vs[i]
-                site += self._cat_weights[c] * cat
-            if site <= 0.0:
-                raise FloatingPointError(
-                    "non-positive site likelihood (underflow?)"
-                )
-            total += float(weights[s]) * (
-                math.log(site) - (u_sc[s] + v_sc[s]) * LOG_SCALE_FACTOR
-            )
-        return total
+        self._drop_all_clvs()
+        return super().evaluate(branch)
 
-    #: Alias matching the verification surface named in DESIGN.md §9.
     loglik = evaluate
-
-    def log_likelihood(self) -> float:
-        """Alias for :meth:`evaluate` at a default branch."""
-        return self.evaluate()
-
-    # -- branch derivatives (makenewz's inner loop) --------------------------
 
     def branch_derivatives(
         self, branch: Branch, length: Optional[float] = None
     ) -> Tuple[float, float, float]:
-        """``(lnL, d lnL/dt, d2 lnL/dt2)`` w.r.t. *branch*'s length.
-
-        With *length* the derivatives are taken at that trial length
-        instead of the stored one (what a Newton iteration evaluates).
-        """
-        t = branch.length if length is None else float(length)
-        if t < 0:
+        if length is not None and length < 0:
             raise ValueError("branch length must be non-negative")
-        u, v = branch.nodes
-        u_clv, u_sc = self._side(u, branch)
-        v_clv, v_sc = self._side(v, branch)
-        p = self._project(t, 0)
-        dp = self._project(t, 1)
-        d2p = self._project(t, 2)
-        n_patterns, n_cats, n = self.patterns.n_patterns, self._n_cats, self._n_states
-        weights = self.patterns.weights
-        pi = self._pi
-        lnl = dlnl = d2lnl = 0.0
-        for s in range(n_patterns):
-            lik = d1 = d2 = 0.0
-            for c in range(n_cats):
-                mat = self._p_row(p, s, c)
-                dmat = self._p_row(dp, s, c)
-                d2mat = self._p_row(d2p, s, c)
-                us, vs = u_clv[s][c], v_clv[s][c]
-                f = f1 = f2 = 0.0
-                for i in range(n):
-                    left = us[i] * pi[i]
-                    row, drow, d2row = mat[i], dmat[i], d2mat[i]
-                    for j in range(n):
-                        vj = vs[j]
-                        f += left * row[j] * vj
-                        f1 += left * drow[j] * vj
-                        f2 += left * d2row[j] * vj
-                cw = self._cat_weights[c]
-                lik += cw * f
-                d1 += cw * f1
-                d2 += cw * f2
-            if lik <= 0.0:
-                raise FloatingPointError(
-                    "non-positive site likelihood in makenewz"
-                )
-            g1 = d1 / lik
-            w = float(weights[s])
-            lnl += w * (
-                math.log(lik) - (u_sc[s] + v_sc[s]) * LOG_SCALE_FACTOR
-            )
-            dlnl += w * g1
-            d2lnl += w * (d2 / lik - g1 * g1)
-        return lnl, dlnl, d2lnl
+        self._drop_all_clvs()
+        return super().branch_derivatives(branch, length)

@@ -5,6 +5,7 @@ The quick smoke runs in tier-1; the 200-case acceptance run carries
 locally with ``pytest -m verify``).
 """
 
+import numpy as np
 import pytest
 
 from repro.verify import (
@@ -13,6 +14,14 @@ from repro.verify import (
     random_case,
     run_differential,
 )
+
+#: Every backend the fast side of the diff runs on, including partitioned
+#: stripe counts that do and do not divide typical pattern counts.  The
+#: "reference" entry diffs the oracle backend against the (stateless,
+#: cache-free) oracle itself — a self-consistency check of the core's
+#: dirty tracking.
+BACKEND_SPECS = ["einsum", "reference", "partitioned:1", "partitioned:2",
+                 "partitioned:7"]
 
 
 def test_random_case_is_deterministic():
@@ -34,6 +43,22 @@ def test_compare_case_smoke():
     assert result.ok, result.failures
     assert result.comparisons  # lnL + newview + derivatives all recorded
     assert result.max_rel_err < 1e-9
+
+
+@pytest.mark.parametrize("backend", BACKEND_SPECS)
+def test_compare_case_every_backend(backend):
+    """lnL within 1e-9 of the oracle and bit-identical scale counts,
+    whatever backend the fast engine runs on."""
+    for seed in (3, 11, 19):
+        result = compare_case(random_case(seed), backend=backend)
+        assert result.ok, (backend, result.failures)
+        assert result.max_rel_err < 1e-9
+
+
+@pytest.mark.parametrize("backend", BACKEND_SPECS)
+def test_run_differential_accepts_backend(backend):
+    report = run_differential(n_cases=4, seed=50, backend=backend)
+    assert not report.failures, report.summary()
 
 
 def test_run_differential_quick():
@@ -67,4 +92,16 @@ def test_differential_acceptance_200_cases():
     with fast-vs-oracle agreement within 1e-9 relative tolerance."""
     report = run_differential(n_cases=200, seed=0, rel_tol=1e-9)
     assert not report.failures, report.summary()
+    assert report.max_rel_err < 1e-9
+
+
+@pytest.mark.verify
+@pytest.mark.parametrize("backend", BACKEND_SPECS)
+def test_differential_acceptance_every_backend(backend):
+    """The same acceptance bar for every registered backend (fewer cases
+    per backend; the seed ranges are disjoint from the 200-case run so
+    the sweep widens coverage instead of repeating it)."""
+    report = run_differential(n_cases=40, seed=1000, rel_tol=1e-9,
+                              backend=backend)
+    assert not report.failures, f"[{backend}] {report.summary()}"
     assert report.max_rel_err < 1e-9

@@ -80,6 +80,63 @@ def test_pattern_compression_matches_per_site(seed):
     ) < 1e-12
 
 
+#: Backend sweep for the metamorphic checks (see test_engine_backends.py
+#: for the registry-level tests; here the point is that the *invariants*
+#: hold on every backend, not only on the default).
+BACKEND_SPECS = ["einsum", "reference", "partitioned:1", "partitioned:2",
+                 "partitioned:7"]
+
+
+@pytest.mark.parametrize("backend", BACKEND_SPECS)
+def test_invariants_hold_on_every_backend(backend):
+    """Site-permutation (bit-identical), taxon-permutation and
+    pattern-compression (round-off) invariances on each backend."""
+    sequences, rng = _fixture(20)
+    assert site_permutation_invariance(
+        sequences, MODEL, UniformRate(), rng, backend=backend
+    ) == 0.0
+    assert taxon_permutation_invariance(
+        sequences, MODEL, GammaRates(0.5, 2), rng, backend=backend
+    ) < 1e-12
+    assert pattern_compression_invariance(
+        sequences, MODEL, UniformRate(), rng, backend=backend
+    ) < 1e-12
+
+
+@pytest.mark.parametrize("backend", BACKEND_SPECS)
+def test_rerooting_invariance_every_backend(backend):
+    from repro.phylo import Alignment, create_engine
+
+    sequences, rng = _fixture(21)
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = create_engine(
+        patterns, MODEL, GammaRates(0.7, 4), tree, backend=backend
+    )
+    try:
+        assert rerooting_invariance(engine) < 1e-12
+    finally:
+        engine.detach()
+
+
+@pytest.mark.parametrize("backend", BACKEND_SPECS)
+def test_spr_roundtrip_bit_identical_every_backend(backend):
+    """The bit-for-bit SPR round-trip contract (cluster resume relies on
+    it) must survive striped reduction too: for a fixed stripe count the
+    recomputed CLVs take the identical kernel path."""
+    from repro.phylo import Alignment, create_engine
+
+    sequences, rng = _fixture(22)
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = create_engine(patterns, MODEL, None, tree, backend=backend)
+    try:
+        lnl_before, lnl_moved = spr_roundtrip_invariance(engine, rng)
+        assert np.isfinite(lnl_moved)
+    finally:
+        engine.detach()
+
+
 def test_per_site_rate_models_rejected_where_unsound():
     """Permuting taxa / dropping compression invalidates a CAT model's
     per-pattern category map, so those checks must refuse it."""
