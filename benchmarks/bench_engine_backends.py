@@ -136,12 +136,9 @@ def run_benchmark(write: bool = True) -> dict:
         },
     }
     if write:
-        committed = (
-            json.loads(RESULT_PATH.read_text())
-            if RESULT_PATH.is_file() else {}
-        )
-        committed["backend_scaling"] = report
-        RESULT_PATH.write_text(json.dumps(committed, indent=2) + "\n")
+        from repro.harness.report import merge_bench_section
+
+        merge_bench_section(RESULT_PATH, "backend_scaling", report)
     return report
 
 

@@ -194,12 +194,10 @@ def run_benchmark(write: bool = True, include_context: bool = True) -> dict:
     if write:
         # Merge: other sections (e.g. backend_scaling from
         # bench_engine_backends.py) live in the same file.
-        committed = (
-            json.loads(RESULT_PATH.read_text())
-            if RESULT_PATH.is_file() else {}
-        )
-        committed.update(report)
-        RESULT_PATH.write_text(json.dumps(committed, indent=2) + "\n")
+        from repro.harness.report import merge_bench_section
+
+        for section, payload in report.items():
+            merge_bench_section(RESULT_PATH, section, payload)
     return report
 
 

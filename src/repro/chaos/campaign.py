@@ -1,0 +1,388 @@
+"""K-seed chaos campaigns against fault-free baselines.
+
+A campaign runs the *same* small inference workload once cleanly and
+then ``n_seeds`` times under seeded :class:`~repro.chaos.plan.FaultPlan`
+adversaries, classifying every run against the baseline (see
+:mod:`repro.chaos.report`).  The contract it enforces is binary: a run
+either completes with a log likelihood bit-identical to the fault-free
+baseline (or loudly degraded within tolerance), or it fails with a
+typed error.  ``silent_corruption`` — completing with a different
+answer and reporting nothing — is the one class that fails CI.
+
+Two campaign flavours:
+
+* :func:`run_engine_campaign` — in-process, engine-layer faults
+  (CLV poison, forced underflow, P-matrix corruption, stripe raise)
+  against one kernel backend.
+* :func:`run_cluster_campaign` — full journalled master-worker runs
+  with process faults (worker crash/hang, torn journal and checkpoint
+  writes, transient append errors), including crash-resume loops.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from ..cluster.checkpoint import JournalWriteError, atomic_write, replay
+from ..cluster.jobs import JobSpec
+from ..cluster.queue import ClusterConfig, TaskExecutionError
+from ..cluster.runner import resume_job, run_job
+from ..phylo.engine.protocol import EngineNumericalError
+from ..phylo.inference import infer_tree
+from ..phylo.search import SearchConfig
+from ..phylo.simulate import synthetic_dataset
+from .injector import InjectedCrash, inject
+from .plan import FaultPlan, default_cluster_plan, default_engine_plan
+from .report import (
+    SILENT_CORRUPTION,
+    SURVIVED_DEGRADED,
+    SURVIVED_IDENTICAL,
+    TYPED_FAILURE,
+    UNTYPED_FAILURE,
+    ChaosRunResult,
+    ChaosSurvivalReport,
+)
+
+__all__ = [
+    "CAMPAIGN_WORKLOAD",
+    "campaign_patterns",
+    "campaign_search_config",
+    "run_engine_campaign",
+    "run_cluster_campaign",
+    "journal_payload_digest",
+]
+
+#: The shared campaign workload: small enough that a 25-seed sweep over
+#: three backends stays in CI budget, large enough that a search visits
+#: every instrumented site many times.
+CAMPAIGN_WORKLOAD = {"n_taxa": 8, "n_sites": 300, "seed": 11}
+
+#: Inference seed for the engine campaign (all chaos seeds rerun the
+#: *same* search so the baseline comparison is bit-for-bit meaningful).
+ENGINE_INFER_SEED = 3
+
+#: A degraded run fell back to the reference backend mid-flight; its
+#: answer may differ from the original backend's in the last bits but
+#: must agree to this relative tolerance.
+DEGRADED_REL_TOL = 1e-6
+
+#: Typed errors a chaos run is allowed to die with (the loud-failure
+#: contract of DESIGN.md §11); anything else is ``untyped_failure``.
+TYPED_ERRORS = (
+    EngineNumericalError,
+    TaskExecutionError,
+    JournalWriteError,
+    InjectedCrash,
+)
+
+
+def campaign_patterns():
+    """The compressed campaign alignment (~30 patterns)."""
+    return synthetic_dataset(
+        n_taxa=CAMPAIGN_WORKLOAD["n_taxa"],
+        n_sites=CAMPAIGN_WORKLOAD["n_sites"],
+        seed=CAMPAIGN_WORKLOAD["seed"],
+    ).compress()
+
+
+def campaign_search_config() -> SearchConfig:
+    """A truncated hill climb: full code paths, small constant factors."""
+    return SearchConfig(
+        initial_radius=2,
+        max_radius=3,
+        max_rounds=3,
+        smoothing_passes=1,
+        final_smoothing_passes=2,
+        epsilon=0.02,
+        local_branch_iterations=6,
+    )
+
+
+class _CounterCollector:
+    """Minimal tracer harvesting ``engine.perf_counters`` (no-op hooks)."""
+
+    def __init__(self):
+        self._sources = []
+
+    def add_counter_source(self, source) -> None:
+        self._sources.append(source)
+
+    def perf_counters(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for source in self._sources:
+            merged.update(source())
+        return merged
+
+    def push_context(self, name):
+        return None
+
+    def __getattr__(self, name):
+        return lambda *args, **kwargs: None
+
+
+# -- engine campaign ----------------------------------------------------------
+
+
+def _engine_once(patterns, backend: Optional[str]
+                 ) -> Tuple[float, Dict[str, int]]:
+    """One full inference; returns (lnL, engine perf counters)."""
+    collector = _CounterCollector()
+    result = infer_tree(
+        patterns,
+        config=campaign_search_config(),
+        seed=ENGINE_INFER_SEED,
+        tracer=collector,
+        backend=backend,
+    )
+    return result.log_likelihood, collector.perf_counters()
+
+
+def _engine_chaos_run(patterns, backend: Optional[str], plan: FaultPlan,
+                      baseline_lnl: float) -> ChaosRunResult:
+    fired: Dict[str, int] = {}
+    try:
+        with inject(plan) as injector:
+            try:
+                lnl, counters = _engine_once(patterns, backend)
+            finally:
+                fired = dict(injector.fired)
+        degraded = int(counters.get("degraded", 0))
+        if degraded == 0 and lnl == baseline_lnl:
+            classification = SURVIVED_IDENTICAL
+        elif degraded > 0 and abs(lnl - baseline_lnl) <= (
+            DEGRADED_REL_TOL * abs(baseline_lnl)
+        ):
+            classification = SURVIVED_DEGRADED
+        else:
+            classification = SILENT_CORRUPTION
+        return ChaosRunResult(
+            seed=plan.seed,
+            classification=classification,
+            log_likelihood=lnl,
+            baseline_log_likelihood=baseline_lnl,
+            fired=fired,
+            degraded=degraded,
+        )
+    except TYPED_ERRORS as exc:
+        return ChaosRunResult(
+            seed=plan.seed, classification=TYPED_FAILURE,
+            baseline_log_likelihood=baseline_lnl, fired=fired,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    except Exception as exc:  # noqa: BLE001 — the untyped-failure gate
+        return ChaosRunResult(
+            seed=plan.seed, classification=UNTYPED_FAILURE,
+            baseline_log_likelihood=baseline_lnl, fired=fired,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def run_engine_campaign(
+    n_seeds: int = 25,
+    backend: Optional[str] = None,
+    sites: Optional[Tuple[str, ...]] = None,
+    start_seed: int = 0,
+    patterns=None,
+) -> ChaosSurvivalReport:
+    """Sweep ``n_seeds`` engine-fault adversaries against one backend.
+
+    Every chaos seed reruns the identical search under
+    :func:`~repro.chaos.plan.default_engine_plan`; ``sites`` restricts
+    the adversary (e.g. to backend-neutral sites for cross-backend
+    classification comparisons).
+    """
+    if patterns is None:
+        patterns = campaign_patterns()
+    baseline_lnl, _ = _engine_once(patterns, backend)
+    report = ChaosSurvivalReport(label=f"engine:{backend or 'default'}")
+    for seed in range(start_seed, start_seed + n_seeds):
+        plan = default_engine_plan(seed, sites=sites)
+        report.add(_engine_chaos_run(patterns, backend, plan, baseline_lnl))
+    return report
+
+
+# -- cluster campaign ---------------------------------------------------------
+
+
+def _cluster_spec() -> JobSpec:
+    return JobSpec(
+        n_inferences=1, n_bootstraps=4, seed=9, batch_size=2,
+        config=campaign_search_config(),
+    )
+
+
+def _cluster_config(n_workers: int) -> ClusterConfig:
+    """Small timeouts so injected hangs cost ~1 s, not the defaults."""
+    return ClusterConfig(
+        n_workers=n_workers,
+        task_timeout_s=60.0,
+        max_retries=2,
+        retry_backoff_s=0.01,
+        retry_backoff_cap_s=0.1,
+        heartbeat_interval_s=0.05,
+        heartbeat_timeout_s=1.5,
+    )
+
+
+def _make_clock():
+    """A deterministic journal clock: 1.0, 2.0, 3.0, ..."""
+    state = {"t": 0}
+
+    def clock() -> float:
+        state["t"] += 1
+        return float(state["t"])
+
+    return clock
+
+
+def journal_payload_digest(path: str) -> str:
+    """Canonical digest of a journal's replicate payloads.
+
+    Replays the journal (so torn/corrupt records are already filtered
+    out) and hashes the ``(kind, replicate) -> payload`` map in sorted
+    order — independent of arrival order, retries, and resume
+    boundaries.  Two runs of the same job spec must digest identically.
+    """
+    state = replay(path)
+    canonical = json.dumps(
+        [
+            [kind, replicate, state.payloads[(kind, replicate)]]
+            for kind, replicate in sorted(state.payloads)
+        ],
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _cluster_chaos_run(patterns, plan: FaultPlan, n_workers: int,
+                       rundir: str, baseline_lnl: float,
+                       baseline_digest: str,
+                       max_resumes: int) -> ChaosRunResult:
+    os.makedirs(rundir, exist_ok=True)
+    journal_path = os.path.join(rundir, "journal.jsonl")
+    best_path = os.path.join(rundir, "best.tree")
+    cfg = _cluster_config(n_workers)
+    clock = _make_clock()
+    resumes = 0
+    fired: Dict[str, int] = {}
+    try:
+        with inject(plan) as injector:
+            try:
+                analysis = None
+                while analysis is None:
+                    try:
+                        if not os.path.exists(journal_path):
+                            analysis = run_job(
+                                _cluster_spec(), patterns,
+                                journal_path=journal_path, cluster=cfg,
+                                clock=clock,
+                            )
+                        else:
+                            resumes += 1
+                            analysis = resume_job(
+                                journal_path, patterns, cluster=cfg,
+                                clock=clock,
+                            )
+                    except InjectedCrash:
+                        if resumes >= max_resumes:
+                            raise
+                # Post-run checkpoint: the atomic best-tree write is
+                # itself a fault site (cluster.checkpoint_torn); a torn
+                # attempt must leave the target intact, and the bounded
+                # retry must land the full content.
+                attempt = 0
+                while True:
+                    try:
+                        atomic_write(best_path,
+                                     analysis.best.newick + "\n")
+                        break
+                    except InjectedCrash:
+                        attempt += 1
+                        if attempt > 3:
+                            raise
+            finally:
+                fired = dict(injector.fired)
+        lnl = analysis.best.log_likelihood
+        digest = journal_payload_digest(journal_path)
+        with open(best_path) as fh:
+            checkpoint_ok = fh.read() == analysis.best.newick + "\n"
+        state = replay(journal_path)
+        if state.worker_deaths:
+            fired["observed.worker_deaths"] = len(state.worker_deaths)
+        if state.retries:
+            fired["observed.retries"] = len(state.retries)
+        identical = (
+            lnl == baseline_lnl
+            and digest == baseline_digest
+            and checkpoint_ok
+        )
+        return ChaosRunResult(
+            seed=plan.seed,
+            classification=SURVIVED_IDENTICAL if identical
+            else SILENT_CORRUPTION,
+            log_likelihood=lnl,
+            baseline_log_likelihood=baseline_lnl,
+            fired=fired,
+            resumes=resumes,
+        )
+    except TYPED_ERRORS as exc:
+        return ChaosRunResult(
+            seed=plan.seed, classification=TYPED_FAILURE,
+            baseline_log_likelihood=baseline_lnl, fired=fired,
+            error=f"{type(exc).__name__}: {exc}", resumes=resumes,
+        )
+    except Exception as exc:  # noqa: BLE001 — the untyped-failure gate
+        return ChaosRunResult(
+            seed=plan.seed, classification=UNTYPED_FAILURE,
+            baseline_log_likelihood=baseline_lnl, fired=fired,
+            error=f"{type(exc).__name__}: {exc}", resumes=resumes,
+        )
+
+
+def run_cluster_campaign(
+    n_seeds: int = 25,
+    n_workers: int = 2,
+    workdir: Optional[str] = None,
+    sites: Optional[Tuple[str, ...]] = None,
+    start_seed: int = 0,
+    patterns=None,
+    max_resumes: int = 4,
+) -> ChaosSurvivalReport:
+    """Sweep ``n_seeds`` cluster-fault adversaries over journalled runs.
+
+    Each seed executes the full job (1 inference + 4 bootstraps) under
+    :func:`~repro.chaos.plan.default_cluster_plan`, resuming from the
+    journal after every injected master crash (torn journal append,
+    torn checkpoint).  Survival requires the best log likelihood *and*
+    the replayed payload digest to match the fault-free baseline
+    exactly — worker count, retries, and resume boundaries must all be
+    invisible in the answer.
+    """
+    if patterns is None:
+        patterns = campaign_patterns()
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    baseline_dir = os.path.join(workdir, "baseline")
+    os.makedirs(baseline_dir, exist_ok=True)
+    baseline_journal = os.path.join(baseline_dir, "journal.jsonl")
+    baseline = run_job(
+        _cluster_spec(), patterns, journal_path=baseline_journal,
+        cluster=_cluster_config(n_workers), clock=_make_clock(),
+    )
+    baseline_lnl = baseline.best.log_likelihood
+    baseline_digest = journal_payload_digest(baseline_journal)
+    report = ChaosSurvivalReport(label=f"cluster:{n_workers}w")
+    for seed in range(start_seed, start_seed + n_seeds):
+        plan = default_cluster_plan(seed, sites=sites)
+        report.add(
+            _cluster_chaos_run(
+                patterns, plan, n_workers,
+                os.path.join(workdir, f"seed{seed:03d}"),
+                baseline_lnl, baseline_digest, max_resumes,
+            )
+        )
+    return report

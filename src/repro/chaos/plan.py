@@ -1,0 +1,238 @@
+"""Declarative fault plans: the *what* and *when* of chaos.
+
+A :class:`FaultPlan` is pure data — a seed plus one :class:`FaultSpec`
+per injection site — and is JSON round-trippable, so a chaos campaign
+can journal the exact adversary it ran against.  The *decision* logic
+(deterministic probability draws, trigger budgets) lives in
+:mod:`repro.chaos.injector`; this module only names the sites and the
+knobs.
+
+Fault-site taxonomy (see DESIGN.md §11):
+
+===========================  ====================================================
+site                         meaning
+===========================  ====================================================
+``engine.clv_poison``        overwrite a stripe of a freshly combined CLV with
+                             NaN or Inf before the underflow-rescaling check
+``engine.underflow``         force eligible CLV rows below the underflow
+                             threshold by an exact power-of-two factor (and
+                             pre-decrement their scale counts) so the rescaling
+                             path must restore them bit-for-bit
+``engine.pmat_corrupt``      overwrite a cached P-matrix stack with NaN in
+                             place (the corruption *persists* until the cache
+                             is invalidated)
+``backend.stripe_raise``     one partitioned-backend stripe task raises
+                             mid-reduction
+``cluster.worker_crash_ack`` worker calls ``os._exit`` after streaming every
+                             replicate but before the task-finished ack
+``cluster.worker_hang``      worker stops heartbeating and sleeps forever
+``cluster.journal_torn``     journal append writes a truncated record, then
+                             the writing process dies (typed
+                             :class:`~repro.chaos.injector.InjectedCrash`)
+``cluster.journal_oserror``  transient ``OSError`` on journal append
+``cluster.checkpoint_torn``  atomic checkpoint write dies after writing part
+                             of the *temp* file (the target must stay intact)
+===========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "ENGINE_CLV_POISON",
+    "ENGINE_UNDERFLOW",
+    "ENGINE_PMAT_CORRUPT",
+    "BACKEND_STRIPE_RAISE",
+    "CLUSTER_WORKER_CRASH_ACK",
+    "CLUSTER_WORKER_HANG",
+    "CLUSTER_JOURNAL_TORN",
+    "CLUSTER_JOURNAL_OSERROR",
+    "CLUSTER_CHECKPOINT_TORN",
+    "ENGINE_SITES",
+    "CLUSTER_SITES",
+    "ALL_SITES",
+    "FaultSpec",
+    "FaultPlan",
+    "default_engine_plan",
+    "default_cluster_plan",
+]
+
+# -- the site taxonomy --------------------------------------------------------
+
+ENGINE_CLV_POISON = "engine.clv_poison"
+ENGINE_UNDERFLOW = "engine.underflow"
+ENGINE_PMAT_CORRUPT = "engine.pmat_corrupt"
+BACKEND_STRIPE_RAISE = "backend.stripe_raise"
+CLUSTER_WORKER_CRASH_ACK = "cluster.worker_crash_ack"
+CLUSTER_WORKER_HANG = "cluster.worker_hang"
+CLUSTER_JOURNAL_TORN = "cluster.journal_torn"
+CLUSTER_JOURNAL_OSERROR = "cluster.journal_oserror"
+CLUSTER_CHECKPOINT_TORN = "cluster.checkpoint_torn"
+
+#: Sites visited inside one likelihood engine (any backend).
+ENGINE_SITES: Tuple[str, ...] = (
+    ENGINE_CLV_POISON,
+    ENGINE_UNDERFLOW,
+    ENGINE_PMAT_CORRUPT,
+    BACKEND_STRIPE_RAISE,
+)
+
+#: Sites visited by the cluster master loop and its workers.
+CLUSTER_SITES: Tuple[str, ...] = (
+    CLUSTER_WORKER_CRASH_ACK,
+    CLUSTER_WORKER_HANG,
+    CLUSTER_JOURNAL_TORN,
+    CLUSTER_JOURNAL_OSERROR,
+    CLUSTER_CHECKPOINT_TORN,
+)
+
+ALL_SITES: Tuple[str, ...] = ENGINE_SITES + CLUSTER_SITES
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's injection policy.
+
+    ``trigger_at`` (0-based visit indices) takes precedence over
+    ``probability`` when non-empty; either way a spec never fires more
+    than ``max_triggers`` times per process.  ``value`` carries a
+    site-specific argument (``engine.clv_poison``: ``"nan"`` or
+    ``"inf"``).
+    """
+
+    site: str
+    probability: float = 0.0
+    max_triggers: int = 1
+    trigger_at: Tuple[int, ...] = ()
+    value: Optional[str] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1]: {self}")
+        if self.max_triggers < 1:
+            raise ValueError(f"max_triggers must be >= 1: {self}")
+
+    def to_json(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["trigger_at"] = list(self.trigger_at)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "FaultSpec":
+        data = dict(payload)
+        data["trigger_at"] = tuple(data.get("trigger_at") or ())
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded adversary: which sites fire, how often, and when.
+
+    The plan is inert data; activate it with
+    :func:`repro.chaos.injector.inject`.  Two activations of the same
+    plan over the same (deterministic) program produce the same
+    injection schedule — the determinism contract every chaos test and
+    campaign relies on.
+    """
+
+    seed: int
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        sites = [s.site for s in self.specs]
+        if len(set(sites)) != len(sites):
+            raise ValueError(f"duplicate sites in plan: {sites}")
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        return tuple(s.site for s in self.specs)
+
+    def spec_for(self, site: str) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.site == site:
+                return spec
+        return None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "specs": [s.to_json() for s in self.specs],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "FaultPlan":
+        return cls(
+            seed=int(payload["seed"]),
+            specs=tuple(
+                FaultSpec.from_json(s) for s in payload.get("specs", [])
+            ),
+        )
+
+
+def default_engine_plan(
+    seed: int, sites: Optional[Tuple[str, ...]] = None
+) -> FaultPlan:
+    """The standard engine-layer adversary for one campaign seed.
+
+    Probabilities are tuned for the campaign's small workloads (tens of
+    ``newview`` visits): most seeds draw at least one fault, and
+    ``max_triggers`` bounds the damage so the recompute ladder — not
+    retry exhaustion — is what gets exercised.  The poison value
+    alternates NaN/Inf by seed so both non-finite classes are covered
+    across a campaign.
+    """
+    sites = ENGINE_SITES if sites is None else sites
+    catalogue = {
+        ENGINE_CLV_POISON: FaultSpec(
+            ENGINE_CLV_POISON, probability=0.05, max_triggers=2,
+            value="inf" if seed % 2 else "nan",
+        ),
+        ENGINE_UNDERFLOW: FaultSpec(
+            ENGINE_UNDERFLOW, probability=0.08, max_triggers=2,
+        ),
+        ENGINE_PMAT_CORRUPT: FaultSpec(
+            ENGINE_PMAT_CORRUPT, probability=0.02, max_triggers=1,
+        ),
+        BACKEND_STRIPE_RAISE: FaultSpec(
+            BACKEND_STRIPE_RAISE, probability=0.01, max_triggers=1,
+        ),
+    }
+    return FaultPlan(
+        seed=seed, specs=tuple(catalogue[s] for s in sites)
+    )
+
+
+def default_cluster_plan(
+    seed: int, sites: Optional[Tuple[str, ...]] = None
+) -> FaultPlan:
+    """The standard cluster-layer adversary for one campaign seed.
+
+    Process faults key their draws on ``task_id:attempt``, so the
+    schedule is identical regardless of worker count or dispatch order.
+    Probabilities are per *task attempt* (a campaign job has ~5-7), so
+    roughly every other seed loses a worker and journal faults stay
+    rare enough that retry budgets are exercised but not exhausted.
+    """
+    sites = CLUSTER_SITES if sites is None else sites
+    catalogue = {
+        CLUSTER_WORKER_CRASH_ACK: FaultSpec(
+            CLUSTER_WORKER_CRASH_ACK, probability=0.10, max_triggers=1,
+        ),
+        CLUSTER_WORKER_HANG: FaultSpec(
+            CLUSTER_WORKER_HANG, probability=0.06, max_triggers=1,
+        ),
+        CLUSTER_JOURNAL_TORN: FaultSpec(
+            CLUSTER_JOURNAL_TORN, probability=0.04, max_triggers=1,
+        ),
+        CLUSTER_JOURNAL_OSERROR: FaultSpec(
+            CLUSTER_JOURNAL_OSERROR, probability=0.04, max_triggers=2,
+        ),
+        CLUSTER_CHECKPOINT_TORN: FaultSpec(
+            CLUSTER_CHECKPOINT_TORN, probability=0.05, max_triggers=1,
+        ),
+    }
+    return FaultPlan(
+        seed=seed, specs=tuple(catalogue[s] for s in sites)
+    )

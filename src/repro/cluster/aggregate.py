@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..phylo.inference import AnalysisResult, InferenceResult, assemble_analysis
 from ..phylo.tree import Tree
+from .jobs import validate_payload
 
 __all__ = [
     "StreamingAggregator",
@@ -80,13 +81,32 @@ class StreamingAggregator:
     # -- ingestion ----------------------------------------------------------
 
     def ingest(self, payload: dict) -> bool:
-        """Fold one replicate result in; returns False for duplicates."""
+        """Fold one replicate result in; returns False for duplicates.
+
+        Payloads are shape-checked first (they crossed a process
+        boundary and possibly a disk round trip); a malformed payload —
+        including a Newick string that fails to parse — raises
+        ``ValueError`` with context instead of corrupting the running
+        consensus counts.  Journal replay filters such records out
+        before they reach here (:func:`repro.cluster.checkpoint.replay`
+        counts them as ``corrupt_records``).
+        """
+        try:
+            validate_payload(payload)
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"malformed result payload: {exc}") from exc
         replicate = payload["replicate"]
         if payload.get("is_bootstrap"):
             if replicate in self._bootstraps:
                 return False
+            try:
+                tree = Tree.from_newick(payload["newick"])
+            except Exception as exc:
+                raise ValueError(
+                    f"malformed result payload: unparseable newick for "
+                    f"bootstrap replicate {replicate}: {exc}"
+                ) from exc
             self._bootstraps[replicate] = payload
-            tree = Tree.from_newick(payload["newick"])
             self._split_counts.update(tree.bipartitions())
         else:
             if replicate in self._inferences:

@@ -8,6 +8,25 @@ uninterrupted run *bit-identically*: floats survive the JSON round trip
 exactly (``repr`` shortest round-trip), and Newick strings are stored
 verbatim.
 
+Durability (hardened by the chaos campaign, DESIGN.md §11):
+
+* Every record carries a CRC32 of its own serialization (the ``crc``
+  field, computed over the record *without* it).  :func:`replay` skips
+  any record that fails to parse, fails its CRC, or carries a malformed
+  result payload — anywhere in the file, not just a torn tail — counting
+  it in :attr:`JournalState.corrupt_records` with a warning, so resume
+  recomputes the lost work instead of trusting a damaged line.
+* Opening a journal for append first repairs a torn tail: if the file
+  does not end in a newline (the writer died mid-``write``), one is
+  added so the torn record stays an isolated corrupt line instead of
+  splicing itself onto the first record of the resumed run.
+* Appends retry transient ``OSError`` a bounded number of times before
+  surfacing the typed :class:`JournalWriteError`.
+* :func:`atomic_write` (temp file in the target directory + flush +
+  ``fsync`` + ``os.replace``) backs every whole-file artifact (best
+  trees, compacted journals, benchmark sections): a crash mid-write
+  leaves the previous version intact.
+
 Event vocabulary::
 
     run_started     {"spec": {...}}
@@ -15,7 +34,8 @@ Event vocabulary::
     task_started    {"task", "attempt", "worker"}
     replicate_done  {"payload": {...}}     # trees, lnl, perf counters
     task_finished   {"task", "attempt", "worker"}
-    task_failed     {"task", "attempt", "error", "will_retry"}
+    task_failed     {"task", "attempt", "attempts", "backoff_ms",
+                     "error", "will_retry"}
     worker_dead     {"worker", "task", "reason"}
     run_finished    {"n_results", "phases", "perf"}
 """
@@ -23,11 +43,70 @@ Event vocabulary::
 from __future__ import annotations
 
 import json
+import logging
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
+from zlib import crc32
 
-__all__ = ["RunJournal", "JournalState", "replay"]
+from ..chaos import injector as _chaos
+from ..chaos.plan import (
+    CLUSTER_CHECKPOINT_TORN,
+    CLUSTER_JOURNAL_OSERROR,
+    CLUSTER_JOURNAL_TORN,
+)
+
+__all__ = [
+    "JournalWriteError",
+    "RunJournal",
+    "JournalState",
+    "atomic_write",
+    "compact_journal",
+    "replay",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Bounded retry budget for transient append failures.
+APPEND_RETRIES = 3
+APPEND_RETRY_SLEEP_S = 0.01
+
+
+class JournalWriteError(RuntimeError):
+    """A journal append failed even after its bounded retries."""
+
+
+def encode_record(record: dict) -> str:
+    """One journal line: the record plus a CRC32 over its serialization.
+
+    The CRC is appended as the *last* key, so verification re-serializes
+    the parsed record minus ``crc`` — byte-identical to what was hashed,
+    because JSON objects round-trip in insertion order.
+    """
+    body = json.dumps(record)
+    return json.dumps({**record, "crc": crc32(body.encode())})
+
+
+def decode_record(line: str) -> dict:
+    """Parse and CRC-verify one journal line.
+
+    Raises ``ValueError`` on malformed JSON, a non-object record, or a
+    CRC mismatch.  Records without a ``crc`` field (journals written
+    before the CRC hardening) are accepted as-is.
+    """
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        raise ValueError(f"journal record is not an object: {line[:80]!r}")
+    if "crc" in record:
+        crc = record.pop("crc")
+        body = json.dumps(record)
+        if crc32(body.encode()) != crc:
+            raise ValueError(
+                f"journal record failed its CRC32 check: {line[:80]!r}"
+            )
+    return record
 
 
 class RunJournal:
@@ -36,22 +115,62 @@ class RunJournal:
     The in-memory mode backs ephemeral runs (the
     :func:`repro.phylo.parallel.parallel_analysis` facade) that want
     retry/heartbeat semantics without a durable artifact.
+
+    ``clock`` (default ``time.time``) stamps every record; chaos
+    campaigns inject a deterministic counter here so two runs of the
+    same plan produce byte-identical journals.
     """
 
-    def __init__(self, path: Optional[str] = None, append: bool = False):
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        append: bool = False,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         self.path = path
         self.events: List[dict] = []
+        self._clock = clock if clock is not None else time.time
         self._fh = None
         if path is not None:
+            if append:
+                _repair_torn_tail(path)
             self._fh = open(path, "a" if append else "w")
 
     def append(self, event: str, **fields) -> dict:
-        record = {"event": event, "time": time.time(), **fields}
+        record = {"event": event, "time": self._clock(), **fields}
         self.events.append(record)
         if self._fh is not None:
-            self._fh.write(json.dumps(record) + "\n")
-            self._fh.flush()
+            self._write_line(encode_record(record) + "\n", event)
         return record
+
+    def _write_line(self, line: str, event: str) -> None:
+        if _chaos._ACTIVE is not None and _chaos.fire(
+            CLUSTER_JOURNAL_TORN, key=event
+        ):
+            # Model the writer dying mid-write(): half the line reaches
+            # the disk, then the process stops.
+            self._fh.write(line[: max(1, len(line) // 2)])
+            self._fh.flush()
+            raise _chaos.InjectedCrash(
+                f"journal append torn mid-write during {event!r}"
+            )
+        last_error: Optional[OSError] = None
+        for attempt in range(APPEND_RETRIES):
+            try:
+                if _chaos._ACTIVE is not None and _chaos.fire(
+                    CLUSTER_JOURNAL_OSERROR, key=f"{event}:{attempt}"
+                ):
+                    raise OSError(28, "injected transient write failure")
+                self._fh.write(line)
+                self._fh.flush()
+                return
+            except OSError as exc:
+                last_error = exc
+                time.sleep(APPEND_RETRY_SLEEP_S * (attempt + 1))
+        raise JournalWriteError(
+            f"journal append failed after {APPEND_RETRIES} attempts "
+            f"({event!r}): {last_error}"
+        ) from last_error
 
     def close(self) -> None:
         if self._fh is not None:
@@ -63,6 +182,65 @@ class RunJournal:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def _repair_torn_tail(path: str) -> None:
+    """Terminate a torn final line before appending to a journal.
+
+    Without this, the resumed run's first record would be appended onto
+    the torn fragment, corrupting a *good* record instead of leaving one
+    isolated bad line for :func:`replay` to skip.
+    """
+    try:
+        with open(path, "rb+") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            if size == 0:
+                return
+            fh.seek(size - 1)
+            if fh.read(1) != b"\n":
+                fh.write(b"\n")
+    except FileNotFoundError:
+        pass
+
+
+def atomic_write(path: str, text: str) -> None:
+    """Crash-safe whole-file write: temp file + ``fsync`` + ``os.replace``.
+
+    A failure at any point — including the injected
+    ``cluster.checkpoint_torn`` fault, which kills the writer after a
+    partial *temp* write — leaves the target either untouched or fully
+    replaced, never torn.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            if _chaos._ACTIVE is not None and _chaos.fire(
+                CLUSTER_CHECKPOINT_TORN, key=os.path.basename(path)
+            ):
+                fh.write(text[: len(text) // 2])
+                fh.flush()
+                # The temp file is deliberately left behind, like a real
+                # crash would; the target is untouched.
+                raise _chaos.InjectedCrash(
+                    f"checkpoint write torn mid-write: {path}"
+                )
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except _chaos.InjectedCrash:
+        raise
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass
@@ -80,6 +258,10 @@ class JournalState:
     resumes: int = 0
     finished: bool = False
     events: List[dict] = field(default_factory=list)
+    #: lines skipped by replay: torn tails, CRC failures, malformed
+    #: result payloads — each with a companion entry in ``warnings``.
+    corrupt_records: int = 0
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def done_inferences(self) -> Set[int]:
@@ -101,25 +283,43 @@ class JournalState:
                 totals[name] = totals.get(name, 0) + int(value)
         return totals
 
+    def _skip(self, line_no: int, reason: str) -> None:
+        message = f"journal line {line_no}: skipped ({reason})"
+        self.corrupt_records += 1
+        self.warnings.append(message)
+        logger.warning("%s", message)
+
 
 def replay(path: str) -> JournalState:
     """Reconstruct run state from a journal file.
 
-    Tolerates a truncated final line (the process may have died while
-    writing), which is exactly the crash case resume exists for.
+    Any unreadable record — the classic torn tail from a dying writer,
+    but also a CRC-failing or payload-malformed record *anywhere* in the
+    file — is skipped with a warning and counted, never trusted: the
+    affected replicate simply reruns on resume (idempotent by task
+    identity).
     """
+    from .jobs import validate_payload
+
     state = JournalState()
     with open(path) as fh:
-        for line in fh:
+        for line_no, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
                 continue
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn tail write from a dying process
-            state.events.append(record)
+                record = decode_record(line)
+            except ValueError as exc:
+                state._skip(line_no, str(exc))
+                continue
             event = record.get("event")
+            if event == "replicate_done":
+                try:
+                    validate_payload(record["payload"])
+                except (KeyError, ValueError) as exc:
+                    state._skip(line_no, f"bad result payload: {exc}")
+                    continue
+            state.events.append(record)
             if event == "run_started":
                 state.spec = record["spec"]
             elif event == "run_resumed":
@@ -138,4 +338,33 @@ def replay(path: str) -> JournalState:
                 state.worker_deaths.append(record)
             elif event == "run_finished":
                 state.finished = True
+    return state
+
+
+def compact_journal(path: str) -> JournalState:
+    """Rewrite a journal to its durable essence, atomically.
+
+    Keeps the run header, the first (winning) ``replicate_done`` per
+    result key, and the terminal ``run_finished`` — dropping scheduling
+    chatter, retries, and any corrupt lines.  The rewrite goes through
+    :func:`atomic_write`, so a crash mid-compaction preserves the
+    original journal.  Returns the replayed state the compaction was
+    derived from.
+    """
+    state = replay(path)
+    lines: List[str] = []
+    seen: Set[Tuple[str, int]] = set()
+    for record in state.events:
+        event = record.get("event")
+        if event == "run_started":
+            lines.append(encode_record(record))
+        elif event == "replicate_done":
+            payload = record["payload"]
+            key = (payload["kind"], payload["replicate"])
+            if key not in seen:
+                seen.add(key)
+                lines.append(encode_record(record))
+        elif event == "run_finished":
+            lines.append(encode_record(record))
+    atomic_write(path, "".join(line + "\n" for line in lines))
     return state

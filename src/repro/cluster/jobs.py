@@ -28,6 +28,7 @@ __all__ = [
     "PendingTask",
     "TaskGraph",
     "expand_job",
+    "validate_payload",
     "AGGREGATE_NODE",
 ]
 
@@ -129,6 +130,35 @@ def _batched(replicates: List[int], batch_size: int) -> Iterable[Tuple[int, ...]
         run.append(r)
     if run:
         yield tuple(run)
+
+
+def validate_payload(payload: object) -> dict:
+    """Check one ``replicate_done`` result payload's shape.
+
+    Journal replay and the streaming aggregator both consume payloads
+    that crossed a process boundary and a disk write; a corrupted or
+    truncated record can parse as JSON yet carry garbage.  Raises
+    ``ValueError`` (or ``KeyError`` for a missing field) instead of
+    letting the garbage reach consensus counting.  Returns the payload
+    for call-through convenience.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"payload is not an object: {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind is not None and kind not in ("inference", "bootstrap"):
+        raise ValueError(f"unknown payload kind: {kind!r}")
+    replicate = payload["replicate"]
+    if not isinstance(replicate, int) or isinstance(replicate, bool) \
+            or replicate < 0:
+        raise ValueError(f"bad replicate index: {replicate!r}")
+    newick = payload["newick"]
+    if not isinstance(newick, str) or not newick.rstrip().endswith(";"):
+        raise ValueError(f"malformed newick string: {newick!r:.80}")
+    lnl = payload["log_likelihood"]
+    if isinstance(lnl, bool) or not isinstance(lnl, (int, float)) \
+            or lnl != lnl or lnl in (float("inf"), float("-inf")):
+        raise ValueError(f"non-finite log likelihood: {lnl!r}")
+    return payload
 
 
 def expand_job(

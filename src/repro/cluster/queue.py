@@ -23,9 +23,12 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+from zlib import crc32
 
 import numpy as np
 
+from ..chaos import injector as _chaos
+from ..chaos.plan import CLUSTER_WORKER_CRASH_ACK, CLUSTER_WORKER_HANG
 from ..phylo.inference import default_model_for, infer_tree
 from ..phylo.models import GTR, HKY85, JC69, K80
 from ..phylo.rates import GammaRates
@@ -42,6 +45,7 @@ __all__ = [
     "TaskExecutionError",
     "WorkerPlans",
     "execute_replicate",
+    "retry_backoff",
 ]
 
 
@@ -67,8 +71,31 @@ class ClusterConfig:
     task_timeout_s: float = 300.0
     max_retries: int = 2
     retry_backoff_s: float = 0.05
+    #: Exponential backoff ceiling: retries never wait longer than this.
+    retry_backoff_cap_s: float = 2.0
+    #: Deterministic jitter fraction on top of the capped exponential
+    #: delay (0.25 = up to +25%), derived from the task id and attempt —
+    #: never ``random.random()`` — so two runs of the same plan produce
+    #: the same retry schedule.
+    retry_jitter: float = 0.25
     heartbeat_interval_s: float = 0.2
     heartbeat_timeout_s: float = 10.0
+
+
+def retry_backoff(cfg: ClusterConfig, task_id: str, attempt: int) -> float:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    The jitter decorrelates retries of different tasks (they do not all
+    hammer the queue on the same tick) while staying a pure function of
+    ``(task_id, attempt)`` — a resumed or re-run job reproduces the
+    exact same delays.
+    """
+    base = min(
+        cfg.retry_backoff_cap_s,
+        cfg.retry_backoff_s * (2 ** (attempt - 1)),
+    )
+    jitter = crc32(f"{task_id}:{attempt}".encode()) / 2**32
+    return base * (1.0 + cfg.retry_jitter * jitter)
 
 
 @dataclass(frozen=True)
@@ -211,12 +238,24 @@ def _worker_main(worker_id: int, inbox, outbox, patterns,
                 break
             task, attempt = item
             outbox.put(("started", worker_id, task.task_id, attempt))
+            # Chaos process faults are decided on (task_id, attempt) —
+            # worker-count- and dispatch-order-independent — by the
+            # injector this forked process inherited from the master.
+            chaos_key = f"{task.task_id}:{attempt}"
             try:
                 if attempt in plans.fail.get(task.task_id, ()):
                     raise RuntimeError(
                         f"injected failure ({task.task_id} attempt {attempt})"
                     )
                 if attempt in plans.hang.get(task.task_id, ()):
+                    time.sleep(3600)
+                if _chaos._ACTIVE is not None and _chaos.fire(
+                    CLUSTER_WORKER_HANG, key=chaos_key
+                ):
+                    # Hang *past the heartbeat*: stop beating first so
+                    # the master's staleness sweep, not the task
+                    # timeout, is what must catch this.
+                    stop.set()
                     time.sleep(3600)
                 crash = attempt in plans.crash.get(task.task_id, ())
                 last = len(task.replicates) - 1
@@ -230,6 +269,13 @@ def _worker_main(worker_id: int, inbox, outbox, patterns,
                         ("replicate", worker_id, task.task_id, attempt,
                          payload)
                     )
+                if _chaos._ACTIVE is not None and _chaos.fire(
+                    CLUSTER_WORKER_CRASH_ACK, key=chaos_key
+                ):
+                    # Every replicate streamed, then death before the
+                    # task-finished ack: the master must reconcile a
+                    # fully-delivered task against a dead worker.
+                    os._exit(23)
                 outbox.put(("finished", worker_id, task.task_id, attempt))
             except BaseException:
                 outbox.put(
@@ -315,14 +361,16 @@ class ClusterQueue:
             if all(key in results for key in task.keys()):
                 return  # everything streamed out before the death
             will_retry = attempt < 1 + self.cfg.max_retries
+            backoff = retry_backoff(self.cfg, task.task_id, attempt)
             self.journal.append(
                 "task_failed", task=task.task_id, attempt=attempt,
+                attempts=1 + self.cfg.max_retries,
+                backoff_ms=round(backoff * 1000.0, 3),
                 error=error.strip().splitlines()[-1] if error else "",
                 will_retry=will_retry,
             )
             if not will_retry:
                 raise TaskExecutionError(task, attempt, error)
-            backoff = self.cfg.retry_backoff_s * (2 ** (attempt - 1))
             pending.append(PendingTask(task, attempt + 1, now + backoff))
 
         for _ in range(n_workers):

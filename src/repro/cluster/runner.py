@@ -67,17 +67,20 @@ def run_job(
     journal_path: Optional[str] = None,
     cluster: Optional[ClusterConfig] = None,
     plans: Optional[WorkerPlans] = None,
+    clock=None,
 ) -> AnalysisResult:
     """Execute a job from scratch, journalling to *journal_path*.
 
     The alignment comes from *alignment* (any alignment object) or,
     when omitted, from ``spec.alignment_path``.  Results match
     :func:`repro.phylo.inference.run_full_analysis` bit for bit.
+    ``clock`` stamps journal records (chaos campaigns pass a
+    deterministic counter for byte-identical journals).
     """
     patterns = (_as_patterns(alignment) if alignment is not None
                 else _load_patterns(spec))
     cluster = _with_workers(cluster, n_workers)
-    journal = RunJournal(journal_path)
+    journal = RunJournal(journal_path, clock=clock)
     journal.append("run_started", spec=spec.to_json(),
                    n_workers=cluster.n_workers)
     queue = ClusterQueue(
@@ -98,6 +101,7 @@ def resume_job(
     n_workers: Optional[int] = None,
     cluster: Optional[ClusterConfig] = None,
     plans: Optional[WorkerPlans] = None,
+    clock=None,
 ) -> AnalysisResult:
     """Resume an interrupted run from its journal.
 
@@ -116,14 +120,14 @@ def resume_job(
         aggregator = StreamingAggregator()
         for payload in state.payloads.values():
             aggregator.ingest(payload)
-        journal = RunJournal(journal_path, append=True)
+        journal = RunJournal(journal_path, append=True, clock=clock)
         journal.append("run_resumed", remaining=0)
         return _finalize(journal, aggregator)
 
     patterns = (_as_patterns(alignment) if alignment is not None
                 else _load_patterns(spec))
     cluster = _with_workers(cluster, n_workers)
-    journal = RunJournal(journal_path, append=True)
+    journal = RunJournal(journal_path, append=True, clock=clock)
     journal.append("run_resumed", remaining=sum(t.grain for t in tasks),
                    n_workers=cluster.n_workers)
     queue = ClusterQueue(

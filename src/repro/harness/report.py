@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Iterable, List, Optional
 
 from .experiments import ExperimentResult, run_all_experiments
@@ -11,8 +13,28 @@ __all__ = [
     "render_report",
     "render_markdown",
     "render_cluster_status",
+    "merge_bench_section",
     "main",
 ]
+
+
+def merge_bench_section(path, section: str, payload: dict) -> dict:
+    """Merge one named section into a committed benchmark JSON file.
+
+    The shared writer behind every ``BENCH_*.json`` producer: reads the
+    committed document (tolerating a missing file), replaces exactly
+    ``section``, and rewrites the whole file through
+    :func:`repro.cluster.checkpoint.atomic_write` so a crash mid-write
+    can never tear a committed benchmark artifact.  Returns the merged
+    document.
+    """
+    from ..cluster.checkpoint import atomic_write
+
+    path = Path(path)
+    committed = json.loads(path.read_text()) if path.is_file() else {}
+    committed[section] = payload
+    atomic_write(str(path), json.dumps(committed, indent=2) + "\n")
+    return committed
 
 
 def _fmt(value: Optional[float]) -> str:
@@ -142,6 +164,11 @@ def render_cluster_status(journal_path: str) -> str:
         f"{len(status['worker_deaths'])} worker death(s), "
         f"{state.resumes} resume(s)"
     )
+    if state.corrupt_records:
+        lines.append(
+            f"   corrupt journal records skipped: {state.corrupt_records} "
+            f"(torn writes / CRC failures / malformed payloads)"
+        )
     if status["best"] is not None:
         lines.append(
             f"   best so far: replicate {status['best']['replicate']}, "

@@ -152,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "partial results included)")
     cstatus.add_argument("--journal", required=True)
 
+    ccompact = csub.add_parser(
+        "compact",
+        help="atomically rewrite a journal keeping only the records "
+        "resume needs (header, first result per replicate, footer)",
+    )
+    ccompact.add_argument("--journal", required=True)
+
     verify = sub.add_parser(
         "verify",
         help="differential / metamorphic / golden-corpus verification",
@@ -183,6 +190,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "partitioned, partitioned:N) or 'all' to fuzz "
                         "every registered backend (default: the "
                         "REPRO_ENGINE_BACKEND override, else einsum)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaigns (repro.chaos)",
+        description="Run K-seed chaos campaigns against fault-free "
+        "baselines. Every run must either complete bit-identical to "
+        "the baseline (or loudly degraded within tolerance) or fail "
+        "with a typed error; any silent corruption or untyped failure "
+        "exits nonzero.",
+    )
+    chaos.add_argument("--seeds", type=int, default=25,
+                       help="campaign seeds per flavour (default 25)")
+    chaos.add_argument("--mode", choices=["engine", "cluster", "both"],
+                       default="both",
+                       help="which fault layer to campaign against "
+                       "(default both)")
+    chaos.add_argument("--backend", default=None, metavar="NAME",
+                       help="kernel backend for the engine campaign, or "
+                       "'all' for einsum + reference + partitioned:2 "
+                       "(default: the REPRO_ENGINE_BACKEND override, "
+                       "else einsum)")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="cluster campaign worker processes "
+                       "(default 2)")
+    chaos.add_argument("--start-seed", type=int, default=0,
+                       help="first campaign seed (default 0)")
+    chaos.add_argument("--workdir", default=None,
+                       help="cluster campaign journal directory (default: "
+                       "a fresh temp dir)")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full JSON reports instead of "
+                       "summaries")
+    chaos.add_argument("--bench", default=None, metavar="PATH",
+                       help="merge campaign stats into this benchmark "
+                       "JSON file as the 'chaos_campaign' section "
+                       "(e.g. BENCH_engine.json)")
     return parser
 
 
@@ -305,6 +348,8 @@ def _print_analysis(analysis) -> None:
 
 
 def _write_best_tree(analysis, output: str) -> None:
+    from ..cluster.checkpoint import atomic_write
+
     out_newick = analysis.best.newick
     if analysis.bootstraps:
         from .drawing import newick_with_support
@@ -313,8 +358,9 @@ def _write_best_tree(analysis, output: str) -> None:
         out_newick = newick_with_support(
             Tree.from_newick(analysis.best.newick), analysis.supports
         )
-    with open(output, "w") as fh:
-        fh.write(out_newick + "\n")
+    # Atomic (temp + fsync + rename): a crash mid-write can never leave
+    # a torn best-tree file where a previous good one stood.
+    atomic_write(output, out_newick + "\n")
     print(f"wrote {output}")
 
 
@@ -325,6 +371,16 @@ def _cmd_cluster(args) -> int:
         from ..harness.report import render_cluster_status
 
         print(render_cluster_status(args.journal))
+        return 0
+
+    if args.cluster_command == "compact":
+        from ..cluster.checkpoint import compact_journal
+
+        state = compact_journal(args.journal)
+        done = len(state.payloads)
+        print(f"compacted {args.journal}: {done} replicate record(s) kept"
+              + (f", {state.corrupt_records} corrupt record(s) dropped"
+                 if state.corrupt_records else ""))
         return 0
 
     if args.cluster_command == "run":
@@ -406,6 +462,54 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from ..chaos import run_cluster_campaign, run_engine_campaign
+
+    reports = []
+    if args.mode in ("engine", "both"):
+        if args.backend == "all":
+            backends = ["einsum", "reference", "partitioned:2"]
+        else:
+            backends = [args.backend]  # None = session default
+        for backend in backends:
+            reports.append(run_engine_campaign(
+                n_seeds=args.seeds, backend=backend,
+                start_seed=args.start_seed,
+            ))
+    if args.mode in ("cluster", "both"):
+        reports.append(run_cluster_campaign(
+            n_seeds=args.seeds, n_workers=args.workers,
+            workdir=args.workdir, start_seed=args.start_seed,
+        ))
+
+    for report in reports:
+        if args.json:
+            print(report.to_json_text())
+        else:
+            print(report.summary())
+
+    if args.bench:
+        from ..harness.report import merge_bench_section
+
+        section = {
+            "n_seeds": args.seeds,
+            "start_seed": args.start_seed,
+            "campaigns": {
+                report.label: {
+                    "n_runs": len(report.runs),
+                    "counts": report.counts,
+                    "faults_fired": report.faults_fired,
+                    "ok": report.ok,
+                }
+                for report in reports
+            },
+        }
+        merge_bench_section(args.bench, "chaos_campaign", section)
+        print(f"merged chaos_campaign section into {args.bench}")
+
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -415,6 +519,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "cluster": _cmd_cluster,
         "verify": _cmd_verify,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

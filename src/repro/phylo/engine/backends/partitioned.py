@@ -38,8 +38,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ....chaos import injector as _chaos
+from ....chaos.plan import BACKEND_STRIPE_RAISE
 from ... import kernels
-from ..protocol import KernelBackend, register_backend
+from ..protocol import KernelBackend, KernelExecutionError, register_backend
 
 __all__ = ["PartitionedBackend", "default_thread_count"]
 
@@ -103,17 +105,52 @@ class PartitionedBackend(KernelBackend):
         """Run ``task(start, stop)`` over every stripe, returning results
         in stripe order.  A single stripe runs inline (no pool handoff);
         otherwise the lazily-built pool executes the stripes and
-        ``Executor.map`` preserves submission order for the reduction."""
+        ``Executor.map`` preserves submission order for the reduction.
+
+        Any stripe failure — organic or a ``backend.stripe_raise``
+        chaos injection — surfaces as the typed
+        :class:`KernelExecutionError` so the engine's degradation
+        ladder can treat it like a detected numerical fault.
+        """
         self.stripe_tasks += len(bounds)
-        if len(bounds) == 1:
-            start, stop = bounds[0]
-            return [task(start, stop)]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.n_threads,
-                thread_name_prefix="repro-stripe",
+        # Decide the injected stripe failure once per kernel call (one
+        # visit regardless of stripe count); the *middle* stripe raises,
+        # modelling a worker dying mid-reduction with earlier partials
+        # already produced.
+        raise_at = -1
+        if _chaos._ACTIVE is not None and _chaos.fire(BACKEND_STRIPE_RAISE):
+            raise_at = len(bounds) // 2
+
+        def stripe(index, start, stop):
+            if index == raise_at:
+                raise _chaos.InjectedFault(
+                    f"injected stripe failure at stripe {index} "
+                    f"[{start}:{stop}]"
+                )
+            return task(start, stop)
+
+        try:
+            if len(bounds) == 1:
+                start, stop = bounds[0]
+                return [stripe(0, start, stop)]
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_threads,
+                    thread_name_prefix="repro-stripe",
+                )
+            return list(
+                self._pool.map(
+                    lambda ib: stripe(ib[0], *ib[1]), enumerate(bounds)
+                )
             )
-        return list(self._pool.map(lambda b: task(*b), bounds))
+        except (FloatingPointError, KernelExecutionError):
+            # scale_clv's non-finite guard must keep its type: the
+            # engine distinguishes nothing, but tests and reports do.
+            raise
+        except Exception as exc:
+            raise KernelExecutionError(
+                f"stripe task failed on backend {self.name!r}: {exc}"
+            ) from exc
 
     # -- newview -------------------------------------------------------------
 

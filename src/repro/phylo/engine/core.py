@@ -39,13 +39,20 @@ from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ...chaos import injector as _chaos
+from ...chaos import plan as _chaos_plan
 from .. import kernels
 from ..alignment import PatternAlignment
 from ..arena import ClvArena, ClvSlot
 from ..models import PMatrixCache, SubstitutionModel
 from ..rates import RateModel, UniformRate
 from ..tree import Branch, Node, Tree, MAX_BRANCH_LENGTH, MIN_BRANCH_LENGTH
-from .protocol import KernelBackend, resolve_backend
+from .protocol import (
+    EngineNumericalError,
+    KernelBackend,
+    KernelExecutionError,
+    resolve_backend,
+)
 
 __all__ = ["LikelihoodEngine", "NewviewCase", "estimate_site_rates"]
 
@@ -93,6 +100,17 @@ class LikelihoodEngine:
         ``REPRO_ENGINE_BACKEND`` environment override (default
         ``einsum``).  Prefer :func:`repro.phylo.engine.create_engine`
         for construction.
+    degrade_after:
+        Degradation ladder budget: a detected numerical fault
+        (``FloatingPointError`` from the kernels' non-finite guards, or
+        a :class:`KernelExecutionError` from the backend) first triggers
+        cache invalidation and a recompute — bit-identical when the
+        fault was transient.  After ``degrade_after`` recomputes inside
+        one guarded operation still fault, the engine falls back to the
+        ``reference`` backend for the remaining evaluations (sticky,
+        counted by the ``degraded`` perf counter) instead of crashing
+        the search; if even the reference backend faults, the typed
+        :class:`EngineNumericalError` is raised.
     """
 
     def __init__(
@@ -103,6 +121,7 @@ class LikelihoodEngine:
         tree: Optional[Tree] = None,
         tracer=None,
         backend: Union[None, str, KernelBackend] = None,
+        degrade_after: int = 3,
     ):
         if tree is None:
             raise ValueError("a tree is required")
@@ -164,6 +183,13 @@ class LikelihoodEngine:
         self.makenewz_calls = 0
         self.spr_batch_calls = 0
         self.spr_batch_candidates = 0
+        #: graceful-degradation state (see the class docstring)
+        self._degrade_after = degrade_after
+        self._in_guard = False
+        self._original_backend: Optional[KernelBackend] = None
+        self.numerical_faults = 0
+        self.fault_recoveries = 0
+        self.degraded_evaluations = 0
 
         if tracer is not None and hasattr(tracer, "add_counter_source"):
             tracer.add_counter_source(self.perf_counters)
@@ -181,6 +207,70 @@ class LikelihoodEngine:
         self._drop_all_clvs()
         self._pmats.invalidate()
         self._backend.close()
+        if self._original_backend is not None:
+            self._original_backend.close()
+
+    # -- graceful degradation -------------------------------------------------
+
+    @property
+    def is_degraded(self) -> bool:
+        """True once the engine has fallen back to the reference backend."""
+        return self._original_backend is not None
+
+    def _degrade(self) -> None:
+        """Swap in the ``reference`` backend (sticky until detach).
+
+        The original backend is kept so :meth:`detach` can release its
+        resources (thread pools), and so the degradation is visible to
+        diagnostics.  Every cache is dropped: the reference backend owns
+        its transition-matrix projection, so cached P-matrices from the
+        failed backend must not leak into its evaluations.
+        """
+        if self._original_backend is not None:
+            return
+        self._original_backend = self._backend
+        self._backend = resolve_backend("reference")
+        self.invalidate_all()
+
+    def _guarded(self, label: str, fn):
+        """Run ``fn`` under the degradation ladder.
+
+        Detected faults (non-finite kernel guards, backend execution
+        failures) invalidate every cache and recompute; after
+        ``degrade_after`` faulting recomputes the engine degrades to the
+        reference backend and tries once more.  Nested guarded calls
+        (e.g. ``clv`` inside ``evaluate``) run bare so one operation has
+        exactly one ladder.
+        """
+        if self._in_guard:
+            return fn()
+        self._in_guard = True
+        try:
+            attempt = 0
+            while True:
+                try:
+                    result = fn()
+                except (FloatingPointError, KernelExecutionError) as exc:
+                    attempt += 1
+                    self.numerical_faults += 1
+                    self.invalidate_all()
+                    if attempt <= self._degrade_after:
+                        continue
+                    if not self.is_degraded:
+                        self._degrade()
+                        continue
+                    raise EngineNumericalError(
+                        f"{label}: numerical fault persisted through "
+                        f"{attempt - 1} cache-invalidating recomputes and "
+                        f"the reference-backend fallback: {exc}"
+                    ) from exc
+                if attempt:
+                    self.fault_recoveries += 1
+                if self.is_degraded:
+                    self.degraded_evaluations += 1
+                return result
+        finally:
+            self._in_guard = False
 
     def invalidate_all(self) -> None:
         """Drop every cache (e.g. after a model-parameter change)."""
@@ -268,7 +358,17 @@ class LikelihoodEngine:
         length share one stack) — unless the backend opts out of the
         cache to own its projection end to end (the reference oracle)."""
         if self._backend.uses_pmat_cache:
-            return self._pmats.matrices(length)
+            mats = self._pmats.matrices(length)
+            if _chaos._ACTIVE is not None and _chaos.fire(
+                _chaos_plan.ENGINE_PMAT_CORRUPT
+            ):
+                # Corrupt the cached entry *in place*: the damage
+                # persists across lookups until invalidate_all() drops
+                # the cache — exactly the recovery path under test.
+                mats.setflags(write=True)
+                mats[...] = np.nan
+                mats.setflags(write=False)
+            return mats
         return self._backend.transition_matrices(
             self.model, self._rates_for_pmat(), length
         )
@@ -348,7 +448,12 @@ class LikelihoodEngine:
 
         Missing CLVs (including any missing descendants) are computed
         bottom-up; each computation is one ``newview()`` invocation.
+        Guarded: a detected numerical fault drops every cache and
+        recomputes (see the ``degrade_after`` ladder).
         """
+        return self._guarded("clv", lambda: self._clv_fill(node, entry))
+
+    def _clv_fill(self, node: Node, entry: Branch) -> _CachedCLV:
         if node.is_tip:
             raise ValueError("tips have no stored CLV; use _propagated")
         cached = self._clv_cache.get((node.index, entry.index))
@@ -391,9 +496,17 @@ class LikelihoodEngine:
         term1, sc1 = self._propagated(q1, b1, out=self._term_scratch[0])
         term2, sc2 = self._propagated(q2, b2, out=self._term_scratch[1])
         slot = self._arena.acquire()
-        self._backend.newview_combine(term1, term2, out=slot.clv)
-        np.add(sc1, sc2, out=slot.scale_counts)
-        scaled = self._backend.scale_clv(slot.clv, slot.scale_counts)
+        try:
+            self._backend.newview_combine(term1, term2, out=slot.clv)
+            np.add(sc1, sc2, out=slot.scale_counts)
+            if _chaos._ACTIVE is not None:
+                self._chaos_newview_hooks(slot)
+            scaled = self._backend.scale_clv(slot.clv, slot.scale_counts)
+        except BaseException:
+            # The slot is not yet cached: release it or it leaks from
+            # the arena's free list (and every retry leaks another).
+            self._arena.release(slot)
+            raise
 
         deps = frozenset(self.tree.subtree_branches(node, entry))
         entry_cache = _CachedCLV(
@@ -419,6 +532,56 @@ class LikelihoodEngine:
             )
         return entry_cache
 
+    # -- chaos injection hooks ------------------------------------------------
+    #
+    # Active only under repro.chaos.inject(); the disabled path is the
+    # single module-global is-None check at each call site.
+
+    def _chaos_newview_hooks(self, slot: ClvSlot) -> None:
+        """Visit the engine-numerics fault sites for one fresh CLV."""
+        injector = _chaos._ACTIVE
+        if injector is None:  # pragma: no cover - racy deactivation
+            return
+        if injector.fire(_chaos_plan.ENGINE_CLV_POISON):
+            spec = injector.spec(_chaos_plan.ENGINE_CLV_POISON)
+            value = np.inf if spec is not None and spec.value == "inf" \
+                else np.nan
+            # Poison the first stripe (a quarter of the patterns): the
+            # non-finite guard in scale_clv must catch it.
+            stripe = max(1, slot.clv.shape[0] // 4)
+            slot.clv[:stripe] = value
+        if injector.fire(_chaos_plan.ENGINE_UNDERFLOW):
+            self._force_underflow(slot)
+
+    def _force_underflow(self, slot: ClvSlot) -> None:
+        """Push eligible patterns below the rescaling threshold.
+
+        Bit-transparent by construction: eligible patterns are scaled by
+        exactly ``2**-256`` with their scale counts pre-decremented, so
+        ``scale_clv``'s mandatory rescale (an exact power-of-two
+        multiply) restores both to the original bits.  Eligibility keeps
+        the round trip exact: the pattern max must already be at or
+        above the rescale threshold (a pattern the fault-free run would
+        have rescaled here must keep its organic scaling, not the
+        injected round trip) and strictly below 1.0 (so the pushed-down
+        max lands strictly below the threshold), and every nonzero
+        entry at least ``2**-700`` (so no entry goes subnormal and loses
+        mantissa bits on the way down).
+        """
+        clv = slot.clv
+        flat = clv.reshape(clv.shape[0], -1)
+        pattern_max = flat.max(axis=1)
+        nonzero_min = np.where(flat > 0.0, flat, np.inf).min(axis=1)
+        eligible = (
+            (pattern_max >= kernels.SCALE_THRESHOLD)
+            & (pattern_max < 1.0)
+            & (nonzero_min >= 2.0**-700)
+        )
+        if not eligible.any():
+            return
+        clv[eligible] *= 2.0**-256
+        slot.scale_counts[eligible] -= 1
+
     # -- evaluate ------------------------------------------------------------
 
     def _side(self, node: Node, branch: Branch) -> Tuple[np.ndarray, np.ndarray]:
@@ -434,8 +597,14 @@ class LikelihoodEngine:
         """Log likelihood of the tree, computed at *branch*.
 
         For a reversible model the result is branch-independent; the
-        default uses an arbitrary branch.
+        default uses an arbitrary branch.  Guarded: a non-finite result
+        or a backend execution failure walks the degradation ladder
+        (recompute, then reference fallback) before surfacing a typed
+        :class:`EngineNumericalError`.
         """
+        return self._guarded("evaluate", lambda: self._evaluate_impl(branch))
+
+    def _evaluate_impl(self, branch: Optional[Branch] = None) -> float:
         if branch is None:
             branch = self.tree.branches[0]
         u, v = branch.nodes
@@ -460,6 +629,10 @@ class LikelihoodEngine:
             v_term,
             u_sc + v_sc,
         )
+        if not np.isfinite(result):
+            raise FloatingPointError(
+                f"non-finite log likelihood: {result!r}"
+            )
         self.evaluate_calls += 1
         if self.tracer is not None:
             self.tracer.record_evaluate(
@@ -499,7 +672,15 @@ class LikelihoodEngine:
         ``length`` (default: the branch's current length) without
         touching the tree.  One ``makenewz`` derivative probe — exposed
         so the differential harness compares Newton inputs across
-        backends instead of groping at engine internals."""
+        backends instead of groping at engine internals.  Guarded."""
+        return self._guarded(
+            "branch_derivatives",
+            lambda: self._branch_derivatives_impl(branch, length),
+        )
+
+    def _branch_derivatives_impl(
+        self, branch: Branch, length: Optional[float] = None
+    ) -> Tuple[float, float, float]:
         u, v = branch.nodes
         u_clv, u_sc = self._side(u, branch)
         v_clv, v_sc = self._side(v, branch)
@@ -509,7 +690,7 @@ class LikelihoodEngine:
     def _derivatives_at(
         self, length: float, u_clv, v_clv, scale
     ) -> Tuple[float, float, float]:
-        return self._backend.branch_derivatives(
+        lnl, d1, d2 = self._backend.branch_derivatives(
             self._transition_derivatives(length),
             self.model.pi,
             self._cat_weights,
@@ -519,6 +700,11 @@ class LikelihoodEngine:
             scale,
             per_site=self._site_rates is not None,
         )
+        if not (np.isfinite(lnl) and np.isfinite(d1) and np.isfinite(d2)):
+            raise FloatingPointError(
+                f"non-finite branch derivatives: ({lnl!r}, {d1!r}, {d2!r})"
+            )
+        return lnl, d1, d2
 
     def makenewz(
         self,
@@ -532,8 +718,21 @@ class LikelihoodEngine:
         place (which dirties dependent CLVs through the observer
         protocol).  Mirrors RAxML's ``makenewz()``: it first ensures the
         CLVs facing the branch exist (calling ``newview()`` as needed),
-        then iterates Newton steps with safeguards.
+        then iterates Newton steps with safeguards.  Guarded: the tree
+        is only mutated on success (the final ``set_length``), so a
+        ladder retry restarts from an unmodified tree.
         """
+        return self._guarded(
+            "makenewz",
+            lambda: self._makenewz_impl(branch, max_iterations, tolerance),
+        )
+
+    def _makenewz_impl(
+        self,
+        branch: Branch,
+        max_iterations: int = 32,
+        tolerance: float = 1e-8,
+    ) -> Tuple[float, float]:
         u, v = branch.nodes
         context = self._push_context("makenewz")
         try:
@@ -608,9 +807,31 @@ class LikelihoodEngine:
         halves fixed at their split lengths), the optimized connect
         lengths, and the recreated prune branch (``nodes[0]`` is the
         junction, matching :func:`Tree.regraft_subtree`).
+
+        Guarded: a numerical fault mid-batch restores the tree (same
+        regraft as the normal path) *before* the ladder retries, so a
+        recompute never sees a half-pruned tree.  The retry picks up the
+        recreated prune branch/junction from the restore.
         """
         if keep_side.is_tip:
             raise ValueError("keep_side must be the inner junction node")
+        state = {"prune": prune_branch, "keep": keep_side}
+        return self._guarded(
+            "spr_batch",
+            lambda: self._score_spr_impl(
+                state, targets, max_iterations, tolerance
+            ),
+        )
+
+    def _score_spr_impl(
+        self,
+        state: Dict[str, object],
+        targets: List[Branch],
+        max_iterations: int,
+        tolerance: float,
+    ) -> Tuple[np.ndarray, np.ndarray, Branch]:
+        prune_branch: Branch = state["prune"]
+        keep_side: Node = state["keep"]
         moved_root = prune_branch.other(keep_side)
 
         # Snapshot the subtree-side CLV before pruning retires its entry.
@@ -629,96 +850,123 @@ class LikelihoodEngine:
 
         self.tree.prune_subtree(prune_branch, keep_side=keep_side)
 
+        def restore() -> Branch:
+            """Regraft the pruned subtree exactly (fresh ids, original
+            geometry).  Shared by the normal path and the fault path so
+            a ladder retry never sees a half-pruned tree."""
+            merged = None
+            for b in origin_x.branches:
+                if b.other(origin_x) is origin_y:
+                    merged = b
+                    break
+            if merged is None:  # pragma: no cover - structural invariant
+                raise RuntimeError(
+                    "pruning did not merge the junction branches"
+                )
+            new_connect = self.tree.regraft_subtree(moved_root, merged, lsub)
+            junction = new_connect.nodes[0]
+            for b in junction.branches:
+                far = b.other(junction)
+                if far is moved_root:
+                    self.tree.set_length(b, lsub)
+                elif far is origin_x:
+                    self.tree.set_length(b, lx)
+                elif far is origin_y:
+                    self.tree.set_length(b, ly)
+            return new_connect
+
         n_candidates = len(target_info)
         s, c, n = self.patterns.n_patterns, self._n_cats, self._n_states
-        u_stack = np.empty((n_candidates, s, c, n))
-        scale_stack = np.empty((n_candidates, s), dtype=np.int64)
-        context = self._push_context("spr_batch")
         try:
-            for k, (t, x, y, length) in enumerate(target_info):
-                half = max(length * 0.5, MIN_BRANCH_LENGTH)
-                p_half = self._transition_matrices(half)
-                # Fill both side CLVs first: nested newviews use the same
-                # scratch buffers the terms are about to occupy.
-                if not x.is_tip:
-                    self.clv(x, t)
-                if not y.is_tip:
-                    self.clv(y, t)
-                tx, scx = self._term_across(
-                    x, t, p_half, out=self._term_scratch[0]
+            u_stack = np.empty((n_candidates, s, c, n))
+            scale_stack = np.empty((n_candidates, s), dtype=np.int64)
+            context = self._push_context("spr_batch")
+            try:
+                for k, (t, x, y, length) in enumerate(target_info):
+                    half = max(length * 0.5, MIN_BRANCH_LENGTH)
+                    p_half = self._transition_matrices(half)
+                    # Fill both side CLVs first: nested newviews use the
+                    # same scratch buffers the terms are about to occupy.
+                    if not x.is_tip:
+                        self.clv(x, t)
+                    if not y.is_tip:
+                        self.clv(y, t)
+                    tx, scx = self._term_across(
+                        x, t, p_half, out=self._term_scratch[0]
+                    )
+                    ty, scy = self._term_across(
+                        y, t, p_half, out=self._term_scratch[1]
+                    )
+                    self._backend.newview_combine(tx, ty, out=u_stack[k])
+                    np.add(scx, scy, out=scale_stack[k])
+                    self._backend.scale_clv(u_stack[k], scale_stack[k])
+                    scale_stack[k] += sub_scale
+            finally:
+                self._pop_context(context)
+
+            v_stack = np.broadcast_to(sub_clv, u_stack.shape)
+            pi = self.model.pi
+            weights = self.patterns.weights
+            per_site = self._site_rates is not None
+
+            def derivatives_at(ts: np.ndarray):
+                lnl, d1, d2 = self._backend.branch_derivatives_batch(
+                    self._transition_derivatives_batch(ts),
+                    pi, self._cat_weights, weights, u_stack, v_stack,
+                    scale_stack, per_site=per_site,
                 )
-                ty, scy = self._term_across(
-                    y, t, p_half, out=self._term_scratch[1]
+                if not (
+                    np.isfinite(lnl).all()
+                    and np.isfinite(d1).all()
+                    and np.isfinite(d2).all()
+                ):
+                    raise FloatingPointError(
+                        "non-finite batched branch derivatives"
+                    )
+                return lnl, d1, d2
+
+            # Vectorized Newton-Raphson mirroring makenewz's updates.
+            start = min(max(lsub, MIN_BRANCH_LENGTH), MAX_BRANCH_LENGTH)
+            ts = np.full(n_candidates, start)
+            best_ts = ts.copy()
+            best_lnl = np.full(n_candidates, -np.inf)
+            active = np.ones(n_candidates, dtype=bool)
+            iterations = 0
+            for iterations in range(1, max_iterations + 1):
+                lnl, d1, d2 = derivatives_at(ts)
+                better = lnl > best_lnl
+                best_lnl = np.where(better, lnl, best_lnl)
+                best_ts = np.where(better, ts, best_ts)
+                small_d1 = np.abs(d1) < tolerance
+                newton = d2 < 0.0
+                new_t = np.where(
+                    newton,
+                    ts - d1 / np.where(newton, d2, 1.0),
+                    np.where(d1 > 0.0, ts * 2.0, ts * 0.5),
                 )
-                self._backend.newview_combine(tx, ty, out=u_stack[k])
-                np.add(scx, scy, out=scale_stack[k])
-                self._backend.scale_clv(u_stack[k], scale_stack[k])
-                scale_stack[k] += sub_scale
-        finally:
-            self._pop_context(context)
-
-        v_stack = np.broadcast_to(sub_clv, u_stack.shape)
-        pi = self.model.pi
-        weights = self.patterns.weights
-        per_site = self._site_rates is not None
-
-        def derivatives_at(ts: np.ndarray):
-            return self._backend.branch_derivatives_batch(
-                self._transition_derivatives_batch(ts),
-                pi, self._cat_weights, weights, u_stack, v_stack,
-                scale_stack, per_site=per_site,
-            )
-
-        # Vectorized Newton-Raphson mirroring makenewz's scalar updates.
-        start = min(max(lsub, MIN_BRANCH_LENGTH), MAX_BRANCH_LENGTH)
-        ts = np.full(n_candidates, start)
-        best_ts = ts.copy()
-        best_lnl = np.full(n_candidates, -np.inf)
-        active = np.ones(n_candidates, dtype=bool)
-        iterations = 0
-        for iterations in range(1, max_iterations + 1):
-            lnl, d1, d2 = derivatives_at(ts)
+                np.clip(
+                    new_t, MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH, out=new_t
+                )
+                small_step = np.abs(new_t - ts) < tolerance
+                move = active & ~small_d1
+                ts = np.where(move, new_t, ts)
+                active &= ~(small_d1 | small_step)
+                if not active.any():
+                    break
+            # Score the final point too (a step may end the loop).
+            lnl, _, _ = derivatives_at(ts)
             better = lnl > best_lnl
             best_lnl = np.where(better, lnl, best_lnl)
             best_ts = np.where(better, ts, best_ts)
-            small_d1 = np.abs(d1) < tolerance
-            newton = d2 < 0.0
-            new_t = np.where(
-                newton,
-                ts - d1 / np.where(newton, d2, 1.0),
-                np.where(d1 > 0.0, ts * 2.0, ts * 0.5),
-            )
-            np.clip(new_t, MIN_BRANCH_LENGTH, MAX_BRANCH_LENGTH, out=new_t)
-            small_step = np.abs(new_t - ts) < tolerance
-            move = active & ~small_d1
-            ts = np.where(move, new_t, ts)
-            active &= ~(small_d1 | small_step)
-            if not active.any():
-                break
-        # Score the final point too (a step may end the loop).
-        lnl, _, _ = derivatives_at(ts)
-        better = lnl > best_lnl
-        best_lnl = np.where(better, lnl, best_lnl)
-        best_ts = np.where(better, ts, best_ts)
+        except BaseException:
+            # Restore before the degradation ladder retries, and hand
+            # it the recreated prune branch/junction to retry with.
+            new_connect = restore()
+            state["prune"] = new_connect
+            state["keep"] = new_connect.nodes[0]
+            raise
 
-        # Restore the tree exactly (fresh ids, original geometry).
-        merged = None
-        for b in origin_x.branches:
-            if b.other(origin_x) is origin_y:
-                merged = b
-                break
-        if merged is None:  # pragma: no cover - structural invariant
-            raise RuntimeError("pruning did not merge the junction branches")
-        new_connect = self.tree.regraft_subtree(moved_root, merged, lsub)
-        junction = new_connect.nodes[0]
-        for b in junction.branches:
-            far = b.other(junction)
-            if far is moved_root:
-                self.tree.set_length(b, lsub)
-            elif far is origin_x:
-                self.tree.set_length(b, lx)
-            elif far is origin_y:
-                self.tree.set_length(b, ly)
+        new_connect = restore()
 
         self.spr_batch_calls += 1
         self.spr_batch_candidates += n_candidates
@@ -749,6 +997,9 @@ class LikelihoodEngine:
             "spr_batch_calls": self.spr_batch_calls,
             "spr_batch_candidates": self.spr_batch_candidates,
             "clv_cache_entries": len(self._clv_cache),
+            "numerical_faults": self.numerical_faults,
+            "fault_recoveries": self.fault_recoveries,
+            "degraded": self.degraded_evaluations,
         }
         counters.update(self._pmats.counters())
         counters.update(self._arena.counters())

@@ -44,12 +44,28 @@ import numpy as np
 __all__ = [
     "BACKEND_ENV_VAR",
     "DEFAULT_BACKEND",
+    "EngineNumericalError",
     "KernelBackend",
+    "KernelExecutionError",
     "available_backends",
     "create_engine",
     "register_backend",
     "resolve_backend",
 ]
+
+
+class KernelExecutionError(RuntimeError):
+    """A kernel backend failed to *execute* (as opposed to producing a
+    numerically bad result): a stripe worker raised, a thread pool died.
+    The engine core treats it like a detected numerical fault — drop
+    caches, recompute, and escalate down the degradation ladder."""
+
+
+class EngineNumericalError(RuntimeError):
+    """The engine exhausted its degradation ladder (recompute, then
+    per-evaluation fallback to the ``reference`` backend) and still hit
+    numerical faults.  The typed end state: a caller seeing this knows
+    the result was *not* silently wrong — there is no result."""
 
 #: Environment variable overriding the default backend for every engine
 #: built without an explicit ``backend=``: ``einsum``, ``reference``,

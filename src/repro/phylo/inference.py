@@ -101,13 +101,17 @@ def infer_tree(
     tracer=None,
     is_bootstrap: bool = False,
     replicate: int = 0,
+    backend=None,
 ) -> InferenceResult:
     """One complete ML tree search from a randomized parsimony start.
 
     Parameters mirror RAxML's defaults: GTR with empirical base
     frequencies and four discrete Gamma rate categories.  Pass a
     ``tracer`` (see :mod:`repro.port.trace`) to record the kernel-level
-    workload for platform simulation.
+    workload for platform simulation.  ``backend`` selects the kernel
+    backend (default: the ``REPRO_ENGINE_BACKEND`` environment
+    override); chaos campaigns use it to sweep all backends through the
+    same inference seeds.
     """
     patterns = _as_patterns(alignment)
     model = model or default_model_for(patterns)
@@ -115,7 +119,9 @@ def infer_tree(
     rng = np.random.default_rng(np.random.SeedSequence([seed, replicate]))
 
     tree = stepwise_addition_tree(patterns, rng)
-    engine = create_engine(patterns, model, rate_model, tree, tracer=tracer)
+    engine = create_engine(
+        patterns, model, rate_model, tree, tracer=tracer, backend=backend
+    )
     try:
         search = hill_climb(engine, config, rng)
         return InferenceResult(

@@ -275,10 +275,23 @@ class PMatrixCache:
         :meth:`invalidate` (or build a fresh cache) when either the
         model or the rates change.
     quantum:
-        Branch-length quantization step.  Lengths within one quantum of
-        each other share an entry computed at the first length seen;
-        ``1e-12`` is far below every optimizer tolerance in the system
-        (Newton uses 1e-8), so sharing never changes a decision.
+        *Relative* branch-length quantization step.  Lengths whose
+        relative difference is below one quantum share an entry
+        computed at a *canonical* quantized length — never at the first
+        length seen, so a cache rebuilt after :meth:`invalidate`
+        reproduces every entry bit for bit regardless of lookup order
+        (the chaos recovery ladder relies on this).  The key is the
+        float's mantissa rounded to ``ceil(-log2(quantum))`` bits plus
+        its binary exponent, and the canonical length is that rounded
+        mantissa re-scaled with :func:`math.ldexp` (exactly
+        representable, so no second rounding).  Quantization must be
+        relative, not absolute: branches live anywhere between the
+        ``1e-8`` clamp and ~10 substitutions/site, and an absolute
+        snap of ``5e-13`` near the clamp is a ``5e-5`` *relative*
+        perturbation — enough to push differential-oracle comparisons
+        past 1e-9.  ``1e-12`` relative is far below every optimizer
+        tolerance in the system (Newton uses 1e-8), so sharing never
+        changes a decision.
     capacity:
         Maximum entries per table (matrices and derivative stacks are
         tracked separately); least-recently-used entries are evicted.
@@ -296,15 +309,26 @@ class PMatrixCache:
         self.model = model
         self.rates = np.asarray(rates, dtype=np.float64)
         self.quantum = quantum
+        self._mantissa_bits = max(1, int(math.ceil(-math.log2(quantum))))
+        self._mantissa_scale = float(2 ** self._mantissa_bits)
         self.capacity = capacity
-        self._matrices: "OrderedDict[int, np.ndarray]" = OrderedDict()
-        self._derivatives: "OrderedDict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]" = OrderedDict()
+        self._matrices: "OrderedDict[Tuple[int, int], np.ndarray]" = OrderedDict()
+        self._derivatives: "OrderedDict[Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
-    def _key(self, branch_length: float) -> int:
-        return int(round(branch_length / self.quantum))
+    def _key(self, branch_length: float) -> Tuple[int, int]:
+        # frexp splits t into mantissa in [0.5, 1) and a binary
+        # exponent; rounding only the mantissa keys (and later
+        # canonicalizes) the length to a fixed *relative* precision.
+        mantissa, exponent = math.frexp(branch_length)
+        return int(round(mantissa * self._mantissa_scale)), exponent
+
+    def _canonical(self, key: Tuple[int, int]) -> float:
+        # Exactly representable: an integer mantissa of at most
+        # ``_mantissa_bits + 1`` bits scaled by a power of two.
+        return math.ldexp(key[0], key[1] - self._mantissa_bits)
 
     def matrices(self, branch_length: float) -> np.ndarray:
         """Cached :meth:`SubstitutionModel.transition_matrices`."""
@@ -320,7 +344,9 @@ class PMatrixCache:
             self._derivatives.move_to_end(key)
             return derived[0]
         self.misses += 1
-        entry = self.model.transition_matrices(branch_length, self.rates)
+        entry = self.model.transition_matrices(
+            self._canonical(key), self.rates
+        )
         entry.setflags(write=False)
         self._matrices[key] = entry
         if len(self._matrices) > self.capacity:
@@ -338,7 +364,9 @@ class PMatrixCache:
             self._derivatives.move_to_end(key)
             return entry
         self.misses += 1
-        entry = self.model.transition_derivatives(branch_length, self.rates)
+        entry = self.model.transition_derivatives(
+            self._canonical(key), self.rates
+        )
         for part in entry:
             part.setflags(write=False)
         self._derivatives[key] = entry

@@ -18,7 +18,8 @@ that claim checkable at three independent tiers:
 * :mod:`repro.verify.invariants` — metamorphic checks: algebraic
   properties the likelihood must satisfy regardless of implementation
   (pulley-principle re-rooting invariance, taxon/site permutation
-  invariance, pattern compression, SPR apply→revert round trips, and a
+  invariance, pattern compression, SPR apply→revert round trips,
+  fault-recovery transparency under :mod:`repro.chaos` injection, and a
   JC69 two-taxon analytic closed form).
 * :mod:`repro.verify.golden` — a committed corpus of exact values for
   fixed seeds, regenerated or checked by ``repro-phylo verify``.
@@ -38,6 +39,7 @@ from .differential import (
 )
 from .invariants import (
     InvariantViolation,
+    fault_recovery_invariance,
     jc69_two_taxon_closed_form,
     pattern_compression_invariance,
     rerooting_invariance,
@@ -63,6 +65,7 @@ __all__ = [
     "random_case",
     "run_differential",
     "InvariantViolation",
+    "fault_recovery_invariance",
     "jc69_two_taxon_closed_form",
     "pattern_compression_invariance",
     "rerooting_invariance",

@@ -42,6 +42,7 @@ from ..phylo.tree import Tree
 
 __all__ = [
     "InvariantViolation",
+    "fault_recovery_invariance",
     "jc69_two_taxon_closed_form",
     "pattern_compression_invariance",
     "rerooting_invariance",
@@ -92,6 +93,63 @@ def rerooting_invariance(engine, rel_tol: float = 1e-9) -> float:
                 f"(rel diff {diff:.3e} > {rel_tol:g})"
             )
     return worst
+
+
+# -- fault-recovery invariance (chaos transparency) --------------------------
+
+
+def fault_recovery_invariance(
+    sequences: Dict[str, str],
+    model: SubstitutionModel,
+    rate_model: Optional[RateModel],
+    rng: np.random.Generator,
+    backend=None,
+) -> float:
+    """A recovered transient fault must leave the lnL bit-identical.
+
+    Evaluates the same (alignment, tree, model) twice on the fast
+    engine: once cleanly, once under a :mod:`repro.chaos` plan that
+    poisons the first freshly computed CLV with NaN.  The degradation
+    ladder must detect the poison, drop every cache, recompute, and
+    return the *exact* clean bits — the metamorphic face of the chaos
+    campaign's ``survived_identical`` contract.  Returns the absolute
+    difference (asserted to be 0.0).
+    """
+    from ..chaos import FaultPlan, FaultSpec, inject
+    from ..chaos.plan import ENGINE_CLV_POISON
+
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    clean = _engine_loglik(
+        patterns, model, rate_model, tree, LikelihoodEngine, backend
+    )
+    plan = FaultPlan(
+        seed=0,
+        specs=(FaultSpec(ENGINE_CLV_POISON, trigger_at=(0,), value="nan"),),
+    )
+    kwargs = {} if backend is None else {"backend": backend}
+    engine = LikelihoodEngine(patterns, model, rate_model, tree, **kwargs)
+    try:
+        with inject(plan) as injector:
+            recovered = engine.evaluate(tree.branches[0])
+        if not injector.fired.get(ENGINE_CLV_POISON):
+            raise InvariantViolation(
+                "fault_recovery_invariance is vacuous: the CLV-poison "
+                "fault never fired (no newview was computed?)"
+            )
+        if engine.fault_recoveries < 1:
+            raise InvariantViolation(
+                "the poisoned CLV was never detected: the guard did not "
+                "record a recovery"
+            )
+    finally:
+        engine.detach()
+    if recovered != clean:
+        raise InvariantViolation(
+            f"fault recovery changed the lnL bit pattern: clean "
+            f"{clean!r} vs recovered {recovered!r}"
+        )
+    return abs(recovered - clean)
 
 
 # -- permutation and compression invariances --------------------------------

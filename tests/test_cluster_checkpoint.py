@@ -16,6 +16,7 @@ from repro.cluster import (
     resume_job,
     run_job,
 )
+from repro.cluster.checkpoint import compact_journal, decode_record
 from repro.harness.report import render_cluster_status
 
 
@@ -86,6 +87,144 @@ class TestJournal:
         journal = RunJournal(None)
         journal.append("run_started", spec={})
         assert journal.path is None and len(journal.events) == 1
+
+
+def _payload(replicate, kind="bootstrap"):
+    return {"kind": kind, "replicate": replicate,
+            "newick": f"(a,b,c{replicate});", "log_likelihood": -2.0,
+            "is_bootstrap": kind == "bootstrap"}
+
+
+class TestJournalHardening:
+    """CRC + torn-record tolerance (hardened by the chaos campaign)."""
+
+    def _journal_with_payloads(self, path, n=3):
+        with RunJournal(path) as journal:
+            journal.append("run_started", spec={"n_inferences": 1})
+            for r in range(n):
+                journal.append("replicate_done", task=f"bootstrap/{r}",
+                               payload=_payload(r))
+
+    def test_crc_detects_in_place_corruption(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        self._journal_with_payloads(path)
+        lines = open(path).read().splitlines()
+        # Flip two characters inside the *middle* record's newick — the
+        # line stays valid JSON of the right shape, so only the CRC can
+        # catch it.
+        corrupted = lines[2].replace("(a,b,c1)", "(a,c,b1)")
+        assert corrupted != lines[2]
+        lines[2] = corrupted
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="CRC32"):
+            decode_record(corrupted)
+        state = replay(path)
+        assert state.corrupt_records == 1
+        assert any("CRC32" in w for w in state.warnings)
+        # The damaged replicate is dropped (it would rerun on resume);
+        # its neighbours are untouched.
+        assert sorted(state.payloads) == [("bootstrap", 0), ("bootstrap", 2)]
+
+    def test_truncation_at_every_byte_offset_is_tolerated(self, tmp_path):
+        """Replay must survive the writer dying at *any* byte of the
+        final record: earlier records stay intact, the torn tail is
+        skipped and counted, and nothing raises."""
+        path = str(tmp_path / "j.jsonl")
+        self._journal_with_payloads(path, n=2)
+        blob = open(path, "rb").read()
+        last_start = blob[:-1].rfind(b"\n") + 1
+        cut_path = str(tmp_path / "cut.jsonl")
+        for cut in range(last_start, len(blob)):
+            with open(cut_path, "wb") as fh:
+                fh.write(blob[:cut])
+            state = replay(cut_path)
+            assert state.spec == {"n_inferences": 1}
+            assert ("bootstrap", 0) in state.payloads  # never collateral
+            if ("bootstrap", 1) in state.payloads:
+                # A clean cut: the whole record survived, only the
+                # newline is missing.
+                assert state.corrupt_records == 0
+            else:
+                # A nonempty fragment is counted; a cut at the record
+                # boundary leaves nothing to count.
+                assert state.corrupt_records == (
+                    1 if cut > last_start else 0
+                )
+
+    def test_malformed_payload_is_skipped_not_trusted(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path) as journal:
+            journal.append("run_started", spec={"n_inferences": 1})
+            journal.append("replicate_done", task="bootstrap/0",
+                           payload=_payload(0))
+            # CRC-valid record, nonsense payload (no newick/lnl): the
+            # validate-first ingest must refuse it.
+            journal.append("replicate_done", task="bootstrap/1",
+                           payload={"kind": "bootstrap", "replicate": 1})
+        state = replay(path)
+        assert state.corrupt_records == 1
+        assert any("bad result payload" in w for w in state.warnings)
+        assert sorted(state.payloads) == [("bootstrap", 0)]
+
+    def test_append_repairs_a_torn_tail_before_writing(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        self._journal_with_payloads(path, n=1)
+        with open(path, "a") as fh:
+            fh.write('{"event": "replicate_done", "payl')  # torn write
+        # Reopening for append must terminate the fragment so the next
+        # record does not splice onto it.
+        with RunJournal(path, append=True) as journal:
+            journal.append("replicate_done", task="bootstrap/9",
+                           payload=_payload(9))
+        state = replay(path)
+        assert state.corrupt_records == 1  # the fragment, nothing else
+        assert sorted(state.payloads) == [("bootstrap", 0), ("bootstrap", 9)]
+
+    def test_compact_journal_keeps_the_durable_essence(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path) as journal:
+            journal.append("run_started", spec={"n_inferences": 1})
+            journal.append("task_started", task="bootstrap/0", attempt=1,
+                           worker=0)
+            for _ in range(2):  # a retry duplicate
+                journal.append("replicate_done", task="bootstrap/0",
+                               payload=_payload(0))
+            journal.append("task_failed", task="bootstrap/1", attempt=1,
+                           attempts=3, backoff_ms=10.0, error="boom",
+                           will_retry=True)
+            journal.append("run_finished", n_results=1)
+        with open(path, "a") as fh:
+            fh.write('{"event": "replicate_done", "payl')  # torn write
+        before = replay(path)
+        compact_journal(path)
+        after = replay(path)
+        assert after.payloads == before.payloads
+        assert after.spec == before.spec
+        assert after.finished
+        assert after.corrupt_records == 0  # the torn line is gone
+        assert after.tasks_started == 0  # scheduling chatter dropped
+        assert len(open(path).read().splitlines()) == 3
+
+    def test_single_worker_runs_journal_identically(
+            self, tiny_patterns, fast_config, tmp_path):
+        """With one worker and an injected deterministic clock, two runs
+        of the same spec journal identically (modulo the run_progress
+        record, which summarizes wall-clock phase timings)."""
+        spec = JobSpec(n_inferences=1, n_bootstraps=2, seed=9,
+                       batch_size=2, config=fast_config)
+
+        def lines(path):
+            clock = iter(range(1, 10_000)).__next__
+            run_job(spec, alignment=tiny_patterns, n_workers=1,
+                    journal_path=path,
+                    clock=lambda: float(clock()))
+            return [line for line in open(path).read().splitlines()
+                    if json.loads(line)["event"] != "run_progress"]
+
+        first = lines(str(tmp_path / "a.jsonl"))
+        second = lines(str(tmp_path / "b.jsonl"))
+        assert first == second
 
 
 class TestResumeDeterminism:
@@ -178,3 +317,24 @@ class TestStatusRendering:
         finished = render_cluster_status(full)
         assert "[finished]" in finished
         assert "bootstraps 4/4" in finished
+        assert "corrupt journal records" not in finished
+
+    def test_status_counts_corrupt_records(self, tiny_patterns,
+                                           fast_config, cluster_workers,
+                                           tmp_path):
+        full = str(tmp_path / "full.jsonl")
+        spec = JobSpec(n_inferences=1, n_bootstraps=4, seed=9, batch_size=2,
+                       config=fast_config)
+        run_job(spec, alignment=tiny_patterns, n_workers=cluster_workers,
+                journal_path=full)
+        lines = open(full).read().splitlines()
+        # Corrupt one replicate record in place (CRC catches it) and
+        # append a torn tail: both must be counted, not trusted.
+        index = next(i for i, line in enumerate(lines)
+                     if json.loads(line)["event"] == "replicate_done")
+        lines[index] = lines[index][:-3] + '"}}'
+        lines.append('{"event": "replicate_done", "payl')
+        with open(full, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        text = render_cluster_status(full)
+        assert "corrupt journal records skipped: 2" in text

@@ -81,12 +81,20 @@ def test_oracle_branch_derivatives_match_trial_length(instance):
 
 
 def test_oracle_poisoned_by_construction_raises(instance):
-    """The oracle carries the same NaN guard as the fast kernel."""
+    """The oracle carries the same NaN guard as the fast kernel.
+
+    Poisoned eigenvalues are *persistent* corruption — cache drops and
+    the backend fallback cannot clear them — so the degradation ladder
+    must exhaust and surface the typed ``EngineNumericalError`` (still
+    carrying the kernel guard's message).
+    """
+    from repro.phylo.engine.protocol import EngineNumericalError
+
     patterns, tree, model = instance
     oracle = ReferenceEngine(patterns, model, None, tree)
     oracle._eigenvalues[0] = float("nan")
     inner = next(n for n in tree.inner_nodes)
-    with pytest.raises(FloatingPointError, match="non-finite CLV"):
+    with pytest.raises(EngineNumericalError, match="non-finite CLV"):
         oracle.newview(inner, inner.branches[0])
 
 
