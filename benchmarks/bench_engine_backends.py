@@ -1,4 +1,4 @@
-"""Thread-scaling benchmark for the partitioned kernel backend.
+"""Thread-scaling benchmark for the striped kernel backends.
 
 Runs the same kernel-bound workload — one full-tree CLV computation plus
 one Newton branch-smoothing pass over every branch — on a >= 1000-pattern
@@ -6,18 +6,29 @@ synthetic alignment (the regime where the paper reports SPE partitioning
 pays off; below ~1000 patterns the stripe fan-out overhead dominates,
 exactly like the paper's loop-level parallelization overhead) through:
 
-* the flat single-thread ``einsum`` backend (baseline), and
-* the ``partitioned`` backend at 1, 2 and 4 stripes/threads.
+* the flat single-thread ``einsum`` backend (baseline),
+* the ``partitioned`` backend at 1, 2 and 4 stripes/threads (einsum
+  inner kernels: stripes overlap only where NumPy drops the GIL), and
+* the ``compiled`` backend at 1, 2 and 4 stripes/threads (nogil
+  machine-code inner kernels), when a flavor is available on the host.
 
 Results merge into the ``backend_scaling`` section of the committed
 ``BENCH_engine.json`` (the batched-pipeline sections are left untouched)
-together with ``os.cpu_count()``, because the scaling claim is only
-meaningful on a multi-core host: stripes overlap via NumPy releasing the
-GIL, so on a single-core container every thread count serializes and the
-partitioned numbers just measure fan-out overhead.  The "4 threads beat
-1 thread" assertion is therefore gated on ``cpu_count >= 2``; the
-correctness assertions (identical lnL within 1e-9, bit-identical scale
-totals) always run.
+together with ``os.cpu_count()`` and the compiled flavor's one-time
+JIT/build warmup time (charged to ``backend_warmup_us``, never to the
+timed workload).  Assertions:
+
+* always: every backend lands on the same lnL within 1e-9 and on
+  bit-identical underflow-scaling totals; ``partitioned:1/2/4`` and
+  ``compiled:1/2/4`` each report **bit-identical** log likelihoods
+  across thread counts (the fixed-block pairwise reduction).
+* compiled available: ``compiled:1`` must beat single-thread einsum
+  (the kernels win before threading even starts).
+* compiled available and ``cpu_count >= 2``: ``compiled:2`` must beat
+  einsum *and* run faster than ``compiled:1`` — the tentpole claim that
+  multi-threaded stripes finally pay.  On a single-core container the
+  stripes cannot overlap, so the multicore gates are skipped (and
+  printed as skipped).
 
 Run standalone::
 
@@ -30,7 +41,6 @@ or through pytest::
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -39,6 +49,7 @@ import numpy as np
 import pytest
 
 from repro.phylo import Tree, create_engine, default_gtr, synthetic_dataset
+from repro.phylo.engine.backends.compiled import compiled_available
 from repro.phylo.rates import GammaRates
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -52,14 +63,23 @@ TREE_SEED = 7
 MEAN_BRANCH_LENGTH = 0.15
 INVARIANT_FRACTION = 0.05
 
-#: Backend specs swept, in reporting order.
-SPECS = ("einsum", "partitioned:1", "partitioned:2", "partitioned:4")
+#: Backend specs always swept, in reporting order.
+BASE_SPECS = ("einsum", "partitioned:1", "partitioned:2", "partitioned:4")
+
+#: Swept additionally when a compiled kernel flavor loads on this host.
+COMPILED_SPECS = ("compiled:1", "compiled:2", "compiled:4")
 
 #: Timed repetitions per spec (best-of, to shed scheduler noise).
 ROUNDS = 3
 
-#: With >= 2 cores, 4 partitioned threads must beat single-thread einsum.
+#: Multicore gate: compiled:2 must beat single-thread einsum.
 MIN_MULTICORE_SPEEDUP = 1.0
+
+
+def _specs():
+    if compiled_available() is not None:
+        return BASE_SPECS + COMPILED_SPECS
+    return BASE_SPECS
 
 
 def _setup():
@@ -114,11 +134,13 @@ def _measure(spec: str, patterns, model, base_newick: str) -> dict:
 
 
 def run_benchmark(write: bool = True) -> dict:
+    specs = _specs()
     patterns, model, base_newick = _setup()
     runs = {
-        spec: _measure(spec, patterns, model, base_newick) for spec in SPECS
+        spec: _measure(spec, patterns, model, base_newick) for spec in specs
     }
     baseline = runs["einsum"]["wall_seconds"]
+    flavor = compiled_available()
     report = {
         "workload": {
             "n_taxa": N_TAXA,
@@ -130,9 +152,14 @@ def run_benchmark(write: bool = True) -> dict:
             "invariant_fraction": INVARIANT_FRACTION,
         },
         "cpu_count": os.cpu_count(),
+        "compiled_flavor": flavor,
+        "jit_warmup_us": (
+            runs["compiled:1"]["backend_counters"]["backend_warmup_us"]
+            if flavor else None
+        ),
         "runs": runs,
         "speedup_vs_einsum": {
-            spec: baseline / runs[spec]["wall_seconds"] for spec in SPECS
+            spec: baseline / runs[spec]["wall_seconds"] for spec in specs
         },
     }
     if write:
@@ -145,7 +172,8 @@ def run_benchmark(write: bool = True) -> dict:
 def test_backend_scaling():
     report = run_benchmark()
     runs = report["runs"]
-    for spec in SPECS:
+    specs = list(runs)
+    for spec in specs:
         r = runs[spec]
         print(
             f"\n{spec:15s}: {r['wall_seconds']:.3f} s  "
@@ -155,24 +183,50 @@ def test_backend_scaling():
     # Correctness on the big instance, whatever the host: every backend
     # lands on the same likelihood and the same underflow-scaling totals.
     base = runs["einsum"]
-    for spec in SPECS[1:]:
+    for spec in specs[1:]:
         assert runs[spec]["log_likelihood"] == pytest.approx(
             base["log_likelihood"], rel=1e-9
         ), spec
         assert runs[spec]["scale_count_total"] == base["scale_count_total"]
-    # The headline scaling claim needs real cores to overlap stripes on.
+    # Thread count must not move a single bit of the striped backends'
+    # reductions (the fixed-block pairwise sum).
+    for family in ("partitioned", "compiled"):
+        lnls = {
+            spec: runs[spec]["log_likelihood"]
+            for spec in specs if spec.startswith(family)
+        }
+        assert len(set(lnls.values())) <= 1, (
+            f"{family} lnL drifts with thread count: {lnls}"
+        )
     cpus = report["cpu_count"] or 1
-    if cpus >= 2:
-        speedup = report["speedup_vs_einsum"]["partitioned:4"]
-        assert speedup >= MIN_MULTICORE_SPEEDUP, (
-            f"partitioned:4 only {speedup:.2f}x vs single-thread einsum "
-            f"on {cpus} cores (need >= {MIN_MULTICORE_SPEEDUP}x)"
+    if report["compiled_flavor"] is not None:
+        # The kernels must win before threading even starts.
+        speedup1 = report["speedup_vs_einsum"]["compiled:1"]
+        assert speedup1 > 1.0, (
+            f"compiled:1 only {speedup1:.2f}x vs single-thread einsum "
+            f"(flavor {report['compiled_flavor']!r})"
         )
+        if cpus >= 2:
+            speedup2 = report["speedup_vs_einsum"]["compiled:2"]
+            assert speedup2 >= MIN_MULTICORE_SPEEDUP, (
+                f"compiled:2 only {speedup2:.2f}x vs single-thread einsum "
+                f"on {cpus} cores (need >= {MIN_MULTICORE_SPEEDUP}x)"
+            )
+            assert (runs["compiled:2"]["wall_seconds"]
+                    < runs["compiled:1"]["wall_seconds"]), (
+                "compiled:2 is not faster than compiled:1 on "
+                f"{cpus} cores: "
+                f"{runs['compiled:2']['wall_seconds']:.3f}s vs "
+                f"{runs['compiled:1']['wall_seconds']:.3f}s"
+            )
+        else:
+            print(
+                f"single-core host (cpu_count={cpus}): stripe threads "
+                "cannot overlap, skipping the multi-thread speedup gates"
+            )
     else:
-        print(
-            f"single-core host (cpu_count={cpus}): stripe threads cannot "
-            "overlap, skipping the multi-thread speedup assertion"
-        )
+        print("no compiled kernel flavor available: compiled rows and "
+              "speedup gates skipped")
 
 
 if __name__ == "__main__":

@@ -209,8 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--backend", default=None, metavar="NAME",
                        help="kernel backend for the engine campaign, or "
                        "'all' for einsum + reference + partitioned:2 "
-                       "(default: the REPRO_ENGINE_BACKEND override, "
-                       "else einsum)")
+                       "(+ compiled:2 when a compiled flavor is "
+                       "available) (default: the REPRO_ENGINE_BACKEND "
+                       "override, else einsum)")
     chaos.add_argument("--workers", type=int, default=2,
                        help="cluster campaign worker processes "
                        "(default 2)")
@@ -469,6 +470,10 @@ def _cmd_chaos(args) -> int:
     if args.mode in ("engine", "both"):
         if args.backend == "all":
             backends = ["einsum", "reference", "partitioned:2"]
+            from .engine import available_backends
+
+            if "compiled" in available_backends():
+                backends.append("compiled:2")
         else:
             backends = [args.backend]  # None = session default
         for backend in backends:

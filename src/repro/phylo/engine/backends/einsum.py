@@ -102,6 +102,7 @@ class EinsumBackend(KernelBackend):
             "backend_stripe_tasks": 0,
             "backend_stripes": 1,
             "backend_threads": 1,
+            "backend_warmup_us": 0,
         }
 
 

@@ -301,4 +301,5 @@ class ReferenceBackend(KernelBackend):
             "backend_stripe_tasks": 0,
             "backend_stripes": 1,
             "backend_threads": 1,
+            "backend_warmup_us": 0,
         }

@@ -106,11 +106,14 @@ class LikelihoodEngine:
         a :class:`KernelExecutionError` from the backend) first triggers
         cache invalidation and a recompute — bit-identical when the
         fault was transient.  After ``degrade_after`` recomputes inside
-        one guarded operation still fault, the engine falls back to the
-        ``reference`` backend for the remaining evaluations (sticky,
-        counted by the ``degraded`` perf counter) instead of crashing
-        the search; if even the reference backend faults, the typed
-        :class:`EngineNumericalError` is raised.
+        one guarded operation still fault, the engine walks a fallback
+        chain determined by the starting backend — ``compiled`` and
+        ``partitioned`` fall to ``einsum`` then ``reference``, ``einsum``
+        falls to ``reference``, ``reference`` has nowhere to go — one
+        rung per further fault (sticky, counted by the ``degraded`` perf
+        counter and recorded in ``degradation_path``) instead of
+        crashing the search; when the chain is exhausted and the fault
+        persists, the typed :class:`EngineNumericalError` is raised.
     """
 
     def __init__(
@@ -187,6 +190,10 @@ class LikelihoodEngine:
         self._degrade_after = degrade_after
         self._in_guard = False
         self._original_backend: Optional[KernelBackend] = None
+        self._retired_backends: List[KernelBackend] = []
+        self._fallback_chain = self._fallback_chain_for(self._backend.name)
+        #: backend names the ladder has fallen through, in order
+        self.degradation_path: List[str] = []
         self.numerical_faults = 0
         self.fault_recoveries = 0
         self.degraded_evaluations = 0
@@ -207,6 +214,8 @@ class LikelihoodEngine:
         self._drop_all_clvs()
         self._pmats.invalidate()
         self._backend.close()
+        for retired in self._retired_backends:
+            retired.close()
         if self._original_backend is not None:
             self._original_backend.close()
 
@@ -214,31 +223,52 @@ class LikelihoodEngine:
 
     @property
     def is_degraded(self) -> bool:
-        """True once the engine has fallen back to the reference backend."""
+        """True once the engine has fallen down the backend ladder."""
         return self._original_backend is not None
 
-    def _degrade(self) -> None:
-        """Swap in the ``reference`` backend (sticky until detach).
+    @staticmethod
+    def _fallback_chain_for(name: str) -> List[str]:
+        """The remaining ladder rungs below a backend: everything above
+        ``einsum`` (compiled, partitioned, third-party) falls to einsum
+        first — same engine caches, no thread pool, no foreign calls —
+        then to the independent ``reference`` implementation."""
+        if name == "reference":
+            return []
+        if name == "einsum":
+            return ["reference"]
+        return ["einsum", "reference"]
 
-        The original backend is kept so :meth:`detach` can release its
+    def _degrade(self) -> bool:
+        """Step one rung down the fallback chain (sticky until detach);
+        returns False when the chain is exhausted.
+
+        Displaced backends are kept so :meth:`detach` can release their
         resources (thread pools), and so the degradation is visible to
-        diagnostics.  Every cache is dropped: the reference backend owns
-        its transition-matrix projection, so cached P-matrices from the
-        failed backend must not leak into its evaluations.
+        diagnostics.  Every cache is dropped: a backend owning its own
+        transition-matrix projection (reference) must not see cached
+        P-matrices from the failed backend, and CLVs computed by the
+        faulting backend must not leak into the replacement's results.
         """
-        if self._original_backend is not None:
-            return
-        self._original_backend = self._backend
-        self._backend = resolve_backend("reference")
+        if not self._fallback_chain:
+            return False
+        next_name = self._fallback_chain.pop(0)
+        if self._original_backend is None:
+            self._original_backend = self._backend
+        else:
+            self._retired_backends.append(self._backend)
+        self._backend = resolve_backend(next_name)
+        self.degradation_path.append(next_name)
         self.invalidate_all()
+        return True
 
     def _guarded(self, label: str, fn):
         """Run ``fn`` under the degradation ladder.
 
         Detected faults (non-finite kernel guards, backend execution
         failures) invalidate every cache and recompute; after
-        ``degrade_after`` faulting recomputes the engine degrades to the
-        reference backend and tries once more.  Nested guarded calls
+        ``degrade_after`` faulting recomputes, every further fault steps
+        the engine one rung down the backend fallback chain (compiled →
+        einsum → reference) and tries again.  Nested guarded calls
         (e.g. ``clv`` inside ``evaluate``) run bare so one operation has
         exactly one ladder.
         """
@@ -256,13 +286,14 @@ class LikelihoodEngine:
                     self.invalidate_all()
                     if attempt <= self._degrade_after:
                         continue
-                    if not self.is_degraded:
-                        self._degrade()
+                    if self._degrade():
                         continue
+                    origin = (self._original_backend or self._backend).name
+                    ladder = " -> ".join([origin] + self.degradation_path)
                     raise EngineNumericalError(
                         f"{label}: numerical fault persisted through "
                         f"{attempt - 1} cache-invalidating recomputes and "
-                        f"the reference-backend fallback: {exc}"
+                        f"the backend degradation ladder ({ladder}): {exc}"
                     ) from exc
                 if attempt:
                     self.fault_recoveries += 1

@@ -10,7 +10,7 @@ engine core (:mod:`repro.phylo.engine.core`) holds everything else —
 CLV cache and arena, P-matrix LRU, dirty tracking, traversal order,
 Newton iteration, SPR batching.
 
-Three backends register here:
+Four backends register here:
 
 ``einsum``
     The vectorized NumPy kernels of :mod:`repro.phylo.kernels` — the
@@ -25,13 +25,22 @@ Three backends register here:
     The paper's PPE→SPE work partitioning: site patterns are sharded
     into contiguous stripes and every kernel runs stripe-parallel on a
     thread pool (NumPy releases the GIL inside the einsum bodies), with
-    per-stripe partial log likelihoods and scale counts reduced exactly
-    as the SPE version reduces its partial results.
+    partial log likelihoods reduced over fixed pattern blocks in a
+    thread-count-invariant order — exactly as the SPE version reduces
+    its partial results in fixed PPE order.
+``compiled``
+    The partitioned dispatcher with nogil machine-code inner kernels
+    (numba ``@njit(nogil=True)`` or an on-demand-compiled C library) so
+    stripe threads genuinely overlap.  Registered with an availability
+    *probe*: hosts without numba or a C compiler simply do not list it,
+    and requesting it by name raises a typed error.
 
 Select a backend with :func:`create_engine`'s ``backend=`` argument, the
-``REPRO_ENGINE_BACKEND`` environment variable (``name`` or ``name:N``
-where ``N`` sets the partitioned stripe/thread count), or by passing an
-already-built :class:`KernelBackend` instance.
+``REPRO_ENGINE_BACKEND`` environment variable (``name``, ``name:N`` where
+``N`` sets the stripe/thread count, or ``name:N:inner`` where ``inner``
+picks the partitioned dispatcher's inner kernels, e.g.
+``partitioned:2:compiled``), or by passing an already-built
+:class:`KernelBackend` instance.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ __all__ = [
     "KernelBackend",
     "KernelExecutionError",
     "available_backends",
+    "backend_availability",
     "create_engine",
     "register_backend",
     "resolve_backend",
@@ -83,6 +93,7 @@ BACKEND_COUNTER_KEYS = (
     "backend_stripe_tasks",
     "backend_stripes",
     "backend_threads",
+    "backend_warmup_us",
 )
 
 
@@ -247,12 +258,26 @@ class KernelBackend:
 
 _REGISTRY: Dict[str, Callable[..., KernelBackend]] = {}
 
+#: Optional availability probes by backend name.  A probe returns a
+#: truthy value (conventionally a short detail string, e.g. the compiled
+#: kernel flavor) when the backend can actually be constructed on this
+#: host, and ``None``/falsy when it cannot.
+_PROBES: Dict[str, Callable[[], object]] = {}
 
-def register_backend(name: str):
-    """Class/factory decorator adding a backend to the registry."""
+
+def register_backend(name: str, probe: Optional[Callable[[], object]] = None):
+    """Class/factory decorator adding a backend to the registry.
+
+    ``probe`` (optional) is a zero-argument availability check: backends
+    that depend on host capabilities (a JIT, a C compiler) register one
+    so :func:`available_backends` only lists what would really build.
+    Probes run lazily — never at registration/import time.
+    """
 
     def decorate(factory: Callable[..., KernelBackend]):
         _REGISTRY[name] = factory
+        if probe is not None:
+            _PROBES[name] = probe
         return factory
 
     return decorate
@@ -265,10 +290,40 @@ def _ensure_registered() -> None:
         from . import backends  # noqa: F401  (import side effect)
 
 
+def _probe(name: str) -> bool:
+    probe = _PROBES.get(name)
+    if probe is None:
+        return True
+    try:
+        return bool(probe())
+    except Exception:
+        return False
+
+
 def available_backends() -> List[str]:
-    """Sorted names of every registered backend."""
+    """Sorted names of every registered backend *usable on this host*
+    (backends whose availability probe fails are omitted)."""
     _ensure_registered()
-    return sorted(_REGISTRY)
+    return sorted(name for name in _REGISTRY if _probe(name))
+
+
+def backend_availability() -> Dict[str, object]:
+    """Every registered backend name mapped to its availability: ``True``
+    (no probe — always constructible), the probe's truthy detail (e.g.
+    the compiled flavor name), or ``False`` when the probe fails."""
+    _ensure_registered()
+    report: Dict[str, object] = {}
+    for name in sorted(_REGISTRY):
+        probe = _PROBES.get(name)
+        if probe is None:
+            report[name] = True
+            continue
+        try:
+            detail = probe()
+        except Exception:
+            detail = None
+        report[name] = detail if detail else False
+    return report
 
 
 def resolve_backend(
@@ -277,7 +332,9 @@ def resolve_backend(
     """Turn a backend spec into a live :class:`KernelBackend`.
 
     ``spec`` may be an instance (returned as-is), a registry name, a
-    ``name:N`` string (N = partitioned stripe/thread count), or ``None``
+    ``name:N`` string (N = partitioned stripe/thread count), a
+    ``name:N:inner`` string (``inner`` = the partitioned dispatcher's
+    inner striped kernels, e.g. ``partitioned:2:compiled``), or ``None``
     — which consults :data:`BACKEND_ENV_VAR` and finally falls back to
     :data:`DEFAULT_BACKEND`.  Keyword options are forwarded to the
     backend factory.
@@ -291,16 +348,20 @@ def resolve_backend(
     _ensure_registered()
     if spec is None:
         spec = os.environ.get(BACKEND_ENV_VAR, "").strip() or DEFAULT_BACKEND
-    name, _, arg = spec.partition(":")
-    if arg:
+    name, _, rest = spec.partition(":")
+    if rest:
+        arg, _, inner = rest.partition(":")
         try:
             workers = int(arg)
         except ValueError:
             raise ValueError(
-                f"malformed backend spec {spec!r}: expected name or name:N"
+                f"malformed backend spec {spec!r}: expected name, name:N, "
+                f"or name:N:inner"
             ) from None
         options.setdefault("n_stripes", workers)
         options.setdefault("n_threads", workers)
+        if inner:
+            options.setdefault("inner", inner)
     factory = _REGISTRY.get(name)
     if factory is None:
         raise ValueError(

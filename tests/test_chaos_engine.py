@@ -144,10 +144,12 @@ class TestForcedUnderflow:
 
 
 class TestDegradationLadder:
-    def test_repeated_stripe_raise_degrades_to_reference(self):
-        """Faults outlasting the recompute budget must fall back to the
-        reference backend — loudly (is_degraded + perf counter), with an
-        answer that still agrees with the clean one."""
+    def test_repeated_stripe_raise_degrades_down_the_ladder(self):
+        """Faults outlasting the recompute budget must step down the
+        backend ladder — loudly (is_degraded + perf counter +
+        degradation_path), with an answer that still agrees with the
+        clean one.  A stripe-level fault dies at the first rung: einsum
+        has no stripe dispatch, so the fault site never fires again."""
         patterns, tree = _instance(seed=47)
         clean = _clean_loglik(patterns, tree, backend="partitioned:2")
         engine = LikelihoodEngine(
@@ -160,11 +162,13 @@ class TestDegradationLadder:
             with inject(plan):
                 value = engine.evaluate(tree.branches[0])
             assert engine.is_degraded
+            assert engine.degradation_path == ["einsum"]
+            assert engine.backend.name == "einsum"
             assert engine.degraded_evaluations >= 1
             assert engine.perf_counters()["degraded"] >= 1
             assert engine.numerical_faults > engine._degrade_after
-            # The reference backend does not share the einsum contraction
-            # order, so agreement is approximate — but loud, not silent.
+            # The fallback backend does not share the striped reduction
+            # grouping, so agreement is approximate — but loud, not silent.
             assert value == pytest.approx(clean, rel=1e-9)
         finally:
             engine.detach()

@@ -1,0 +1,254 @@
+"""Tests of the ``compiled`` kernel backend: flavor selection and
+availability probing, the typed-unavailable contract, numerical
+agreement with einsum, the JIT/build warmup counter, and the
+compiled → einsum → reference degradation ladder under injected faults.
+
+Runs with whichever flavor the host provides (numba, or the on-demand C
+build); tests needing a live flavor skip when neither is available.
+The disabled/unavailable-path tests run everywhere — they only need the
+``REPRO_COMPILED_FLAVOR=disabled`` kill switch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import FaultPlan, FaultSpec, inject
+from repro.chaos.plan import ENGINE_CLV_POISON, ENGINE_PMAT_CORRUPT
+from repro.phylo import GammaRates, JC69, LikelihoodEngine, Tree
+from repro.phylo.engine import available_backends, create_engine
+from repro.phylo.engine.backends.compiled import (
+    FLAVOR_ENV_VAR,
+    CompiledBackend,
+    CompiledBackendUnavailable,
+    compiled_available,
+    load_compiled_kernels,
+)
+from repro.phylo.engine.backends.partitioned import EinsumStripedKernels
+from repro.phylo.engine.protocol import (
+    BACKEND_ENV_VAR,
+    EngineNumericalError,
+    backend_availability,
+)
+from repro.phylo.models import GTR
+from tests.strategies import random_patterns
+
+needs_compiled = pytest.mark.skipif(
+    compiled_available() is None,
+    reason="no compiled kernel flavor available (numba or a C compiler)",
+)
+
+MODEL = GTR((1.2, 2.9, 0.7, 1.1, 3.4, 1.0), (0.32, 0.18, 0.24, 0.26))
+
+
+def _instance(seed=91, n_taxa=7, n_sites=80):
+    rng = np.random.default_rng(seed)
+    patterns = random_patterns(rng, n_taxa, n_sites)
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    return patterns, tree
+
+
+def _persistent_plan(site, value=None):
+    return FaultPlan(seed=0, specs=(
+        FaultSpec(site, trigger_at=tuple(range(4096)),
+                  max_triggers=4096, value=value),
+    ))
+
+
+# -- availability and selection ----------------------------------------------
+
+
+@needs_compiled
+def test_registry_lists_compiled_when_a_flavor_loads():
+    assert "compiled" in available_backends()
+    detail = backend_availability()["compiled"]
+    assert detail in ("numba", "cc")
+
+
+def test_disabled_flavor_hides_compiled_from_registry(monkeypatch):
+    monkeypatch.setenv(FLAVOR_ENV_VAR, "disabled")
+    assert "compiled" not in available_backends()
+    assert backend_availability()["compiled"] is False
+    # Every always-available backend is still listed.
+    for name in ("einsum", "reference", "partitioned"):
+        assert name in available_backends()
+
+
+def test_engine_backend_env_compiled_unavailable_raises_typed(
+    monkeypatch,
+):
+    """`REPRO_ENGINE_BACKEND=compiled` on a host without the kernels
+    must fail loudly with the typed error, never fall back silently."""
+    patterns, tree = _instance()
+    monkeypatch.setenv(FLAVOR_ENV_VAR, "disabled")
+    monkeypatch.setenv(BACKEND_ENV_VAR, "compiled")
+    with pytest.raises(CompiledBackendUnavailable, match=FLAVOR_ENV_VAR):
+        create_engine(patterns, MODEL, None, tree)
+
+
+def test_unknown_flavor_raises_typed_error(monkeypatch):
+    with pytest.raises(CompiledBackendUnavailable, match="unknown"):
+        load_compiled_kernels("fortran")
+
+
+@needs_compiled
+def test_env_override_selects_compiled(monkeypatch):
+    patterns, tree = _instance()
+    monkeypatch.setenv(BACKEND_ENV_VAR, "compiled:2")
+    engine = create_engine(patterns, MODEL, None, tree)
+    try:
+        assert engine.backend.name == "compiled"
+        assert engine.backend.n_stripes == 2
+        assert np.isfinite(engine.evaluate())
+    finally:
+        engine.detach()
+
+
+@needs_compiled
+def test_flavor_table_is_a_process_singleton():
+    assert load_compiled_kernels() is load_compiled_kernels()
+    backend_a = CompiledBackend(n_stripes=1)
+    backend_b = CompiledBackend(n_stripes=2)
+    assert backend_a.inner_kernels is backend_b.inner_kernels
+
+
+def test_self_check_rejects_divergent_kernels():
+    """A flavor that cannot reproduce the einsum math must never be
+    declared usable — the load-time self-check is the gate."""
+    from repro.phylo.engine.backends._compiled_cc import (
+        CompiledKernelsError,
+        run_self_check,
+    )
+
+    class BrokenKernels(EinsumStripedKernels):
+        flavor = "broken"
+
+        def newview_combine(self, left, right, out):
+            def task(start, stop):
+                out[start:stop] = left[start:stop] + right[start:stop]
+            return task
+
+    with pytest.raises(CompiledKernelsError, match="newview_combine"):
+        run_self_check(BrokenKernels())
+
+
+# -- numerical agreement and instrumentation ---------------------------------
+
+
+@needs_compiled
+def test_compiled_agrees_with_einsum_and_counts_scale_exactly():
+    patterns, tree = _instance(seed=97, n_taxa=9, n_sites=120)
+    reference = LikelihoodEngine(
+        patterns, MODEL, GammaRates(0.6, 4), tree, backend="einsum"
+    )
+    engine = LikelihoodEngine(
+        patterns, MODEL, GammaRates(0.6, 4), tree, backend="compiled:2"
+    )
+    try:
+        assert engine.evaluate() == pytest.approx(
+            reference.evaluate(), rel=1e-9
+        )
+        branch = tree.branches[1]
+        a = reference.branch_derivatives(branch)
+        b = engine.branch_derivatives(branch)
+        assert b[0] == pytest.approx(a[0], rel=1e-9)
+        assert b[1] == pytest.approx(a[1], rel=1e-8, abs=1e-7)
+        assert b[2] == pytest.approx(a[2], rel=1e-8, abs=1e-7)
+        inner = next(n for n in tree.inner_nodes)
+        entry = inner.branches[0]
+        got = engine.clv(inner, entry)
+        expected = reference.clv(inner, entry)
+        # The underflow comparison is exact per pattern: identical bits.
+        assert np.array_equal(got.scale_counts, expected.scale_counts)
+    finally:
+        reference.detach()
+        engine.detach()
+
+
+@needs_compiled
+def test_warmup_counter_surfaces_jit_cost():
+    """Build/JIT time must be charged to warmup, not to the first
+    likelihood call: compiled reports it, pure-NumPy backends report 0."""
+    patterns, tree = _instance()
+    engine = create_engine(patterns, MODEL, None, tree, backend="compiled:1")
+    try:
+        engine.evaluate()
+        assert engine.perf_counters()["backend_warmup_us"] > 0
+    finally:
+        engine.detach()
+    engine = create_engine(patterns, MODEL, None, tree, backend="einsum")
+    try:
+        engine.evaluate()
+        assert engine.perf_counters()["backend_warmup_us"] == 0
+    finally:
+        engine.detach()
+
+
+# -- the degradation ladder --------------------------------------------------
+
+
+@needs_compiled
+def test_pmat_corrupt_walks_compiled_to_reference():
+    """A persistent P-matrix corruption fault follows the cache: it hits
+    compiled and einsum alike (both serve from the engine's pmat cache)
+    but cannot touch the reference backend, which projects its own
+    matrices — so the ladder must walk compiled → einsum → reference
+    and the evaluation must survive, degraded and loud."""
+    patterns, tree = _instance(seed=101)
+    clean_engine = LikelihoodEngine(
+        patterns, JC69(), None, tree, backend="einsum"
+    )
+    try:
+        clean = clean_engine.evaluate(tree.branches[0])
+    finally:
+        clean_engine.detach()
+    engine = LikelihoodEngine(
+        patterns, JC69(), None, tree, backend="compiled:2"
+    )
+    try:
+        with inject(_persistent_plan(ENGINE_PMAT_CORRUPT)):
+            value = engine.evaluate(tree.branches[0])
+        assert engine.is_degraded
+        assert engine.degradation_path == ["einsum", "reference"]
+        assert engine.backend.name == "reference"
+        assert engine.degraded_evaluations >= 1
+        assert value == pytest.approx(clean, rel=1e-9)
+    finally:
+        engine.detach()
+
+
+@needs_compiled
+def test_clv_poison_exhausts_the_full_ladder():
+    """A backend-independent fault (CLV poisoning re-fires on every
+    backend) must exhaust compiled → einsum → reference and surface as
+    the typed error with the full path recorded."""
+    patterns, tree = _instance(seed=103)
+    engine = LikelihoodEngine(
+        patterns, JC69(), None, tree, backend="compiled:2"
+    )
+    try:
+        with inject(_persistent_plan(ENGINE_CLV_POISON, value="nan")):
+            with pytest.raises(EngineNumericalError,
+                               match="persisted through"):
+                engine.evaluate(tree.branches[0])
+        assert engine.degradation_path == ["einsum", "reference"]
+        assert engine.numerical_faults > engine._degrade_after
+    finally:
+        engine.detach()
+
+
+@needs_compiled
+def test_detach_closes_every_rung(monkeypatch):
+    """Backends displaced mid-ladder keep their thread pools until
+    detach; detach must close all of them."""
+    patterns, tree = _instance(seed=107)
+    engine = LikelihoodEngine(
+        patterns, JC69(), None, tree, backend="compiled:2"
+    )
+    original = engine.backend
+    try:
+        with inject(_persistent_plan(ENGINE_CLV_POISON, value="nan")):
+            with pytest.raises(EngineNumericalError):
+                engine.evaluate(tree.branches[0])
+    finally:
+        engine.detach()
+    assert original._pool is None  # closed despite being displaced

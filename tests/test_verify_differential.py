@@ -8,6 +8,7 @@ locally with ``pytest -m verify``).
 import numpy as np
 import pytest
 
+from repro.phylo.engine.backends.compiled import compiled_available
 from repro.verify import (
     DifferentialFailure,
     compare_case,
@@ -19,9 +20,13 @@ from repro.verify import (
 #: stripe counts that do and do not divide typical pattern counts.  The
 #: "reference" entry diffs the oracle backend against the (stateless,
 #: cache-free) oracle itself — a self-consistency check of the core's
-#: dirty tracking.
+#: dirty tracking.  The compiled backend joins the sweep whenever a
+#: kernel flavor (numba or a C compiler) is available on the host.
 BACKEND_SPECS = ["einsum", "reference", "partitioned:1", "partitioned:2",
-                 "partitioned:7"]
+                 "partitioned:7",
+                 pytest.param("compiled:2", marks=pytest.mark.skipif(
+                     compiled_available() is None,
+                     reason="no compiled kernel flavor available"))]
 
 
 def test_random_case_is_deterministic():

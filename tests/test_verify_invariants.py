@@ -10,6 +10,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.phylo import GammaRates, JC69, LikelihoodEngine, Tree, UniformRate
+from repro.phylo.engine.backends.compiled import compiled_available
 from repro.phylo.models import GTR
 from repro.verify import (
     InvariantViolation,
@@ -82,9 +83,13 @@ def test_pattern_compression_matches_per_site(seed):
 
 #: Backend sweep for the metamorphic checks (see test_engine_backends.py
 #: for the registry-level tests; here the point is that the *invariants*
-#: hold on every backend, not only on the default).
+#: hold on every backend, not only on the default).  The compiled
+#: backend joins whenever a kernel flavor loads on the host.
 BACKEND_SPECS = ["einsum", "reference", "partitioned:1", "partitioned:2",
-                 "partitioned:7"]
+                 "partitioned:7",
+                 pytest.param("compiled:2", marks=pytest.mark.skipif(
+                     compiled_available() is None,
+                     reason="no compiled kernel flavor available"))]
 
 
 @pytest.mark.parametrize("backend", BACKEND_SPECS)
