@@ -47,10 +47,12 @@ from .plan import (
     ALL_SITES,
     CLUSTER_SITES,
     ENGINE_SITES,
+    SERVE_SITES,
     FaultPlan,
     FaultSpec,
     default_cluster_plan,
     default_engine_plan,
+    default_serve_plan,
 )
 from .report import (
     CLASSIFICATIONS,
@@ -73,10 +75,12 @@ __all__ = [
     "ALL_SITES",
     "CLUSTER_SITES",
     "ENGINE_SITES",
+    "SERVE_SITES",
     "FaultPlan",
     "FaultSpec",
     "default_cluster_plan",
     "default_engine_plan",
+    "default_serve_plan",
     "CLASSIFICATIONS",
     "ChaosRunResult",
     "ChaosSurvivalReport",
@@ -88,11 +92,12 @@ __all__ = [
     # lazily loaded (heavy imports):
     "run_engine_campaign",
     "run_cluster_campaign",
+    "run_serve_campaign",
     "journal_payload_digest",
 ]
 
 _LAZY = ("run_engine_campaign", "run_cluster_campaign",
-         "journal_payload_digest")
+         "run_serve_campaign", "journal_payload_digest")
 
 
 def __getattr__(name):

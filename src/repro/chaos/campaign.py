@@ -17,6 +17,11 @@ Two campaign flavours:
 * :func:`run_cluster_campaign` — full journalled master-worker runs
   with process faults (worker crash/hang, torn journal and checkpoint
   writes, transient append errors), including crash-resume loops.
+* :func:`run_serve_campaign` — the inference service under
+  ``serve.server_kill``: the serving process dies between journal
+  appends of a running job, a fresh service recovers the same store
+  root, and the finished result (plus the content-addressed cache
+  behaviour) must be byte-identical to the fault-free baseline.
 """
 
 from __future__ import annotations
@@ -36,7 +41,12 @@ from ..phylo.inference import infer_tree
 from ..phylo.search import SearchConfig
 from ..phylo.simulate import synthetic_dataset
 from .injector import InjectedCrash, inject
-from .plan import FaultPlan, default_cluster_plan, default_engine_plan
+from .plan import (
+    FaultPlan,
+    default_cluster_plan,
+    default_engine_plan,
+    default_serve_plan,
+)
 from .report import (
     SILENT_CORRUPTION,
     SURVIVED_DEGRADED,
@@ -53,6 +63,7 @@ __all__ = [
     "campaign_search_config",
     "run_engine_campaign",
     "run_cluster_campaign",
+    "run_serve_campaign",
     "journal_payload_digest",
 ]
 
@@ -341,6 +352,153 @@ def _cluster_chaos_run(patterns, plan: FaultPlan, n_workers: int,
             baseline_log_likelihood=baseline_lnl, fired=fired,
             error=f"{type(exc).__name__}: {exc}", resumes=resumes,
         )
+
+
+# -- serve campaign -----------------------------------------------------------
+
+
+def _serve_workload() -> str:
+    """The campaign alignment as submittable FASTA text."""
+    return synthetic_dataset(
+        n_taxa=CAMPAIGN_WORKLOAD["n_taxa"],
+        n_sites=CAMPAIGN_WORKLOAD["n_sites"],
+        seed=CAMPAIGN_WORKLOAD["seed"],
+    ).to_fasta()
+
+
+def _canonical_result(payload: Optional[dict]) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def _serve_run_to_completion(root: str, fasta: str, spec: JobSpec,
+                             n_workers: int, max_restarts: int) -> Tuple[dict, int, object]:
+    """Drive one submission to completion through server kills.
+
+    Each :class:`~repro.chaos.injector.InjectedCrash` models the serving
+    process dying; we discard the service object (its scheduler state
+    dies with it) and build a fresh one over the same store root, whose
+    :meth:`~repro.serve.jobstore.JobService.recover` re-enqueues the
+    orphaned job.  Returns ``(result payload, restarts, final service)``.
+    """
+    from ..serve.jobstore import JobService
+
+    cfg = _cluster_config(n_workers)
+    restarts = 0
+    service = JobService(root, n_workers=n_workers, cluster=cfg,
+                         clock=_make_clock())
+    record, hit = service.submit(fasta, spec, client="campaign")
+    if hit:
+        raise RuntimeError("campaign submission unexpectedly hit the cache")
+    while True:
+        try:
+            done = service.run_next()
+        except InjectedCrash:
+            restarts += 1
+            if restarts > max_restarts:
+                raise
+            service = JobService(root, n_workers=n_workers, cluster=cfg,
+                                 clock=_make_clock())
+            service.recover()
+            continue
+        if done is None or done.job_id == record.job_id:
+            break
+    result = service.result(record.job_id)
+    if result is None:
+        record = service.store.get(record.job_id)
+        raise RuntimeError(
+            f"job finished without a result: state={record.state} "
+            f"error={record.error}"
+        )
+    return result, restarts, service
+
+
+def _serve_chaos_run(fasta: str, spec: JobSpec, plan: FaultPlan,
+                     n_workers: int, rundir: str,
+                     baseline_canonical: str,
+                     max_restarts: int) -> ChaosRunResult:
+    os.makedirs(rundir, exist_ok=True)
+    fired: Dict[str, int] = {}
+    restarts = 0
+    try:
+        with inject(plan) as injector:
+            try:
+                result, restarts, service = _serve_run_to_completion(
+                    rundir, fasta, spec, n_workers, max_restarts
+                )
+            finally:
+                fired = dict(injector.fired)
+        # The survived store must also keep its caching contract: an
+        # identical resubmission is a hit and schedules no new run.
+        runs_before = service.store.runs_executed
+        _record2, hit2 = service.submit(fasta, spec, client="campaign-dup")
+        cache_ok = hit2 and service.store.runs_executed == runs_before
+        identical = (
+            _canonical_result(result) == baseline_canonical and cache_ok
+        )
+        if not cache_ok:
+            fired["observed.cache_miss_on_dup"] = 1
+        return ChaosRunResult(
+            seed=plan.seed,
+            classification=SURVIVED_IDENTICAL if identical
+            else SILENT_CORRUPTION,
+            log_likelihood=result["best_log_likelihood"],
+            fired=fired,
+            resumes=restarts,
+        )
+    except TYPED_ERRORS as exc:
+        return ChaosRunResult(
+            seed=plan.seed, classification=TYPED_FAILURE, fired=fired,
+            error=f"{type(exc).__name__}: {exc}", resumes=restarts,
+        )
+    except Exception as exc:  # noqa: BLE001 — the untyped-failure gate
+        return ChaosRunResult(
+            seed=plan.seed, classification=UNTYPED_FAILURE, fired=fired,
+            error=f"{type(exc).__name__}: {exc}", resumes=restarts,
+        )
+
+
+def run_serve_campaign(
+    n_seeds: int = 25,
+    n_workers: int = 2,
+    workdir: Optional[str] = None,
+    sites: Optional[Tuple[str, ...]] = None,
+    start_seed: int = 0,
+    max_restarts: int = 4,
+    fasta: Optional[str] = None,
+    spec: Optional[JobSpec] = None,
+) -> ChaosSurvivalReport:
+    """Sweep ``n_seeds`` server-kill adversaries over the job service.
+
+    Each seed submits the campaign job to a fresh store root and drives
+    it to completion under :func:`~repro.chaos.plan.default_serve_plan`,
+    replacing the service with a recovered one after every injected
+    kill.  Survival requires the final result payload — best tree,
+    supports, consensus, perf counters — to be *byte-identical* to the
+    fault-free baseline's, and an identical resubmission to hit the
+    result cache without scheduling a new run.
+    """
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-serve-")
+    if fasta is None:
+        fasta = _serve_workload()
+    if spec is None:
+        spec = _cluster_spec()
+    baseline, _restarts, _svc = _serve_run_to_completion(
+        os.path.join(workdir, "baseline"), fasta, spec, n_workers,
+        max_restarts=0,
+    )
+    baseline_canonical = _canonical_result(baseline)
+    report = ChaosSurvivalReport(label=f"serve:{n_workers}w")
+    for seed in range(start_seed, start_seed + n_seeds):
+        plan = default_serve_plan(seed, sites=sites)
+        report.add(
+            _serve_chaos_run(
+                fasta, spec, plan, n_workers,
+                os.path.join(workdir, f"seed{seed:03d}"),
+                baseline_canonical, max_restarts,
+            )
+        )
+    return report
 
 
 def run_cluster_campaign(

@@ -32,6 +32,11 @@ site                         meaning
 ``cluster.journal_oserror``  transient ``OSError`` on journal append
 ``cluster.checkpoint_torn``  atomic checkpoint write dies after writing part
                              of the *temp* file (the target must stay intact)
+``serve.server_kill``        the serving process dies between two journal
+                             appends of a running job (typed
+                             :class:`~repro.chaos.injector.InjectedCrash`);
+                             a restarted server must resume the job to a
+                             bit-identical result
 ===========================  ====================================================
 """
 
@@ -50,13 +55,16 @@ __all__ = [
     "CLUSTER_JOURNAL_TORN",
     "CLUSTER_JOURNAL_OSERROR",
     "CLUSTER_CHECKPOINT_TORN",
+    "SERVE_SERVER_KILL",
     "ENGINE_SITES",
     "CLUSTER_SITES",
+    "SERVE_SITES",
     "ALL_SITES",
     "FaultSpec",
     "FaultPlan",
     "default_engine_plan",
     "default_cluster_plan",
+    "default_serve_plan",
 ]
 
 # -- the site taxonomy --------------------------------------------------------
@@ -70,6 +78,7 @@ CLUSTER_WORKER_HANG = "cluster.worker_hang"
 CLUSTER_JOURNAL_TORN = "cluster.journal_torn"
 CLUSTER_JOURNAL_OSERROR = "cluster.journal_oserror"
 CLUSTER_CHECKPOINT_TORN = "cluster.checkpoint_torn"
+SERVE_SERVER_KILL = "serve.server_kill"
 
 #: Sites visited inside one likelihood engine (any backend).
 ENGINE_SITES: Tuple[str, ...] = (
@@ -88,7 +97,12 @@ CLUSTER_SITES: Tuple[str, ...] = (
     CLUSTER_CHECKPOINT_TORN,
 )
 
-ALL_SITES: Tuple[str, ...] = ENGINE_SITES + CLUSTER_SITES
+#: Sites visited by the inference service front-end (repro.serve).
+SERVE_SITES: Tuple[str, ...] = (
+    SERVE_SERVER_KILL,
+)
+
+ALL_SITES: Tuple[str, ...] = ENGINE_SITES + CLUSTER_SITES + SERVE_SITES
 
 
 @dataclass(frozen=True)
@@ -197,6 +211,28 @@ def default_engine_plan(
         ),
         BACKEND_STRIPE_RAISE: FaultSpec(
             BACKEND_STRIPE_RAISE, probability=0.01, max_triggers=1,
+        ),
+    }
+    return FaultPlan(
+        seed=seed, specs=tuple(catalogue[s] for s in sites)
+    )
+
+
+def default_serve_plan(
+    seed: int, sites: Optional[Tuple[str, ...]] = None
+) -> FaultPlan:
+    """The standard service-layer adversary for one campaign seed.
+
+    The kill site is visited once per journal append of the running
+    job (a campaign job appends a few dozen records), so most seeds
+    kill the server at least once mid-job and ``max_triggers`` allows
+    a second kill during the resumed run — the restart path itself
+    gets chaos coverage.
+    """
+    sites = SERVE_SITES if sites is None else sites
+    catalogue = {
+        SERVE_SERVER_KILL: FaultSpec(
+            SERVE_SERVER_KILL, probability=0.08, max_triggers=2,
         ),
     }
     return FaultPlan(

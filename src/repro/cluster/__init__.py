@@ -21,11 +21,21 @@ counterpart on real host cores:
   fine grain as workers go idle);
 * :mod:`~repro.cluster.aggregate` - streaming best-tree / consensus /
   support aggregation so partial results are servable at any time;
+* :mod:`~repro.cluster.bootstop` - the autoMRE-style bootstopping
+  policy: deterministic support-convergence checks over the contiguous
+  replicate prefix that stop the bootstrap DAG early, journalled so
+  resume stays bit-identical;
 * :mod:`~repro.cluster.runner` - the high-level ``run`` / ``resume`` /
   ``status`` entry points used by the CLI.
 """
 
 from .aggregate import StreamingAggregator, consensus_newick, merge_perf_counters
+from .bootstop import (
+    BootstopCheck,
+    BootstopConfig,
+    BootstopController,
+    evaluate_convergence,
+)
 from .checkpoint import JournalState, RunJournal, replay
 from .jobs import ClusterTask, JobSpec, PendingTask, TaskGraph, expand_job
 from .queue import ClusterConfig, ClusterQueue, TaskExecutionError, WorkerPlans
@@ -33,6 +43,10 @@ from .runner import job_status, resume_job, run_job
 from .scheduler import MultigrainScheduler
 
 __all__ = [
+    "BootstopCheck",
+    "BootstopConfig",
+    "BootstopController",
+    "evaluate_convergence",
     "StreamingAggregator",
     "consensus_newick",
     "merge_perf_counters",

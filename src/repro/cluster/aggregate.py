@@ -118,6 +118,25 @@ class StreamingAggregator:
                 self.best = payload
         return True
 
+    def truncate_bootstraps(self, stop_at: int) -> int:
+        """Drop bootstrap replicates ``>= stop_at`` (autoMRE bootstop).
+
+        When the bootstopping policy halts a run at prefix ``[0, k)``,
+        replicates past ``k`` that raced ahead of the decision must be
+        excluded so the final aggregate is a pure function of the stop
+        point, not of worker timing.  Split counts are decremented
+        exactly; returns the number of replicates removed.
+        """
+        extra = [r for r in self._bootstraps if r >= stop_at]
+        for replicate in extra:
+            tree = Tree.from_newick(self._bootstraps.pop(replicate)["newick"])
+            self._split_counts.subtract(tree.bipartitions())
+        # Counter.subtract keeps zero entries; purge them so iteration
+        # over _split_counts never sees phantom splits.
+        for split in [s for s, c in self._split_counts.items() if c <= 0]:
+            del self._split_counts[split]
+        return len(extra)
+
     # -- live views ---------------------------------------------------------
 
     @property

@@ -37,6 +37,8 @@ Event vocabulary::
     task_failed     {"task", "attempt", "attempts", "backoff_ms",
                      "error", "will_retry"}
     worker_dead     {"worker", "task", "reason"}
+    bootstop_converged  {"stop_at", "requested", "metric",
+                         "pass_fraction", "threshold", "seed", ...}
     run_finished    {"n_results", "phases", "perf"}
 """
 
@@ -257,6 +259,9 @@ class JournalState:
     tasks_finished: int = 0
     resumes: int = 0
     finished: bool = False
+    #: The journalled autoMRE stop decision (``bootstop_converged``
+    #: record), or None when the run never stopped early.
+    bootstop: Optional[dict] = None
     events: List[dict] = field(default_factory=list)
     #: lines skipped by replay: torn tails, CRC failures, malformed
     #: result payloads — each with a companion entry in ``warnings``.
@@ -336,8 +341,19 @@ def replay(path: str) -> JournalState:
                 state.failures.append(record)
             elif event == "worker_dead":
                 state.worker_deaths.append(record)
+            elif event == "bootstop_converged":
+                state.bootstop = record
             elif event == "run_finished":
                 state.finished = True
+    if state.bootstop is not None:
+        # The stop decision is authoritative: bootstrap replicates that
+        # raced past the stop point (journalled before the decision was
+        # reached) are excluded so resume reproduces the stopped run
+        # bit-identically.
+        stop_at = int(state.bootstop["stop_at"])
+        for key in [k for k in state.payloads
+                    if k[0] == "bootstrap" and k[1] >= stop_at]:
+            del state.payloads[key]
     return state
 
 

@@ -21,6 +21,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..phylo.search import SearchConfig
+from .bootstop import BootstopConfig
 
 __all__ = [
     "JobSpec",
@@ -44,7 +45,10 @@ class JobSpec:
     can rebuild the exact same task DAG without the original process.
     ``model_name=None`` means the engine default
     (:func:`repro.phylo.inference.default_model_for`); ``alpha=None``
-    means the engine's default Gamma rates.
+    means the engine's default Gamma rates.  ``bootstop`` activates the
+    autoMRE-style early-stop policy (:mod:`repro.cluster.bootstop`):
+    ``n_bootstraps`` then becomes the replicate *budget*, and the run
+    may journal a ``bootstop_converged`` decision and finish with fewer.
     """
 
     n_inferences: int
@@ -57,19 +61,28 @@ class JobSpec:
     alpha: Optional[float] = None
     categories: int = 4
     config: Optional[SearchConfig] = None
+    bootstop: Optional[BootstopConfig] = None
 
     def to_json(self) -> Dict[str, object]:
         payload = asdict(self)
         payload["config"] = asdict(self.config) if self.config else None
+        payload["bootstop"] = (
+            self.bootstop.to_json() if self.bootstop else None
+        )
         return payload
 
     @classmethod
     def from_json(cls, payload: Dict[str, object]) -> "JobSpec":
         data = dict(payload)
         config = data.pop("config", None)
+        bootstop = data.pop("bootstop", None)
         spec = cls(**data)
         if config is not None:
             object.__setattr__(spec, "config", SearchConfig(**config))
+        if bootstop is not None:
+            object.__setattr__(
+                spec, "bootstop", BootstopConfig.from_json(bootstop)
+            )
         return spec
 
 

@@ -35,6 +35,7 @@ from ..phylo.rates import GammaRates
 from ..phylo.search import SearchConfig
 from ..sched.mgps import summarize_phases
 from .aggregate import StreamingAggregator
+from .bootstop import BootstopController
 from .checkpoint import RunJournal
 from .jobs import ClusterTask, JobSpec, PendingTask
 from .scheduler import MultigrainScheduler
@@ -305,6 +306,7 @@ class ClusterQueue:
         journal: Optional[RunJournal] = None,
         plans: Optional[WorkerPlans] = None,
         aggregator: Optional[StreamingAggregator] = None,
+        bootstop: Optional[BootstopController] = None,
     ):
         self.patterns = patterns
         self.ctx = ctx or ExecutionContext()
@@ -312,6 +314,7 @@ class ClusterQueue:
         self.journal = journal or RunJournal(None)
         self.plans = plans or WorkerPlans()
         self.aggregator = aggregator or StreamingAggregator()
+        self.bootstop = bootstop
         self.scheduler: Optional[MultigrainScheduler] = None
 
     def run(
@@ -328,10 +331,16 @@ class ClusterQueue:
         results: Dict[Tuple[str, int], dict] = dict(already or {})
         for payload in results.values():
             self.aggregator.ingest(payload)
+            if self.bootstop is not None and payload.get("is_bootstrap"):
+                self.bootstop.note(payload["replicate"], payload["newick"])
         remaining = {
             key for t in tasks for key in t.keys() if key not in results
         }
         pending: List[PendingTask] = [PendingTask(t) for t in tasks]
+        # Replayed results alone may already satisfy the autoMRE
+        # criterion (a crash can land between the converging replicate
+        # and the journalled decision); check before spawning anything.
+        pending = self._bootstop_check(pending, remaining, results)
         if not remaining:
             return results
 
@@ -358,6 +367,8 @@ class ClusterQueue:
 
         def requeue(task: ClusterTask, attempt: int, error: str,
                     now: float) -> None:
+            if self._bootstop_cancelled(task, results):
+                return  # bootstopping already cancelled this work
             if all(key in results for key in task.keys()):
                 return  # everything streamed out before the death
             will_retry = attempt < 1 + self.cfg.max_retries
@@ -409,6 +420,7 @@ class ClusterQueue:
                         message = outbox.get_nowait()
                     except _queue.Empty:
                         message = None
+                pending = self._bootstop_check(pending, remaining, results)
 
                 # -- liveness / timeout sweep --------------------------------
                 now = time.monotonic()
@@ -463,6 +475,61 @@ class ClusterQueue:
 
     # -- internals ----------------------------------------------------------
 
+    def _bootstop_stopped_replicate(self, payload: dict) -> bool:
+        """True when bootstopping has already cancelled this replicate."""
+        return (
+            self.bootstop is not None
+            and self.bootstop.stopped_at is not None
+            and bool(payload.get("is_bootstrap"))
+            and payload["replicate"] >= self.bootstop.stopped_at
+        )
+
+    def _bootstop_cancelled(self, task: ClusterTask, results) -> bool:
+        """True when every outstanding replicate of *task* is cancelled."""
+        if self.bootstop is None or self.bootstop.stopped_at is None:
+            return False
+        stop_at = self.bootstop.stopped_at
+        return task.kind == "bootstrap" and all(
+            r >= stop_at or ("bootstrap", r) in results
+            for r in task.replicates
+        )
+
+    def _bootstop_check(self, pending, remaining, results):
+        """Poll the autoMRE controller; cancel bootstrap work on stop.
+
+        Journals the decision, drops the pending bootstrap tasks, and
+        evicts replicates past the stop point from the aggregate and
+        the result map — in-flight workers may still deliver them, but
+        :meth:`_handle` discards those arrivals, so the final payload
+        set is exactly ``[0, stop_at)`` regardless of timing.
+        """
+        if self.bootstop is None:
+            return pending
+        check = self.bootstop.poll()
+        if check is None:
+            return pending
+        stop_at = self.bootstop.stopped_at
+        self.journal.append(
+            "bootstop_converged",
+            stop_at=stop_at,
+            requested=self.bootstop.n_requested,
+            metric=check.metric,
+            pass_fraction=check.pass_fraction,
+            threshold=self.bootstop.config.threshold,
+            quorum=self.bootstop.config.quorum,
+            n_permutations=self.bootstop.config.n_permutations,
+            check_every=self.bootstop.config.check_every,
+            seed=self.bootstop.seed,
+        )
+        pending = [p for p in pending if p.task.kind != "bootstrap"]
+        for key in [k for k in remaining if k[0] == "bootstrap"]:
+            remaining.discard(key)
+        for key in [k for k in results
+                    if k[0] == "bootstrap" and k[1] >= stop_at]:
+            del results[key]
+        self.aggregator.truncate_bootstraps(stop_at)
+        return pending
+
     def _handle(self, message, workers, results, remaining, requeue,
                 now: float) -> None:
         kind, wid = message[0], message[1]
@@ -477,10 +544,15 @@ class ClusterQueue:
                                 attempt=attempt, worker=wid)
         elif kind == "replicate":
             _, _, task_id, attempt, payload = message
+            if self._bootstop_stopped_replicate(payload):
+                return  # raced past the journalled stop decision
             key = (payload["kind"], payload["replicate"])
             if key not in results:
                 results[key] = payload
                 self.aggregator.ingest(payload)
+                if self.bootstop is not None and payload.get("is_bootstrap"):
+                    self.bootstop.note(payload["replicate"],
+                                       payload["newick"])
                 self.journal.append("replicate_done", task=task_id,
                                     payload=payload)
             remaining.discard(key)

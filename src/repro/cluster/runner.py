@@ -13,11 +13,18 @@ from typing import Dict, Optional, Tuple
 from ..phylo.alignment import Alignment, PatternAlignment
 from ..phylo.inference import AnalysisResult
 from .aggregate import StreamingAggregator
+from .bootstop import BootstopController
 from .checkpoint import JournalState, RunJournal, replay
 from .jobs import JobSpec, expand_job
 from .queue import ClusterConfig, ClusterQueue, ExecutionContext, WorkerPlans
 
 __all__ = ["run_job", "resume_job", "job_status"]
+
+
+def _bootstop_controller(spec: JobSpec) -> Optional[BootstopController]:
+    if spec.bootstop is None:
+        return None
+    return BootstopController(spec.bootstop, spec.n_bootstraps, spec.seed)
 
 
 def _as_patterns(alignment) -> PatternAlignment:
@@ -85,7 +92,7 @@ def run_job(
                    n_workers=cluster.n_workers)
     queue = ClusterQueue(
         patterns, ctx=ExecutionContext.from_spec(spec), cluster=cluster,
-        journal=journal, plans=plans,
+        journal=journal, plans=plans, bootstop=_bootstop_controller(spec),
     )
     try:
         queue.run(expand_job(spec))
@@ -114,7 +121,21 @@ def resume_job(
     if state.spec is None:
         raise ValueError(f"{journal_path}: no run_started header to resume")
     spec = JobSpec.from_json(state.spec)
-    tasks = expand_job(spec, state.done_inferences, state.done_bootstraps)
+    bootstop = _bootstop_controller(spec)
+    if state.bootstop is not None:
+        # A journalled autoMRE stop decision is final: truncate the
+        # resume DAG to the stopped prefix (replay already evicted any
+        # replicate past it) instead of re-deriving the decision.
+        stop_at = int(state.bootstop["stop_at"])
+        from dataclasses import replace as _replace
+
+        spec_for_tasks = _replace(spec, n_bootstraps=stop_at)
+        if bootstop is not None:
+            bootstop.restore(stop_at)
+    else:
+        spec_for_tasks = spec
+    tasks = expand_job(spec_for_tasks, state.done_inferences,
+                       state.done_bootstraps)
 
     if not tasks:
         aggregator = StreamingAggregator()
@@ -132,7 +153,7 @@ def resume_job(
                    n_workers=cluster.n_workers)
     queue = ClusterQueue(
         patterns, ctx=ExecutionContext.from_spec(spec), cluster=cluster,
-        journal=journal, plans=plans,
+        journal=journal, plans=plans, bootstop=bootstop,
     )
     try:
         queue.run(tasks, already=dict(state.payloads))
@@ -143,13 +164,37 @@ def resume_job(
 
 
 def job_status(journal_path: str) -> Dict[str, object]:
-    """Summarize a journal: progress, faults, streaming partials."""
+    """Summarize a journal: progress, faults, streaming partials.
+
+    With autoMRE bootstopping the replicate count is not fixed up
+    front: ``n_bootstraps_total`` reports the *effective* target (the
+    journalled stop point once the run converged, the requested budget
+    before that), and ``bootstop`` carries the policy state — requested
+    budget, stop point, and the convergence metric of the decision.
+    """
     state = replay(journal_path)
     aggregator = StreamingAggregator()
     for payload in state.payloads.values():
         aggregator.ingest(payload)
     spec = JobSpec.from_json(state.spec) if state.spec else None
     consensus_supports, consensus_tree = aggregator.consensus()
+    bootstop: Optional[Dict[str, object]] = None
+    n_bootstraps_total = spec.n_bootstraps if spec else None
+    if spec is not None and spec.bootstop is not None:
+        bootstop = {
+            "enabled": True,
+            "requested": spec.n_bootstraps,
+            "check_every": spec.bootstop.check_every,
+            "threshold": spec.bootstop.threshold,
+            "stop_at": None,
+            "metric": None,
+            "pass_fraction": None,
+        }
+        if state.bootstop is not None:
+            bootstop["stop_at"] = int(state.bootstop["stop_at"])
+            bootstop["metric"] = state.bootstop.get("metric")
+            bootstop["pass_fraction"] = state.bootstop.get("pass_fraction")
+            n_bootstraps_total = int(state.bootstop["stop_at"])
     return {
         "spec": spec,
         "state": state,
@@ -157,7 +202,8 @@ def job_status(journal_path: str) -> Dict[str, object]:
         "n_inferences_done": aggregator.n_inferences,
         "n_bootstraps_done": aggregator.n_bootstraps,
         "n_inferences_total": spec.n_inferences if spec else None,
-        "n_bootstraps_total": spec.n_bootstraps if spec else None,
+        "n_bootstraps_total": n_bootstraps_total,
+        "bootstop": bootstop,
         "best": aggregator.best,
         "supports": aggregator.supports(),
         "consensus_supports": consensus_supports,

@@ -151,13 +151,36 @@ def render_cluster_status(journal_path: str) -> str:
             f"{spec.n_bootstraps} bootstrap(s), seed {spec.seed}, "
             f"batch size {spec.batch_size}"
         )
+    bootstop = status.get("bootstop")
     lines.append(
         f"   progress: inferences {status['n_inferences_done']}"
         f"/{status['n_inferences_total'] or '?'}, "
         f"bootstraps {status['n_bootstraps_done']}"
         f"/{status['n_bootstraps_total'] or '?'}"
+        f"{' (autoMRE)' if bootstop else ''}"
         f"{'  [finished]' if status['finished'] else ''}"
     )
+    if bootstop:
+        # The replicate count is a budget, not a promise: report the
+        # convergence state instead of implying a fixed campaign size.
+        if bootstop["stop_at"] is not None:
+            metric = bootstop.get("metric")
+            metric_text = (f", metric {metric:.4f} <= "
+                           f"{bootstop['threshold']:.4f}"
+                           if metric is not None else "")
+            lines.append(
+                f"   bootstopping: converged at {bootstop['stop_at']}"
+                f"/{bootstop['requested']} requested replicate(s)"
+                f"{metric_text}"
+            )
+        else:
+            lines.append(
+                f"   bootstopping: not yet converged "
+                f"({status['n_bootstraps_done']}"
+                f"/{bootstop['requested']} budgeted, checks every "
+                f"{bootstop['check_every']}, threshold "
+                f"{bootstop['threshold']:.4f})"
+            )
     lines.append(
         f"   faults: {len(status['retries'])} retr"
         f"{'y' if len(status['retries']) == 1 else 'ies'}, "

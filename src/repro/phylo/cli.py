@@ -12,6 +12,7 @@ RAxML-flavoured usage::
     python -m repro.phylo.cli cluster status --journal run.jsonl
     python -m repro.phylo.cli verify --check
     python -m repro.phylo.cli verify --fuzz 200
+    python -m repro.phylo.cli serve --root /var/lib/repro-serve --port 8642
 
 ``infer`` runs the full workflow of the paper's section 3.1: ``-n``
 independent searches from randomized stepwise-addition parsimony
@@ -147,6 +148,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default: as journalled)")
     cresume.add_argument("-o", "--output", help="best-tree output path")
 
+    crun.add_argument("--bootstop", action="store_true",
+                      help="autoMRE bootstopping: treat -b as a budget and "
+                      "stop early once support values converge")
+    crun.add_argument("--bootstop-check-every", type=int, default=50,
+                      metavar="K",
+                      help="convergence checkpoint spacing in replicates "
+                      "(default 50)")
+    crun.add_argument("--bootstop-threshold", type=float, default=0.03,
+                      metavar="T",
+                      help="mean support distance threshold per permuted "
+                      "half-split (default 0.03)")
+
     cstatus = csub.add_parser("status",
                               help="summarize a run journal (streaming "
                               "partial results included)")
@@ -202,10 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--seeds", type=int, default=25,
                        help="campaign seeds per flavour (default 25)")
-    chaos.add_argument("--mode", choices=["engine", "cluster", "both"],
+    chaos.add_argument("--mode",
+                       choices=["engine", "cluster", "serve", "both", "all"],
                        default="both",
-                       help="which fault layer to campaign against "
-                       "(default both)")
+                       help="which fault layer to campaign against: "
+                       "engine, cluster, serve (server-kill/restart "
+                       "loops), both = engine+cluster, all = every "
+                       "layer (default both)")
     chaos.add_argument("--backend", default=None, metavar="NAME",
                        help="kernel backend for the engine campaign, or "
                        "'all' for einsum + reference + partitioned:2 "
@@ -227,6 +243,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="merge campaign stats into this benchmark "
                        "JSON file as the 'chaos_campaign' section "
                        "(e.g. BENCH_engine.json)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async inference service (repro.serve)",
+        description="Serve tree inference over HTTP/JSON: POST /jobs "
+        "submits an alignment + model + seed, GET /jobs/{id}/events "
+        "streams the run journal as server-sent events, and GET "
+        "/jobs/{id}/result returns the best tree with supports and "
+        "consensus. Results are cached content-addressed, so duplicate "
+        "submissions return instantly; an interrupted server resumes "
+        "its jobs bit-identically on restart.",
+    )
+    serve.add_argument("--root", required=True,
+                       help="service state directory (jobs, journals, "
+                       "result cache, alignments)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port (default 8642; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="cluster worker processes per job (default 2)")
+    serve.add_argument("--max-inflight-per-client", type=int, default=1,
+                       help="concurrent jobs allowed per client "
+                       "(default 1)")
     return parser
 
 
@@ -385,6 +425,14 @@ def _cmd_cluster(args) -> int:
         return 0
 
     if args.cluster_command == "run":
+        bootstop = None
+        if args.bootstop:
+            from ..cluster import BootstopConfig
+
+            bootstop = BootstopConfig(
+                check_every=args.bootstop_check_every,
+                threshold=args.bootstop_threshold,
+            )
         spec = JobSpec(
             n_inferences=args.runs,
             n_bootstraps=args.bootstraps,
@@ -400,6 +448,7 @@ def _cmd_cluster(args) -> int:
                 max_radius=args.max_radius,
                 max_rounds=args.rounds,
             ),
+            bootstop=bootstop,
         )
         analysis = run_job(spec, n_workers=args.workers,
                            journal_path=args.journal)
@@ -464,10 +513,14 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from ..chaos import run_cluster_campaign, run_engine_campaign
+    from ..chaos import (
+        run_cluster_campaign,
+        run_engine_campaign,
+        run_serve_campaign,
+    )
 
     reports = []
-    if args.mode in ("engine", "both"):
+    if args.mode in ("engine", "both", "all"):
         if args.backend == "all":
             backends = ["einsum", "reference", "partitioned:2"]
             from .engine import available_backends
@@ -481,8 +534,13 @@ def _cmd_chaos(args) -> int:
                 n_seeds=args.seeds, backend=backend,
                 start_seed=args.start_seed,
             ))
-    if args.mode in ("cluster", "both"):
+    if args.mode in ("cluster", "both", "all"):
         reports.append(run_cluster_campaign(
+            n_seeds=args.seeds, n_workers=args.workers,
+            workdir=args.workdir, start_seed=args.start_seed,
+        ))
+    if args.mode in ("serve", "all"):
+        reports.append(run_serve_campaign(
             n_seeds=args.seeds, n_workers=args.workers,
             workdir=args.workdir, start_seed=args.start_seed,
         ))
@@ -515,6 +573,26 @@ def _cmd_chaos(args) -> int:
     return 0 if all(report.ok for report in reports) else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from ..serve import serve_forever
+
+    print(f"repro-serve: root={args.root} listening on "
+          f"{args.host}:{args.port} (ctrl-c to stop; queued and running "
+          f"jobs resume on restart)")
+    try:
+        asyncio.run(serve_forever(
+            args.root, host=args.host, port=args.port,
+            n_workers=args.workers,
+            max_inflight_per_client=args.max_inflight_per_client,
+        ))
+    except KeyboardInterrupt:
+        print(f"serve: interrupted; unfinished jobs remain resumable "
+              f"under {args.root}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -525,6 +603,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cluster": _cmd_cluster,
         "verify": _cmd_verify,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

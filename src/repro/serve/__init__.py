@@ -1,0 +1,67 @@
+"""Inference-as-a-service over the cluster layer (``repro-phylo serve``).
+
+The paper's pipeline ends where most real deployments begin: somebody
+has to *operate* tree inference for many users.  This package wraps
+:mod:`repro.cluster` in a small asyncio HTTP/JSON service (stdlib only)
+with three service-grade behaviours layered on the cluster's existing
+determinism contract:
+
+* :mod:`~repro.serve.cache` — content-addressed result caching keyed by
+  the canonical digest of ``(pattern-compressed alignment, model
+  config, seed)``; duplicate submissions return instantly without
+  scheduling a single cluster task;
+* :mod:`~repro.serve.fairness` — multi-tenant dispatch: per-client FIFO
+  queues, per-client inflight caps, strict priorities with
+  round-robin tie-breaking;
+* :mod:`~repro.serve.jobstore` — durable job records + the
+  transport-free :class:`~repro.serve.jobstore.JobService` core; a
+  server killed mid-job (the ``serve.server_kill`` chaos site) restarts
+  and resumes to a bit-identical result;
+* :mod:`~repro.serve.sse` — live progress streaming by tailing the run
+  journal as server-sent events;
+* :mod:`~repro.serve.app` — the asyncio HTTP front-end and routes.
+
+autoMRE bootstopping itself lives in :mod:`repro.cluster.bootstop` (it
+is a cluster aggregation policy, not a service feature); the service
+exposes it through the ``bootstop`` key of a submission.
+"""
+
+from .api import ApiError, parse_submission, spec_from_request
+from .app import ServeApp, serve_forever
+from .cache import ResultCache, canonical_alignment_key, job_digest
+from .fairness import FairScheduler, QueuedJob
+from .jobstore import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobRecord,
+    JobService,
+    JobStore,
+    result_payload,
+)
+from .sse import JournalTail, format_sse, tail_to_completion
+
+__all__ = [
+    "ApiError",
+    "parse_submission",
+    "spec_from_request",
+    "ServeApp",
+    "serve_forever",
+    "ResultCache",
+    "canonical_alignment_key",
+    "job_digest",
+    "FairScheduler",
+    "QueuedJob",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JobRecord",
+    "JobService",
+    "JobStore",
+    "result_payload",
+    "JournalTail",
+    "format_sse",
+    "tail_to_completion",
+]

@@ -1,0 +1,142 @@
+"""Request parsing / validation for the job API (transport-agnostic).
+
+The asyncio front-end (:mod:`repro.serve.app`) does sockets and HTTP
+framing; everything about *what a request means* lives here so tests
+can exercise validation without a server.  All client errors surface as
+:class:`ApiError` with an HTTP status and a stable machine-readable
+``code`` — a service's error contract is part of its API.
+
+A submission body looks like::
+
+    {
+      "alignment": ">t1\\nACGT...\\n>t2\\n...",   # FASTA or PHYLIP text
+      "model": {
+        "n_inferences": 1, "n_bootstraps": 20, "seed": 42,
+        "aa": false, "model_name": null, "alpha": null,
+        "categories": 4, "batch_size": 2
+      },
+      "bootstop": true | {"check_every": 10, "threshold": 0.03, ...},
+      "client": "alice",
+      "priority": 10
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from ..cluster.bootstop import BootstopConfig
+from ..cluster.jobs import JobSpec
+
+__all__ = ["ApiError", "parse_submission", "spec_from_request"]
+
+#: ``model`` keys accepted from clients, with (type, validator) pairs.
+#: Everything else in :class:`~repro.cluster.jobs.JobSpec` is an
+#: execution detail the service chooses, not the client.
+_MODEL_FIELDS = {
+    "n_inferences": (int, lambda v: v >= 1),
+    "n_bootstraps": (int, lambda v: v >= 0),
+    "seed": (int, lambda v: True),
+    "batch_size": (int, lambda v: v >= 1),
+    "aa": (bool, lambda v: True),
+    "model_name": (str, lambda v: bool(v)),
+    "alpha": (float, lambda v: v > 0),
+    "categories": (int, lambda v: 1 <= v <= 16),
+}
+
+_MAX_ALIGNMENT_BYTES = 4 * 1024 * 1024
+
+
+class ApiError(Exception):
+    """A client-visible request failure (maps to an HTTP error)."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def payload(self) -> Dict[str, str]:
+        return {"error": self.code, "message": self.message}
+
+
+def _bad(code: str, message: str) -> ApiError:
+    return ApiError(400, code, message)
+
+
+def spec_from_request(model: object, bootstop: object = None) -> JobSpec:
+    """Build a :class:`JobSpec` from a submission's ``model`` block."""
+    if not isinstance(model, dict):
+        raise _bad("model_invalid", "'model' must be an object")
+    unknown = sorted(set(model) - set(_MODEL_FIELDS))
+    if unknown:
+        raise _bad("model_unknown_field",
+                   f"unknown model field(s): {', '.join(unknown)}")
+    fields: Dict[str, object] = {}
+    for name, value in model.items():
+        expected, check = _MODEL_FIELDS[name]
+        if value is None and name in ("model_name", "alpha"):
+            continue
+        if expected in (int, float) and isinstance(value, bool):
+            raise _bad("model_invalid",
+                       f"model field {name!r} must be {expected.__name__}")
+        if expected is float and isinstance(value, int):
+            value = float(value)
+        if not isinstance(value, expected) or not check(value):
+            raise _bad("model_invalid",
+                       f"model field {name!r} is invalid: {value!r}")
+        fields[name] = value
+    for required in ("n_inferences", "n_bootstraps", "seed"):
+        if required not in fields:
+            raise _bad("model_missing_field",
+                       f"model field {required!r} is required")
+    if bootstop not in (None, False):
+        if bootstop is True:
+            config = BootstopConfig()
+        elif isinstance(bootstop, dict):
+            try:
+                config = BootstopConfig.from_json(bootstop)
+            except (TypeError, ValueError) as exc:
+                raise _bad("bootstop_invalid",
+                           f"bad bootstop config: {exc}") from exc
+        else:
+            raise _bad("bootstop_invalid",
+                       "'bootstop' must be true or a config object")
+        fields["bootstop"] = config
+    try:
+        return JobSpec(**fields)
+    except (TypeError, ValueError) as exc:  # defensive; fields are vetted
+        raise _bad("model_invalid", f"bad model: {exc}") from exc
+
+
+def parse_submission(body: bytes) -> Tuple[str, JobSpec, str, int]:
+    """Validate a ``POST /jobs`` body.
+
+    Returns ``(alignment_text, spec, client, priority)``.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise _bad("body_not_json", f"request body is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise _bad("body_not_object", "request body must be a JSON object")
+    alignment = payload.get("alignment")
+    if not isinstance(alignment, str) or not alignment.strip():
+        raise _bad("alignment_missing",
+                   "'alignment' must be non-empty FASTA or PHYLIP text")
+    if len(alignment) > _MAX_ALIGNMENT_BYTES:
+        raise ApiError(413, "alignment_too_large",
+                       f"alignment exceeds {_MAX_ALIGNMENT_BYTES} bytes")
+    if "model" not in payload:
+        raise _bad("model_missing", "'model' is required")
+    spec = spec_from_request(payload["model"], payload.get("bootstop"))
+    client = payload.get("client", "anonymous")
+    if not isinstance(client, str) or not client or len(client) > 128:
+        raise _bad("client_invalid", "'client' must be a short string")
+    priority = payload.get("priority", 10)
+    if isinstance(priority, bool) or not isinstance(priority, int) \
+            or not 0 <= priority <= 100:
+        raise _bad("priority_invalid",
+                   "'priority' must be an integer in [0, 100]")
+    return alignment, spec, client, priority

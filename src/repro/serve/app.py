@@ -1,0 +1,375 @@
+"""Asyncio HTTP/JSON front-end over the synchronous service core.
+
+Stdlib only: ``asyncio.start_server`` plus hand-rolled HTTP/1.1 framing
+(the request surface is small and fully under our control, so a
+dependency-free parser is ~60 lines).  Blocking cluster runs execute in
+a thread pool — the event loop only ever parses requests, tails
+journals, and frames responses, so status and event-stream requests
+stay responsive while replicates grind in worker processes.
+
+Routes::
+
+    GET  /healthz            liveness probe
+    POST /jobs               submit (alignment + model + seed) -> job id
+    GET  /jobs               list job summaries
+    GET  /jobs/{id}          durable record + live journal progress
+    GET  /jobs/{id}/events   SSE stream of the job's run journal
+    GET  /jobs/{id}/result   final result (best tree, supports, consensus)
+    GET  /stats              scheduler + cache counters
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from .api import ApiError, parse_submission
+from .jobstore import JOB_DONE, JOB_FAILED, JobService
+from .sse import JournalTail, format_sse
+
+__all__ = ["ServeApp", "serve_forever"]
+
+logger = logging.getLogger(__name__)
+
+_REASONS = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+#: Hard ceilings on request framing (a service must bound its inputs).
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _HttpRequest:
+    def __init__(self, method: str, path: str, headers: Dict[str, str],
+                 body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
+    """Parse one HTTP/1.1 request; None on clean EOF before any bytes."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ApiError(400, "bad_request", "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise ApiError(413, "headers_too_large", "request head too large")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise ApiError(413, "headers_too_large", "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, path, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ApiError(400, "bad_request", f"malformed request line: {lines[0]!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ApiError(400, "bad_request", "bad Content-Length")
+        if length > _MAX_BODY_BYTES:
+            raise ApiError(413, "body_too_large",
+                           f"body exceeds {_MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length)
+    return _HttpRequest(method, path, headers, body)
+
+
+def _response(status: int, payload: Dict[str, object]) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+class ServeApp:
+    """The HTTP server: routing, SSE streaming, and job dispatch."""
+
+    def __init__(
+        self,
+        service: JobService,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        max_concurrent_jobs: int = 1,
+        poll_interval: float = 0.1,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.poll_interval = poll_interval
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrent_jobs,
+            thread_name_prefix="repro-serve-job",
+        )
+        self._max_concurrent = max_concurrent_jobs
+        self._inflight: set = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._stopping = asyncio.Event()
+        self._wakeup = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        recovered = self.service.recover()
+        if recovered:
+            logger.info("recovered %d unfinished job(s) from %s",
+                        len(recovered), self.service.store.root)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=_MAX_HEADER_BYTES,
+        )
+        if self.port == 0:  # tests bind an ephemeral port
+            self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        logger.info("repro-serve listening on %s:%d", self.host, self.port)
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        self._wakeup.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            await self._dispatcher
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Pull jobs off the fair scheduler into the thread pool."""
+        loop = asyncio.get_event_loop()
+        while not self._stopping.is_set():
+            started = False
+            while len(self._inflight) < self._max_concurrent:
+                record = self.service.next_job()
+                if record is None:
+                    break
+                future = loop.run_in_executor(
+                    self._executor, self.service.execute, record
+                )
+                self._inflight.add(future)
+                future.add_done_callback(self._job_done)
+                started = True
+            if not started:
+                self._wakeup.clear()
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(),
+                                           timeout=self.poll_interval)
+                except asyncio.TimeoutError:
+                    pass
+
+    def _job_done(self, future) -> None:
+        self._inflight.discard(future)
+        exc = future.exception()
+        if exc is not None:
+            # service.execute only lets a simulated server-kill escape;
+            # anything else here is a bug worth a loud log line.
+            logger.error("job execution raised: %s", exc)
+        self._wakeup.set()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+            except ApiError as exc:
+                writer.write(_response(exc.status, exc.payload()))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            await self._route(request, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except Exception:  # noqa: BLE001 — a connection must not kill the app
+            logger.exception("unhandled error serving a request")
+            try:
+                writer.write(_response(
+                    500, {"error": "internal", "message": "internal error"}
+                ))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(self, request: _HttpRequest,
+                     writer: asyncio.StreamWriter) -> None:
+        method, path = request.method, request.path.split("?", 1)[0]
+        try:
+            if path == "/healthz" and method == "GET":
+                payload: Dict[str, object] = {"ok": True}
+                status = 200
+            elif path == "/jobs" and method == "POST":
+                status, payload = self._submit(request.body)
+                self._wakeup.set()
+            elif path == "/jobs" and method == "GET":
+                status, payload = 200, self._list_jobs()
+            elif path == "/stats" and method == "GET":
+                status, payload = 200, self.service.stats()
+            elif path.startswith("/jobs/"):
+                parts = path[len("/jobs/"):].split("/")
+                if method != "GET":
+                    raise ApiError(405, "method_not_allowed",
+                                   f"{method} not allowed on {path}")
+                if len(parts) == 1:
+                    status, payload = self._status(parts[0])
+                elif len(parts) == 2 and parts[1] == "events":
+                    await self._stream_events(parts[0], writer)
+                    return
+                elif len(parts) == 2 and parts[1] == "result":
+                    status, payload = self._result(parts[0])
+                else:
+                    raise ApiError(404, "not_found", f"no route: {path}")
+            else:
+                raise ApiError(404, "not_found", f"no route: {method} {path}")
+        except ApiError as exc:
+            status, payload = exc.status, exc.payload()
+        writer.write(_response(status, payload))
+        await writer.drain()
+
+    # -- route bodies -------------------------------------------------------
+
+    def _submit(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        alignment, spec, client, priority = parse_submission(body)
+        try:
+            record, hit = self.service.submit(alignment, spec,
+                                              client=client,
+                                              priority=priority)
+        except ValueError as exc:
+            raise ApiError(400, "alignment_invalid",
+                           f"could not parse alignment: {exc}") from exc
+        return (200 if hit else 201), {
+            "job_id": record.job_id,
+            "digest": record.digest,
+            "state": record.state,
+            "cached": hit,
+        }
+
+    def _list_jobs(self) -> Dict[str, object]:
+        jobs = [
+            {"job_id": r.job_id, "client": r.client, "state": r.state,
+             "cached": r.cached, "priority": r.priority}
+            for r in self.service.store.load_all()
+        ]
+        return {"jobs": jobs}
+
+    def _status(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        status = self.service.status(job_id)
+        if status is None:
+            raise ApiError(404, "job_not_found", f"no such job: {job_id}")
+        return 200, status
+
+    def _result(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        record = self.service.store.get(job_id)
+        if record is None:
+            raise ApiError(404, "job_not_found", f"no such job: {job_id}")
+        if record.state == JOB_FAILED:
+            raise ApiError(409, "job_failed",
+                           record.error or "job failed")
+        if record.state != JOB_DONE:
+            raise ApiError(409, "job_not_finished",
+                           f"job is {record.state}; poll /jobs/{job_id}")
+        result = self.service.store.result(record)
+        if result is None:  # done record but evicted/corrupt cache entry
+            raise ApiError(404, "result_missing",
+                           "result is no longer cached; resubmit the job")
+        return 200, result
+
+    async def _stream_events(self, job_id: str,
+                             writer: asyncio.StreamWriter) -> None:
+        """SSE-stream the job's journal until its terminal event."""
+        record = self.service.store.get(job_id)
+        if record is None:
+            writer.write(_response(
+                404, {"error": "job_not_found",
+                      "message": f"no such job: {job_id}"}
+            ))
+            await writer.drain()
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        if record.cached:
+            # A cache hit never journals: emit one synthetic event so
+            # streaming clients get the same terminal signal either way.
+            writer.write(format_sse(
+                {"event": "cached_result", "digest": record.digest},
+                0,
+            ).encode())
+            await writer.drain()
+            return
+        tail = JournalTail(self.service.store.journal_path(job_id))
+        while True:
+            blocks = []
+            terminal = False
+            for journal_record in tail.poll():
+                blocks.append(format_sse(journal_record, tail.next_id))
+                tail.next_id += 1
+                if JournalTail.is_terminal(journal_record):
+                    terminal = True
+            if blocks:
+                writer.write("".join(blocks).encode())
+                await writer.drain()
+            if terminal:
+                return
+            record = self.service.store.get(job_id)
+            if record is not None and record.state == JOB_FAILED:
+                writer.write(format_sse(
+                    {"event": "job_failed",
+                     "error": record.error or "job failed"},
+                    tail.next_id,
+                ).encode())
+                await writer.drain()
+                return
+            await asyncio.sleep(self.poll_interval)
+
+
+async def serve_forever(
+    root: str,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    n_workers: int = 2,
+    max_inflight_per_client: int = 1,
+) -> None:
+    """Run the service until cancelled (the ``repro-phylo serve`` loop)."""
+    service = JobService(root, n_workers=n_workers,
+                         max_inflight_per_client=max_inflight_per_client)
+    app = ServeApp(service, host=host, port=port)
+    await app.start()
+    try:
+        await asyncio.Event().wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await app.stop()

@@ -1,0 +1,129 @@
+"""Multi-tenant fairness: per-client FIFO queues over the job pool.
+
+The cluster's MGPS scheduler decides *how* one job's replicates spread
+across workers; this layer decides *whose job runs next* when many
+clients share the service.  The policy is deliberately simple and fully
+deterministic:
+
+* every client has its own FIFO queue — one chatty client can deepen
+  only its own backlog, never delay another client's head-of-line job;
+* at most ``max_inflight_per_client`` of a client's jobs run at once,
+  so a burst from one tenant cannot monopolize the executor even when
+  the service has idle slots;
+* dispatch picks among the eligible queue heads by ``(priority,
+  least-recently-served client, arrival order)`` — strict priorities
+  first (lower number wins), round-robin across clients inside a
+  priority band, FIFO within a client.
+
+Every decision is a pure function of the submission history, so a
+restarted server that re-enqueues its journalled jobs reproduces the
+same dispatch order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["QueuedJob", "FairScheduler"]
+
+
+@dataclass(frozen=True)
+class QueuedJob:
+    """One schedulable submission (jobs are identified by id only)."""
+
+    job_id: str
+    client: str
+    priority: int = 10
+    #: Monotonic submission sequence number (assigned by the scheduler).
+    seq: int = field(default=0, compare=False)
+
+
+class FairScheduler:
+    """Deterministic per-client FIFO dispatch with inflight caps."""
+
+    def __init__(self, max_inflight_per_client: int = 1):
+        if max_inflight_per_client < 1:
+            raise ValueError("max_inflight_per_client must be >= 1")
+        self.max_inflight_per_client = max_inflight_per_client
+        self._queues: "OrderedDict[str, Deque[QueuedJob]]" = OrderedDict()
+        self._inflight: Dict[str, int] = {}
+        self._last_served: Dict[str, int] = {}
+        self._seq = 0
+        self._serve_clock = 0
+        self.dispatched = 0
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, job_id: str, client: str, priority: int = 10
+               ) -> QueuedJob:
+        """Append a job to its client's FIFO; returns the queued entry."""
+        self._seq += 1
+        entry = QueuedJob(job_id=job_id, client=client, priority=priority,
+                          seq=self._seq)
+        self._queues.setdefault(client, deque()).append(entry)
+        return entry
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _eligible_heads(self) -> List[QueuedJob]:
+        heads = []
+        for client, queue in self._queues.items():
+            if not queue:
+                continue
+            if self._inflight.get(client, 0) >= self.max_inflight_per_client:
+                continue
+            heads.append(queue[0])
+        return heads
+
+    def next(self) -> Optional[QueuedJob]:
+        """Pop and return the next job to run, or None when starved.
+
+        The caller owns the executor slot accounting; this method only
+        enforces the per-client cap and the selection order.
+        """
+        heads = self._eligible_heads()
+        if not heads:
+            return None
+        choice = min(
+            heads,
+            key=lambda j: (j.priority,
+                           self._last_served.get(j.client, 0),
+                           j.seq),
+        )
+        self._queues[choice.client].popleft()
+        self._inflight[choice.client] = (
+            self._inflight.get(choice.client, 0) + 1
+        )
+        self._serve_clock += 1
+        self._last_served[choice.client] = self._serve_clock
+        self.dispatched += 1
+        return choice
+
+    def finished(self, client: str) -> None:
+        """Release one of *client*'s inflight slots."""
+        count = self._inflight.get(client, 0)
+        if count <= 0:
+            raise ValueError(f"client {client!r} has no inflight jobs")
+        self._inflight[client] = count - 1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n_queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def inflight(self, client: Optional[str] = None) -> int:
+        if client is not None:
+            return self._inflight.get(client, 0)
+        return sum(self._inflight.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "queued": {c: [j.job_id for j in q]
+                       for c, q in self._queues.items() if q},
+            "inflight": {c: n for c, n in self._inflight.items() if n},
+            "dispatched": self.dispatched,
+            "max_inflight_per_client": self.max_inflight_per_client,
+        }

@@ -1,0 +1,432 @@
+"""Durable job records and the synchronous service core.
+
+The store is the crash-safe half of the service: every job record is a
+single JSON file written atomically, alignments are stored
+content-addressed (one copy no matter how many clients submit the same
+data), and each job's cluster journal lives under a stable path derived
+from the job id.  A server killed at *any* point — the
+``serve.server_kill`` chaos site fires between two journal appends of a
+running job — restarts by re-enqueueing its ``queued``/``running``
+records and resuming their journals, and the cluster's bit-identical
+resume contract makes the final results indistinguishable from an
+uninterrupted server.
+
+:class:`JobService` is the transport-free orchestration core: submit →
+fair-schedule → execute → cache.  The asyncio HTTP front-end
+(:mod:`repro.serve.app`) drives it through an executor; tests and the
+chaos campaign drive it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..chaos import injector as _chaos
+from ..chaos.plan import SERVE_SERVER_KILL
+from ..cluster.checkpoint import atomic_write, replay
+from ..cluster.jobs import JobSpec
+from ..cluster.queue import ClusterConfig
+from ..cluster.runner import job_status, resume_job, run_job
+from ..phylo.alignment import Alignment
+from .cache import ResultCache, job_digest
+from .fairness import FairScheduler
+
+__all__ = [
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JobRecord",
+    "JobStore",
+    "JobService",
+    "load_alignment_text",
+    "result_payload",
+]
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+
+def load_alignment_text(text: str, aa: bool = False):
+    """Parse submitted FASTA/PHYLIP text into an alignment object."""
+    if aa:
+        from ..phylo.protein import ProteinAlignment
+
+        cls = ProteinAlignment
+    else:
+        cls = Alignment
+    if text.lstrip().startswith(">"):
+        return cls.from_fasta(text)
+    return cls.from_phylip(text)
+
+
+@dataclass
+class JobRecord:
+    """One submission's durable state (a single atomic JSON file)."""
+
+    job_id: str
+    client: str
+    priority: int
+    digest: str
+    spec: JobSpec
+    state: str = JOB_QUEUED
+    cached: bool = False
+    submitted_seq: int = 0
+    error: Optional[str] = None
+    created: float = 0.0
+    updated: float = 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["spec"] = self.spec.to_json()
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "JobRecord":
+        data = dict(payload)
+        data["spec"] = JobSpec.from_json(data["spec"])
+        return cls(**data)
+
+
+def result_payload(digest: str, spec: JobSpec, journal_path: str
+                   ) -> Dict[str, object]:
+    """Assemble the servable result from a finished job's journal.
+
+    Everything here is a pure function of the journalled payloads, so
+    a result computed after a crash-resume cycle is byte-identical to
+    one from an uninterrupted run — the chaos campaign compares the
+    canonical JSON of this payload across runs.
+    """
+    status = job_status(journal_path)
+    supports = sorted(
+        ([sorted(split), value] for split, value in status["supports"].items()),
+        key=lambda item: item[0],
+    )
+    consensus_supports = sorted(
+        ([sorted(split), value]
+         for split, value in (status["consensus_supports"] or {}).items()),
+        key=lambda item: item[0],
+    )
+    best = status["best"] or {}
+    return {
+        "digest": digest,
+        "best_newick": best.get("newick"),
+        "best_log_likelihood": best.get("log_likelihood"),
+        "n_inferences": status["n_inferences_done"],
+        "n_bootstraps_requested": spec.n_bootstraps,
+        "n_bootstraps_used": status["n_bootstraps_done"],
+        "bootstop": status["bootstop"],
+        "supports": supports,
+        "consensus_newick": status["consensus_newick"],
+        "consensus_supports": consensus_supports,
+        "perf": status["perf"],
+    }
+
+
+class JobStore:
+    """Filesystem layout + atomic persistence of the service state.
+
+    ::
+
+        root/
+          cache/<digest>.json        # content-addressed results
+          alignments/<digest>.txt    # content-addressed submissions
+          jobs/<job_id>.json         # one record per submission
+          journals/<job_id>.jsonl    # the job's cluster run journal
+    """
+
+    def __init__(self, root: str, clock: Optional[Callable[[], float]] = None):
+        self.root = os.fspath(root)
+        self._clock = clock if clock is not None else time.time
+        self.jobs_dir = os.path.join(self.root, "jobs")
+        self.journals_dir = os.path.join(self.root, "journals")
+        self.alignments_dir = os.path.join(self.root, "alignments")
+        for path in (self.jobs_dir, self.journals_dir, self.alignments_dir):
+            os.makedirs(path, exist_ok=True)
+        self.cache = ResultCache(os.path.join(self.root, "cache"))
+        self.runs_executed = 0
+        self._next_seq = 1 + max(
+            (r.submitted_seq for r in self.load_all()), default=0
+        )
+
+    # -- records ------------------------------------------------------------
+
+    def record_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def journal_path(self, job_id: str) -> str:
+        return os.path.join(self.journals_dir, f"{job_id}.jsonl")
+
+    def alignment_path(self, digest: str) -> str:
+        return os.path.join(self.alignments_dir, f"{digest}.txt")
+
+    def save(self, record: JobRecord) -> None:
+        record.updated = self._clock()
+        atomic_write(self.record_path(record.job_id),
+                     json.dumps(record.to_json(), sort_keys=True) + "\n")
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        try:
+            with open(self.record_path(job_id)) as fh:
+                return JobRecord.from_json(json.load(fh))
+        except FileNotFoundError:
+            return None
+
+    def load_all(self) -> List[JobRecord]:
+        records = []
+        try:
+            names = sorted(os.listdir(self.jobs_dir))
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            with open(os.path.join(self.jobs_dir, name)) as fh:
+                records.append(JobRecord.from_json(json.load(fh)))
+        records.sort(key=lambda r: r.submitted_seq)
+        return records
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, alignment_text: str, spec: JobSpec, client: str,
+               priority: int = 10) -> Tuple[JobRecord, bool]:
+        """Create a job record; returns ``(record, cache_hit)``.
+
+        On a cache hit the record is born ``done`` with ``cached=True``
+        and no cluster work is ever scheduled for it — the digest
+        already addresses a finished result.
+        """
+        patterns = load_alignment_text(alignment_text, aa=spec.aa).compress()
+        digest = job_digest(patterns, spec)
+        alignment_file = self.alignment_path(digest)
+        if not os.path.exists(alignment_file):
+            atomic_write(alignment_file, alignment_text)
+        seq = self._next_seq
+        self._next_seq += 1
+        hit = self.cache.get(digest) is not None
+        record = JobRecord(
+            job_id=f"j{seq:06d}-{digest[:10]}",
+            client=client,
+            priority=priority,
+            digest=digest,
+            spec=spec,
+            state=JOB_DONE if hit else JOB_QUEUED,
+            cached=hit,
+            submitted_seq=seq,
+            created=self._clock(),
+        )
+        self.save(record)
+        return record, hit
+
+    # -- execution ----------------------------------------------------------
+
+    def _run_clock(self) -> Callable[[], float]:
+        """The journal clock, instrumented as the server-kill site.
+
+        The site is probed once per journal append, i.e. between two
+        durable records of the running job — exactly where a real
+        process death lands.  The raised
+        :class:`~repro.chaos.injector.InjectedCrash` propagates out of
+        the run machinery (which shuts its workers down on the way) and
+        models the serving process dying mid-job.
+        """
+        base = self._clock
+
+        def clock() -> float:
+            if _chaos._ACTIVE is not None and _chaos.fire(SERVE_SERVER_KILL):
+                raise _chaos.InjectedCrash(
+                    "server killed between journal appends"
+                )
+            return base()
+
+        return clock
+
+    def execute(self, record: JobRecord, n_workers: int = 2,
+                cluster: Optional[ClusterConfig] = None) -> Dict[str, object]:
+        """Run (or resume) the job's cluster analysis; cache the result."""
+        with open(self.alignment_path(record.digest)) as fh:
+            text = fh.read()
+        patterns = load_alignment_text(text, aa=record.spec.aa).compress()
+        journal = self.journal_path(record.job_id)
+        self.runs_executed += 1
+        # Resume only a journal that got as far as its run_started
+        # header.  A server killed between opening the journal and the
+        # first append leaves an empty (or torn-header) file; run_job
+        # opens with "w" and starts that job from scratch.
+        resumable = (os.path.exists(journal)
+                     and replay(journal).spec is not None)
+        if resumable:
+            resume_job(journal, patterns, n_workers=n_workers,
+                       cluster=cluster, clock=self._run_clock())
+        else:
+            run_job(record.spec, patterns, n_workers=n_workers,
+                    journal_path=journal, cluster=cluster,
+                    clock=self._run_clock())
+        payload = result_payload(record.digest, record.spec, journal)
+        self.cache.put(record.digest, payload)
+        record.state = JOB_DONE
+        record.error = None
+        self.save(record)
+        return payload
+
+    def result(self, record: JobRecord) -> Optional[Dict[str, object]]:
+        return self.cache.get(record.digest)
+
+    def progress(self, record: JobRecord) -> Optional[Dict[str, object]]:
+        """Live journal-derived progress for a running/interrupted job."""
+        journal = self.journal_path(record.job_id)
+        if not os.path.exists(journal):
+            return None
+        state = replay(journal)
+        done_bootstraps = len(state.done_bootstraps)
+        return {
+            "inferences_done": len(state.done_inferences),
+            "bootstraps_done": done_bootstraps,
+            "retries": len(state.retries),
+            "worker_deaths": len(state.worker_deaths),
+            "resumes": state.resumes,
+            "bootstop_stop_at": (int(state.bootstop["stop_at"])
+                                 if state.bootstop else None),
+            "finished": state.finished,
+        }
+
+    def counters(self) -> Dict[str, int]:
+        return {"runs_executed": self.runs_executed,
+                **self.cache.counters()}
+
+
+class JobService:
+    """Transport-free service core: fair scheduling over the store."""
+
+    def __init__(
+        self,
+        root: str,
+        n_workers: int = 2,
+        max_inflight_per_client: int = 1,
+        cluster: Optional[ClusterConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.store = JobStore(root, clock=clock)
+        self.scheduler = FairScheduler(max_inflight_per_client)
+        self.n_workers = n_workers
+        self.cluster = cluster
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def recover(self) -> List[JobRecord]:
+        """Re-enqueue journalled work after a restart.
+
+        ``running`` records are jobs the previous server died under;
+        their journals resume bit-identically.  Returns the re-enqueued
+        records in submission order (which is also re-dispatch order,
+        so a restarted server reproduces the original schedule).
+        """
+        recovered = []
+        for record in self.store.load_all():
+            if record.state in (JOB_QUEUED, JOB_RUNNING):
+                if record.state == JOB_RUNNING:
+                    record.state = JOB_QUEUED
+                    self.store.save(record)
+                self.scheduler.submit(record.job_id, record.client,
+                                      record.priority)
+                recovered.append(record)
+        return recovered
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, alignment_text: str, spec: JobSpec,
+               client: str = "anonymous", priority: int = 10
+               ) -> Tuple[JobRecord, bool]:
+        record, hit = self.store.submit(alignment_text, spec, client,
+                                        priority)
+        if not hit:
+            self.scheduler.submit(record.job_id, record.client,
+                                  record.priority)
+        return record, hit
+
+    # -- execution ----------------------------------------------------------
+
+    def next_job(self) -> Optional[JobRecord]:
+        """Claim the next job per the fairness policy (marks it running)."""
+        entry = self.scheduler.next()
+        if entry is None:
+            return None
+        record = self.store.get(entry.job_id)
+        if record is None:  # record vanished; release the slot
+            self.scheduler.finished(entry.client)
+            return None
+        record.state = JOB_RUNNING
+        self.store.save(record)
+        return record
+
+    def execute(self, record: JobRecord) -> JobRecord:
+        """Run one claimed job to completion (or failure).
+
+        An :class:`~repro.chaos.injector.InjectedCrash` models the
+        server process dying and is re-raised untouched — the record
+        stays ``running`` on disk, which is exactly what
+        :meth:`recover` expects to find after a real kill.
+        """
+        try:
+            self.store.execute(record, n_workers=self.n_workers,
+                               cluster=self.cluster)
+        except _chaos.InjectedCrash:
+            raise
+        except Exception as exc:  # noqa: BLE001 — job faults stay local
+            record.state = JOB_FAILED
+            record.error = f"{type(exc).__name__}: {exc}"
+            self.store.save(record)
+        finally:
+            # The crash path never reaches this in a real death; for the
+            # in-process simulation the restarted service rebuilds its
+            # scheduler from disk anyway.
+            if record.state != JOB_RUNNING:
+                self.scheduler.finished(record.client)
+        return record
+
+    def run_next(self) -> Optional[JobRecord]:
+        """Claim and execute one job synchronously; None when idle."""
+        record = self.next_job()
+        if record is None:
+            return None
+        return self.execute(record)
+
+    # -- views --------------------------------------------------------------
+
+    def status(self, job_id: str) -> Optional[Dict[str, object]]:
+        record = self.store.get(job_id)
+        if record is None:
+            return None
+        payload: Dict[str, object] = {
+            "job_id": record.job_id,
+            "client": record.client,
+            "priority": record.priority,
+            "digest": record.digest,
+            "state": record.state,
+            "cached": record.cached,
+            "error": record.error,
+            "created": record.created,
+            "updated": record.updated,
+        }
+        progress = self.store.progress(record)
+        if progress is not None:
+            payload["progress"] = progress
+        return payload
+
+    def result(self, job_id: str) -> Optional[Dict[str, object]]:
+        record = self.store.get(job_id)
+        if record is None or record.state != JOB_DONE:
+            return None
+        return self.store.result(record)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "scheduler": self.scheduler.snapshot(),
+            **self.store.counters(),
+        }

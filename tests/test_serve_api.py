@@ -1,0 +1,244 @@
+"""The job API: request validation and the end-to-end HTTP service.
+
+The e2e test drives the real asyncio server over a loopback socket:
+submit -> stream SSE progress events -> fetch the result, then resubmit
+the same alignment (shuffled taxa, duplicated sites) and assert a cache
+hit that schedules no new cluster run.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cluster import BootstopConfig
+from repro.phylo import synthetic_dataset
+from repro.serve import ApiError, JobService, ServeApp, parse_submission, \
+    spec_from_request
+
+
+def body(**overrides) -> bytes:
+    payload = {
+        "alignment": ">a\nACGT\n>b\nACGA\n>c\nTCGA\n",
+        "model": {"n_inferences": 1, "n_bootstraps": 2, "seed": 7},
+    }
+    payload.update(overrides)
+    return json.dumps(payload).encode()
+
+
+class TestParseSubmission:
+    def test_happy_path(self):
+        alignment, spec, client, priority = parse_submission(body(
+            client="alice", priority=3,
+        ))
+        assert alignment.startswith(">a")
+        assert (spec.n_inferences, spec.n_bootstraps, spec.seed) == (1, 2, 7)
+        assert spec.bootstop is None
+        assert (client, priority) == ("alice", 3)
+
+    def test_default_client_and_priority(self):
+        _, _, client, priority = parse_submission(body())
+        assert (client, priority) == ("anonymous", 10)
+
+    @pytest.mark.parametrize("raw, code", [
+        (b"not json", "body_not_json"),
+        (b"[1, 2]", "body_not_object"),
+        (json.dumps({"model": {}}).encode(), "alignment_missing"),
+        (body(alignment=""), "alignment_missing"),
+        (body(model=None), "model_invalid"),
+        (json.dumps({"alignment": ">a\nAC\n"}).encode(), "model_missing"),
+        (body(model={"n_inferences": 1, "n_bootstraps": 2, "seed": 0,
+                     "warp_factor": 9}), "model_unknown_field"),
+        (body(model={"n_inferences": 0, "n_bootstraps": 2, "seed": 0}),
+         "model_invalid"),
+        (body(model={"n_inferences": 1, "seed": 0}), "model_missing_field"),
+        (body(priority=-1), "priority_invalid"),
+        (body(priority=True), "priority_invalid"),
+        (body(client=""), "client_invalid"),
+        (body(bootstop="yes"), "bootstop_invalid"),
+        (body(bootstop={"check_every": 0}), "bootstop_invalid"),
+    ])
+    def test_rejections_carry_stable_codes(self, raw, code):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submission(raw)
+        assert excinfo.value.code == code
+        assert excinfo.value.status in (400, 413)
+
+    def test_bootstop_true_uses_defaults(self):
+        spec = spec_from_request(
+            {"n_inferences": 1, "n_bootstraps": 200, "seed": 1},
+            bootstop=True,
+        )
+        assert spec.bootstop == BootstopConfig()
+
+    def test_bootstop_config_object(self):
+        spec = spec_from_request(
+            {"n_inferences": 1, "n_bootstraps": 200, "seed": 1},
+            bootstop={"check_every": 25, "threshold": 0.05},
+        )
+        assert spec.bootstop.check_every == 25
+        assert spec.bootstop.threshold == 0.05
+
+
+# -- end-to-end over a real socket -------------------------------------------
+
+
+async def _http(host, port, method, path, payload=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    head = f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+    if payload is not None:
+        head += f"Content-Length: {len(payload)}\r\n"
+    head += "\r\n"
+    writer.write(head.encode() + (payload or b""))
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    head_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    return status, head_blob.decode("latin-1"), body_blob
+
+
+def _sse_events(blob: bytes):
+    return [line.split(": ", 1)[1]
+            for line in blob.decode().splitlines()
+            if line.startswith("event: ")]
+
+
+@pytest.fixture(scope="module")
+def service_fasta():
+    return synthetic_dataset(n_taxa=6, n_sites=120, seed=3).to_fasta()
+
+
+class TestServeEndToEnd:
+    def test_submit_stream_result_and_cache_hit(self, tmp_path,
+                                                service_fasta,
+                                                cluster_workers):
+        async def scenario():
+            app = ServeApp(
+                JobService(str(tmp_path / "root"),
+                           n_workers=cluster_workers),
+                port=0,
+            )
+            await app.start()
+            h, p = app.host, app.port
+            try:
+                status, _, blob = await _http(h, p, "GET", "/healthz")
+                assert status == 200 and json.loads(blob)["ok"] is True
+
+                submission = json.dumps({
+                    "alignment": service_fasta,
+                    "model": {"n_inferences": 1, "n_bootstraps": 2,
+                              "seed": 11},
+                    "client": "alice",
+                }).encode()
+                status, _, blob = await _http(h, p, "POST", "/jobs",
+                                              submission)
+                assert status == 201
+                job = json.loads(blob)
+                assert job["cached"] is False
+
+                # The SSE stream runs to the journal's terminal event.
+                status, head, blob = await _http(
+                    h, p, "GET", f"/jobs/{job['job_id']}/events")
+                assert status == 200
+                assert "text/event-stream" in head
+                events = _sse_events(blob)
+                assert events[0] == "run_started"
+                assert events[-1] == "run_finished"
+                assert "replicate_done" in events
+
+                status, _, blob = await _http(
+                    h, p, "GET", f"/jobs/{job['job_id']}/result")
+                assert status == 200
+                result = json.loads(blob)
+                assert result["best_newick"].endswith(";")
+                assert result["n_bootstraps_used"] == 2
+                assert result["consensus_newick"].endswith(";")
+                assert isinstance(result["supports"], list)
+
+                status, _, blob = await _http(
+                    h, p, "GET", f"/jobs/{job['job_id']}")
+                assert status == 200
+                assert json.loads(blob)["state"] == "done"
+
+                # Duplicate submission: same content, different
+                # presentation (taxa reversed, one site duplicated).
+                lines = service_fasta.strip().split("\n")
+                records = list(zip(lines[::2], lines[1::2]))
+                shuffled = "".join(
+                    f"{name}\n{seq + seq[0]}\n"
+                    for name, seq in reversed(records)
+                )
+                dup = json.dumps({
+                    "alignment": shuffled,
+                    "model": {"n_inferences": 1, "n_bootstraps": 2,
+                              "seed": 11},
+                    "client": "bob",
+                }).encode()
+                status, _, blob = await _http(h, p, "POST", "/jobs", dup)
+                assert status == 200  # hit, not created
+                job2 = json.loads(blob)
+                assert job2["cached"] is True
+                assert job2["digest"] == job["digest"]
+
+                # The hit scheduled no cluster work and streams a
+                # single synthetic terminal event.
+                status, _, blob = await _http(h, p, "GET", "/stats")
+                stats = json.loads(blob)
+                assert stats["runs_executed"] == 1
+                assert stats["scheduler"]["dispatched"] == 1
+                status, _, blob = await _http(
+                    h, p, "GET", f"/jobs/{job2['job_id']}/events")
+                assert _sse_events(blob) == ["cached_result"]
+                status, _, blob = await _http(
+                    h, p, "GET", f"/jobs/{job2['job_id']}/result")
+                assert status == 200
+                assert json.loads(blob) == result
+
+                status, _, blob = await _http(h, p, "GET", "/jobs")
+                assert [j["state"] for j in json.loads(blob)["jobs"]] == \
+                    ["done", "done"]
+
+                # Error surface.
+                status, _, _ = await _http(h, p, "GET", "/jobs/nope")
+                assert status == 404
+                status, _, blob = await _http(h, p, "POST", "/jobs",
+                                              b"not json")
+                assert status == 400
+                assert json.loads(blob)["error"] == "body_not_json"
+                status, _, _ = await _http(h, p, "GET", "/nothing")
+                assert status == 404
+                bad_alignment = json.dumps({
+                    "alignment": ">a\nACGT\n>a\nACGT\n",
+                    "model": {"n_inferences": 1, "n_bootstraps": 0,
+                              "seed": 0},
+                }).encode()
+                status, _, blob = await _http(h, p, "POST", "/jobs",
+                                              bad_alignment)
+                assert status == 400
+                assert json.loads(blob)["error"] == "alignment_invalid"
+            finally:
+                await app.stop()
+
+        asyncio.run(scenario())
+
+    def test_restarted_service_recovers_queued_jobs(self, tmp_path,
+                                                    service_fasta):
+        """A submit-then-die server leaves a queued record; the next
+        service over the same root re-enqueues and completes it."""
+        from repro.cluster import JobSpec
+
+        root = str(tmp_path / "root")
+        first = JobService(root, n_workers=2)
+        record, hit = first.submit(
+            service_fasta, JobSpec(n_inferences=1, n_bootstraps=0, seed=2),
+            client="alice",
+        )
+        assert not hit
+        # The first service dies here without running anything.
+        second = JobService(root, n_workers=2)
+        recovered = second.recover()
+        assert [r.job_id for r in recovered] == [record.job_id]
+        done = second.run_next()
+        assert done.state == "done"
+        assert second.result(record.job_id)["best_newick"].endswith(";")
