@@ -1,0 +1,268 @@
+"""Smoothing-pass benchmark: fused full-tree gradient vs per-branch Newton.
+
+Runs the ``bench_engine_backends`` workload (42 taxa, >= 1000 patterns,
+GTR+Gamma) and times one *global smoothing iteration* both ways from the
+identical freshly-evaluated tree state:
+
+* ``newton_pass_seconds`` — one serial per-branch smoothing pass
+  (``optimize_all_branches(passes=1, mode="newton")``): 2N-3 makenewz
+  Newton loops, each invalidating and refilling CLVs along the way.
+* ``gradient_sweep_seconds`` — one fused full-tree gradient
+  (``branch_gradient_full()``): two traversals fill every directional
+  CLV, then a single K-stacked contraction yields d1/d2 for all 2N-3
+  branches at once.  This is the steady-state cost of one gradient
+  smoothing step (a global step dirties every CLV, so each sweep refills
+  from scratch).
+* ``batch_contraction_seconds`` vs ``per_branch_contraction_seconds`` —
+  the pure kernel comparison on warm CLVs: one fused K-branch
+  contraction against K serial ``branch_derivatives`` calls.
+
+On top of the per-iteration numbers the benchmark runs both smoothing
+modes to convergence on the single-thread ``einsum`` backend and records
+the end-to-end wall clock and final lnL.  The modes must land on the
+same log likelihood within 1e-6 (the fixed point is a per-branch pass
+gaining less than the tolerance, shared by construction); the
+convergence-speed ratio is recorded without a directional gate — Jacobi
+steps need more iterations than Gauss-Seidel passes, and which side wins
+end-to-end depends on how well the host threads the batched kernels.
+
+Results merge into the ``gradient_smoothing`` section of the committed
+``BENCH_engine.json``.  Gates, mirroring the backend-scaling bench:
+
+* always: both modes reach the same lnL within 1e-6, and the fused
+  sweep's d1 agrees with the per-branch path.
+* ``cpu_count >= 2``: one gradient sweep must beat one per-branch Newton
+  pass on the striped backend (``partitioned:2``; also ``compiled:2``
+  when a flavor is available) — the batched contraction keeps threads
+  busy where 2N-3 small serial kernels cannot.  On a single-core host
+  the gate is skipped (and printed as skipped).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_gradient.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_gradient.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.phylo import Tree, create_engine, default_gtr, synthetic_dataset
+from repro.phylo.engine.backends.compiled import compiled_available
+from repro.phylo.rates import GammaRates
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Same >= 1000-pattern workload as bench_engine_backends.py.
+N_TAXA = 42
+N_SITES = 2400
+DATA_SEED = 42
+TREE_SEED = 7
+MEAN_BRANCH_LENGTH = 0.15
+INVARIANT_FRACTION = 0.05
+
+#: Per-iteration specs swept (reporting order); compiled:2 joins when a
+#: kernel flavor loads.
+BASE_SPECS = ("einsum", "partitioned:2")
+
+#: Timed repetitions per measurement (best-of, to shed scheduler noise).
+ROUNDS = 3
+
+#: Smoothing-to-convergence budget (einsum end-to-end comparison).
+CONVERGE_PASSES = 25
+CONVERGE_TOLERANCE = 1e-6
+
+#: Multicore gate: one fused sweep beats one per-branch pass.
+MIN_SWEEP_SPEEDUP = 1.0
+
+
+def _specs():
+    if compiled_available() is not None:
+        return BASE_SPECS + ("compiled:2",)
+    return BASE_SPECS
+
+
+def _setup():
+    patterns = synthetic_dataset(
+        n_taxa=N_TAXA,
+        n_sites=N_SITES,
+        seed=DATA_SEED,
+        mean_branch_length=MEAN_BRANCH_LENGTH,
+        invariant_fraction=INVARIANT_FRACTION,
+    ).compress()
+    assert patterns.n_patterns >= 1000, patterns.n_patterns
+    model = default_gtr().with_frequencies(patterns.base_frequencies())
+    tree = Tree.from_tip_names(
+        patterns.taxa, np.random.default_rng(TREE_SEED)
+    )
+    return patterns, model, tree.to_newick(digits=17)
+
+
+def _fresh_engine(spec, patterns, model, base_newick):
+    tree = Tree.from_newick(base_newick)
+    engine = create_engine(
+        patterns, model, GammaRates(0.7, 4), tree, backend=spec
+    )
+    engine.evaluate()  # full bottom-up CLV traversal, shared warm state
+    return engine
+
+
+def _measure_iteration(spec, patterns, model, base_newick) -> dict:
+    """Best-of-``ROUNDS`` timings of one smoothing iteration, each way."""
+    newton_pass = gradient_sweep = float("inf")
+    batch = per_branch = float("inf")
+    d1_gap = 0.0
+    for _ in range(ROUNDS):
+        # One serial per-branch pass from the fresh base state.
+        engine = _fresh_engine(spec, patterns, model, base_newick)
+        try:
+            start = time.perf_counter()
+            engine.optimize_all_branches(passes=1, mode="newton")
+            newton_pass = min(newton_pass, time.perf_counter() - start)
+        finally:
+            engine.detach()
+        # One fused sweep from the same fresh base state (directional
+        # CLVs cold — the steady-state cost of a global gradient step).
+        engine = _fresh_engine(spec, patterns, model, base_newick)
+        try:
+            start = time.perf_counter()
+            branches, _, g_d1, _ = engine.branch_gradient_full()
+            gradient_sweep = min(gradient_sweep, time.perf_counter() - start)
+            # Warm-CLV kernel comparison: fused contraction vs K serial
+            # per-branch derivative calls on the now-cached directions.
+            start = time.perf_counter()
+            engine.branch_gradient_full()
+            batch = min(batch, time.perf_counter() - start)
+            start = time.perf_counter()
+            p_d1 = [engine.branch_derivatives(b)[1] for b in branches]
+            per_branch = min(per_branch, time.perf_counter() - start)
+            d1_gap = max(
+                d1_gap,
+                float(np.max(np.abs(np.asarray(p_d1) - g_d1)
+                             / np.maximum(np.abs(g_d1), 1.0))),
+            )
+        finally:
+            engine.detach()
+    return {
+        "backend": spec,
+        "newton_pass_seconds": newton_pass,
+        "gradient_sweep_seconds": gradient_sweep,
+        "sweep_speedup": newton_pass / gradient_sweep,
+        "batch_contraction_seconds": batch,
+        "per_branch_contraction_seconds": per_branch,
+        "max_d1_rel_gap": d1_gap,
+    }
+
+
+def _measure_convergence(patterns, model, base_newick) -> dict:
+    """Both smoothing modes to convergence on single-thread einsum."""
+    out = {}
+    for mode in ("newton", "gradient"):
+        engine = _fresh_engine("einsum", patterns, model, base_newick)
+        try:
+            start = time.perf_counter()
+            lnl = engine.optimize_all_branches(
+                passes=CONVERGE_PASSES,
+                tolerance=CONVERGE_TOLERANCE,
+                mode=mode,
+            )
+            out[mode] = {
+                "wall_seconds": time.perf_counter() - start,
+                "log_likelihood": lnl,
+                "gradient_sweeps": engine.gradient_sweeps,
+                "gradient_traversals_saved": engine.gradient_traversals_saved,
+                "gradient_fallbacks": engine.gradient_fallbacks,
+                "newview_calls": engine.newview_calls,
+                "makenewz_calls": engine.makenewz_calls,
+            }
+        finally:
+            engine.detach()
+    out["lnl_gap"] = abs(
+        out["newton"]["log_likelihood"] - out["gradient"]["log_likelihood"]
+    )
+    out["convergence_speedup"] = (
+        out["newton"]["wall_seconds"] / out["gradient"]["wall_seconds"]
+    )
+    return out
+
+
+def run_benchmark(write: bool = True) -> dict:
+    specs = _specs()
+    patterns, model, base_newick = _setup()
+    report = {
+        "workload": {
+            "n_taxa": N_TAXA,
+            "n_sites": N_SITES,
+            "n_patterns": patterns.n_patterns,
+            "data_seed": DATA_SEED,
+            "tree_seed": TREE_SEED,
+            "mean_branch_length": MEAN_BRANCH_LENGTH,
+            "invariant_fraction": INVARIANT_FRACTION,
+            "n_branches": 2 * N_TAXA - 3,
+        },
+        "cpu_count": os.cpu_count(),
+        "compiled_flavor": compiled_available(),
+        "iteration": {
+            spec: _measure_iteration(spec, patterns, model, base_newick)
+            for spec in specs
+        },
+        "convergence": _measure_convergence(patterns, model, base_newick),
+    }
+    if write:
+        from repro.harness.report import merge_bench_section
+
+        merge_bench_section(RESULT_PATH, "gradient_smoothing", report)
+    return report
+
+
+def test_gradient_smoothing():
+    report = run_benchmark()
+    for spec, r in report["iteration"].items():
+        print(
+            f"\n{spec:15s}: newton pass {r['newton_pass_seconds']:.3f} s  "
+            f"gradient sweep {r['gradient_sweep_seconds']:.3f} s  "
+            f"({r['sweep_speedup']:.2f}x); warm contraction "
+            f"{r['per_branch_contraction_seconds']:.3f} s -> "
+            f"{r['batch_contraction_seconds']:.3f} s"
+        )
+    conv = report["convergence"]
+    print(
+        f"to convergence (einsum): newton "
+        f"{conv['newton']['wall_seconds']:.3f} s vs gradient "
+        f"{conv['gradient']['wall_seconds']:.3f} s "
+        f"({conv['convergence_speedup']:.2f}x), lnL gap {conv['lnl_gap']:.2e}"
+    )
+    # Correctness gates, whatever the host.
+    assert conv["lnl_gap"] < 1e-6, conv
+    assert conv["gradient"]["gradient_sweeps"] >= 1
+    for spec, r in report["iteration"].items():
+        assert r["max_d1_rel_gap"] < 1e-9, (spec, r["max_d1_rel_gap"])
+    # Speed gate, mirroring the backend-scaling bench: asserted only on
+    # multicore hosts, where the fused sweep's batched kernels can keep
+    # stripe threads busy.
+    cpus = report["cpu_count"] or 1
+    if cpus >= 2:
+        gated = [s for s in report["iteration"] if s != "einsum"]
+        for spec in gated:
+            speedup = report["iteration"][spec]["sweep_speedup"]
+            assert speedup >= MIN_SWEEP_SPEEDUP, (
+                f"{spec}: one gradient sweep only {speedup:.2f}x vs one "
+                f"per-branch Newton pass on {cpus} cores "
+                f"(need >= {MIN_SWEEP_SPEEDUP}x)"
+            )
+    else:
+        print(
+            f"single-core host (cpu_count={cpus}): stripe threads cannot "
+            "overlap, skipping the multicore sweep-speedup gate"
+        )
+
+
+if __name__ == "__main__":
+    test_gradient_smoothing()

@@ -94,6 +94,16 @@ class EinsumBackend(KernelBackend):
             scale_counts,
         )
 
+    def branch_gradient_full(self, model_terms, pi, cat_weights,
+                             pattern_weights, u_clvs, v_clvs, scale_counts,
+                             per_site=False):
+        """Vectorized full-tree gradient: one fused einsum contraction."""
+        self.kernel_calls += 1
+        return kernels.branch_gradient_full(
+            model_terms, pi, cat_weights, pattern_weights, u_clvs, v_clvs,
+            scale_counts, per_site=per_site,
+        )
+
     # -- instrumentation -----------------------------------------------------
 
     def perf_counters(self) -> Dict[str, int]:

@@ -546,6 +546,24 @@ class PartitionedBackend(KernelBackend):
         total = _pairwise_sum([partials[b] for b in range(n_blocks)])
         return total[0], total[1], total[2]
 
+    def branch_gradient_full(self, model_terms, pi, cat_weights,
+                             pattern_weights, u_clvs, v_clvs, scale_counts,
+                             per_site=False):
+        """Striped full-tree gradient.
+
+        Pattern blocks fan out across the pool; each worker reduces the
+        fused ``K``-branch contraction over its fixed 512-pattern
+        blocks, and the block partials are combined with the same
+        ordered pairwise sum as every other reduction — so the gradient
+        is bit-identical across thread counts, exactly like ``lnL``.
+        (The compiled backend inherits this dispatcher; its inner
+        ``derivatives_batch`` kernels are the nogil njit/cc flavors.)
+        """
+        return self.branch_derivatives_batch(
+            model_terms, pi, cat_weights, pattern_weights, u_clvs, v_clvs,
+            scale_counts, per_site=per_site,
+        )
+
     # -- instrumentation -----------------------------------------------------
 
     def perf_counters(self) -> Dict[str, int]:

@@ -293,6 +293,20 @@ class ReferenceBackend(KernelBackend):
             for part in range(3)
         )
 
+    def branch_gradient_full(self, model_terms, pi, cat_weights,
+                             pattern_weights, u_clvs, v_clvs, scale_counts,
+                             per_site=False):
+        """Plain-loop oracle for the full-tree gradient.
+
+        One scalar :meth:`branch_derivatives` call per branch — no
+        fused contraction, no shared intermediates — so the vectorized
+        backends have an independent per-branch value to match to 1e-9.
+        """
+        return self.branch_derivatives_batch(
+            model_terms, pi, cat_weights, pattern_weights, u_clvs, v_clvs,
+            scale_counts, per_site=per_site,
+        )
+
     # -- instrumentation -----------------------------------------------------
 
     def perf_counters(self) -> Dict[str, int]:

@@ -219,6 +219,34 @@ class KernelBackend:
         """:meth:`branch_derivatives` over ``K`` stacked candidates."""
         raise NotImplementedError
 
+    def branch_gradient_full(
+        self,
+        model_terms: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        pi: np.ndarray,
+        cat_weights: np.ndarray,
+        pattern_weights: np.ndarray,
+        u_clvs: np.ndarray,
+        v_clvs: np.ndarray,
+        scale_counts: np.ndarray,
+        per_site: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fused full-tree gradient contraction over ``K = 2N - 3`` branches.
+
+        Same operand layout as :meth:`branch_derivatives_batch` — the
+        engine stacks one ``(u_clv, v_clv, scale_counts)`` triple per
+        branch (directional CLVs from its two-sweep traversal) and one
+        transition stack per branch length — but semantically this is
+        the *whole-tree* gradient, not an SPR candidate batch: entry
+        ``k`` of each returned ``(K,)`` array is ``(lnL, dlnL/dt,
+        d2lnL/dt2)`` for branch ``k``.  The default delegates to
+        :meth:`branch_derivatives_batch`, which is numerically exact
+        (both are ``K`` independent bilinear forms); backends override
+        it to count the sweep distinctly or to fuse it differently.
+        """
+        return self.branch_derivatives_batch(
+            model_terms, pi, cat_weights, pattern_weights,
+            u_clvs, v_clvs, scale_counts, per_site=per_site)
+
     # -- transition-matrix seam (only when uses_pmat_cache is False) ---------
 
     def transition_matrices(self, model, rates: np.ndarray,

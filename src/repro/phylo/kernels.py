@@ -49,6 +49,7 @@ __all__ = [
     "branch_derivatives_batch",
     "branch_derivatives_persite",
     "branch_derivatives_batch_persite",
+    "branch_gradient_full",
     "newview_combine_reference",
     "evaluate_loglik_reference",
 ]
@@ -365,6 +366,40 @@ def branch_derivatives_batch_persite(
     dlnl = g1 @ pattern_weights
     d2lnl = (d2 / lik - g1 * g1) @ pattern_weights
     return lnl, dlnl, d2lnl
+
+
+def branch_gradient_full(
+    model_terms: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    pi: np.ndarray,
+    cat_weights: np.ndarray,
+    pattern_weights: np.ndarray,
+    u_clvs: np.ndarray,
+    v_clvs: np.ndarray,
+    scale_counts: np.ndarray,
+    per_site: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused full-tree branch gradient: one contraction for all branches.
+
+    The two-sweep scheme (Ji et al., "Gradients do grow on trees")
+    reduces every branch's derivative to the same bilinear form as
+    :func:`branch_derivatives` — a CLV on each side of the branch plus
+    the transition stack ``(P, dP, d2P)`` at its length.  Once the
+    directional CLVs exist for every branch direction, the whole
+    gradient is one ``K``-stacked contraction where ``K = 2N - 3``;
+    this function is that contraction.  Inputs follow
+    :func:`branch_derivatives_batch` (`(K, s, c, n)` CLVs, ``(K, s)``
+    scale counts, ``(K, c, n, n)`` — or ``(K, s, n, n)`` per-site —
+    model stacks); returns three ``(K,)`` arrays
+    ``(lnL, d lnL/dt, d2 lnL/dt2)``, one entry per branch.  Each
+    ``lnL[k]`` is the *same* tree likelihood evaluated at branch ``k``
+    (the pulley principle), which the verification layer exploits.
+    """
+    if per_site:
+        return branch_derivatives_batch_persite(
+            model_terms, pi, pattern_weights, u_clvs, v_clvs, scale_counts)
+    return branch_derivatives_batch(
+        model_terms, pi, cat_weights, pattern_weights,
+        u_clvs, v_clvs, scale_counts)
 
 
 # -- reference (scalar) implementations --------------------------------------

@@ -64,10 +64,22 @@ class SearchConfig:
     #: opt-in, and the default keeps the paper-faithful serial kernel
     #: mix that the Cell-simulation traces replay.
     batch_spr: bool = False
+    #: Smooth branch lengths with the one-pass full-tree gradient
+    #: (:meth:`LikelihoodEngine.branch_gradient_full`): simultaneous
+    #: Newton steps on every branch from two traversals per iteration,
+    #: finished by the per-branch Newton polish so both modes terminate
+    #: at the same fixed point.  Opt-in; the default keeps the
+    #: paper-faithful per-branch ``makenewz`` sweeps.
+    gradient_smoothing: bool = False
 
     def __post_init__(self) -> None:
         if self.move_set not in ("spr", "nni"):
             raise ValueError("move_set must be 'spr' or 'nni'")
+
+    @property
+    def smoothing_mode(self) -> str:
+        """The ``optimize_all_branches`` mode the flag selects."""
+        return "gradient" if self.gradient_smoothing else "newton"
 
 
 @dataclass
@@ -261,7 +273,9 @@ def _hill_climb_nni(
 ) -> SearchResult:
     """Hill climbing over nearest-neighbour interchanges only."""
     tree = engine.tree
-    best = engine.optimize_all_branches(passes=config.smoothing_passes)
+    best = engine.optimize_all_branches(
+        passes=config.smoothing_passes, mode=config.smoothing_mode
+    )
     rounds = 0
     accepted = 0
     evaluated = 0
@@ -299,10 +313,14 @@ def _hill_climb_nni(
                     improved = True
                     break  # keep; try the next candidate branch
                 _revert_nni(tree, record)
-        best = engine.optimize_all_branches(passes=config.smoothing_passes)
+        best = engine.optimize_all_branches(
+        passes=config.smoothing_passes, mode=config.smoothing_mode
+    )
         if not improved:
             break
-    best = engine.optimize_all_branches(passes=config.final_smoothing_passes)
+    best = engine.optimize_all_branches(
+        passes=config.final_smoothing_passes, mode=config.smoothing_mode
+    )
     return SearchResult(
         log_likelihood=best,
         newick=tree.to_newick(),
@@ -335,7 +353,9 @@ def hill_climb(
         return _hill_climb_nni(engine, config, rng)
     tree = engine.tree
 
-    best = engine.optimize_all_branches(passes=config.smoothing_passes)
+    best = engine.optimize_all_branches(
+        passes=config.smoothing_passes, mode=config.smoothing_mode
+    )
     radius = config.initial_radius
     rounds = 0
     accepted = 0
@@ -422,14 +442,18 @@ def hill_climb(
                 if accepted_here:
                     break  # this prune branch was retired by the commit
 
-        best = engine.optimize_all_branches(passes=config.smoothing_passes)
+        best = engine.optimize_all_branches(
+        passes=config.smoothing_passes, mode=config.smoothing_mode
+    )
         if not improved_this_round:
             if radius < config.max_radius:
                 radius = config.max_radius
             else:
                 break
 
-    best = engine.optimize_all_branches(passes=config.final_smoothing_passes)
+    best = engine.optimize_all_branches(
+        passes=config.final_smoothing_passes, mode=config.smoothing_mode
+    )
     return SearchResult(
         log_likelihood=best,
         newick=tree.to_newick(),

@@ -31,7 +31,7 @@ NESTED_TOP = "top"
 class KernelEvent:
     """One recorded kernel invocation."""
 
-    kernel: str  # "newview" | "makenewz" | "evaluate" | "spr_batch"
+    kernel: str  # "newview" | "makenewz" | "evaluate" | "spr_batch" | "gradient"
     n_patterns: int
     n_cats: int
     case: str = ""  # newview only: one of NewviewCase
@@ -76,6 +76,10 @@ class Tracer:
         self.spr_batch_count = 0
         self.spr_batch_candidates = 0
         self.spr_batch_patterncats = 0.0  # sum over candidates x iterations
+        self.gradient_count = 0
+        self.gradient_branches = 0
+        self.gradient_patterncats = 0.0  # sum over branches
+        self.gradient_newviews = 0  # directional newview fills inside sweeps
         self.task_boundaries: List[int] = []  # cumulative newview counts
         #: callables returning engine perf-counter dicts (cache/arena/
         #: batching efficiency); registered by the likelihood engine.
@@ -146,6 +150,19 @@ class Tracer:
                             batch=k)
             )
 
+    def record_gradient(self, k: int, n_patterns: int, n_cats: int,
+                        newviews: int) -> None:
+        """One full-tree gradient sweep (k branches in one contraction)."""
+        self.gradient_count += 1
+        self.gradient_branches += k
+        self.gradient_patterncats += k * n_patterns * n_cats
+        self.gradient_newviews += newviews
+        if self.keep_events:
+            self.events.append(
+                KernelEvent("gradient", n_patterns, n_cats,
+                            context=self._context, batch=k)
+            )
+
     # -- engine perf counters -------------------------------------------------
 
     def add_counter_source(self, source) -> None:
@@ -187,6 +204,12 @@ class TraceSummary:
     spr_batch_count: int = 0
     spr_batch_candidates: int = 0
     spr_batch_patterncats: float = 0.0
+    # Full-tree gradient sweeps (0 everywhere unless gradient smoothing
+    # is switched on).
+    gradient_count: int = 0
+    gradient_branches: int = 0
+    gradient_patterncats: float = 0.0
+    gradient_newviews: int = 0
 
     @classmethod
     def from_tracer(cls, tracer: Tracer) -> "TraceSummary":
@@ -204,6 +227,10 @@ class TraceSummary:
             spr_batch_count=tracer.spr_batch_count,
             spr_batch_candidates=tracer.spr_batch_candidates,
             spr_batch_patterncats=tracer.spr_batch_patterncats,
+            gradient_count=tracer.gradient_count,
+            gradient_branches=tracer.gradient_branches,
+            gradient_patterncats=tracer.gradient_patterncats,
+            gradient_newviews=tracer.gradient_newviews,
         )
 
     # -- derived quantities --------------------------------------------------
@@ -265,16 +292,18 @@ class TraceSummary:
             + self.makenewz_patterncats
             + self.evaluate_patterncats
             + self.spr_batch_patterncats
+            + self.gradient_patterncats
         )
         # Small loop runs once per kernel call per category; approximate
         # categories from the patterncats ratio.  Each batched SPR
-        # candidate builds its own transition stack, so it counts like
-        # one call here.
+        # candidate (and each branch of a fused gradient sweep) builds
+        # its own transition stack, so it counts like one call here.
         calls = (
             self.newview_count
             + self.makenewz_count
             + self.evaluate_count
             + self.spr_batch_candidates
+            + self.gradient_branches
         )
         return total_patterncats * large + calls * 4 * small
 
@@ -298,4 +327,8 @@ class TraceSummary:
             spr_batch_count=int(round(self.spr_batch_count * factor)),
             spr_batch_candidates=int(round(self.spr_batch_candidates * factor)),
             spr_batch_patterncats=self.spr_batch_patterncats * factor,
+            gradient_count=int(round(self.gradient_count * factor)),
+            gradient_branches=int(round(self.gradient_branches * factor)),
+            gradient_patterncats=self.gradient_patterncats * factor,
+            gradient_newviews=int(round(self.gradient_newviews * factor)),
         )

@@ -19,8 +19,9 @@ that claim checkable at three independent tiers:
   properties the likelihood must satisfy regardless of implementation
   (pulley-principle re-rooting invariance, taxon/site permutation
   invariance, pattern compression, SPR apply→revert round trips,
-  fault-recovery transparency under :mod:`repro.chaos` injection, and a
-  JC69 two-taxon analytic closed form).
+  fault-recovery transparency under :mod:`repro.chaos` injection, a
+  JC69 two-taxon analytic closed form, and the full-tree gradient's
+  root/permutation/round-trip invariances).
 * :mod:`repro.verify.golden` — a committed corpus of exact values for
   fixed seeds, regenerated or checked by ``repro-phylo verify``.
 
@@ -40,6 +41,10 @@ from .differential import (
 from .invariants import (
     InvariantViolation,
     fault_recovery_invariance,
+    gradient_rerooting_invariance,
+    gradient_site_permutation_invariance,
+    gradient_spr_roundtrip_invariance,
+    gradient_taxon_permutation_invariance,
     jc69_two_taxon_closed_form,
     pattern_compression_invariance,
     rerooting_invariance,
@@ -50,6 +55,7 @@ from .invariants import (
 )
 from .golden import (
     GOLDEN_CASES,
+    build_case_instance,
     check_corpus,
     compute_case,
     default_corpus_dir,
@@ -66,6 +72,10 @@ __all__ = [
     "run_differential",
     "InvariantViolation",
     "fault_recovery_invariance",
+    "gradient_rerooting_invariance",
+    "gradient_site_permutation_invariance",
+    "gradient_spr_roundtrip_invariance",
+    "gradient_taxon_permutation_invariance",
     "jc69_two_taxon_closed_form",
     "pattern_compression_invariance",
     "rerooting_invariance",
@@ -74,6 +84,7 @@ __all__ = [
     "taxon_permutation_invariance",
     "two_taxon_tree",
     "GOLDEN_CASES",
+    "build_case_instance",
     "check_corpus",
     "compute_case",
     "default_corpus_dir",

@@ -39,6 +39,7 @@ from .oracle import ReferenceEngine
 __all__ = [
     "GOLDEN_CASES",
     "GoldenCase",
+    "build_case_instance",
     "check_corpus",
     "compute_case",
     "default_corpus_dir",
@@ -115,8 +116,21 @@ def _split_key(split) -> str:
     return "|".join(sorted(split))
 
 
-def compute_case(case: GoldenCase) -> Dict:
-    """Recompute one golden record from scratch (fully seeded)."""
+def _branch_key(tree: Tree, branch) -> str:
+    """Canonical bipartition label for a branch (lexicographically
+    smaller side), stable across regenerations of the same case."""
+    u, v = branch.nodes
+    side_u = _split_key(tree.subtree_tips(u, branch))
+    side_v = _split_key(tree.subtree_tips(v, branch))
+    return min(side_u, side_v)
+
+
+def build_case_instance(case: GoldenCase):
+    """The deterministic (patterns, model, rate_model, tree, rng) for a
+    golden case.  The returned ``rng`` has consumed exactly the draws
+    :func:`compute_case` would have made up to this point, so callers
+    (e.g. the gradient-smoothing equivalence test) reproduce the same
+    instance the committed record describes."""
     rng = np.random.default_rng(np.random.SeedSequence([0x601D, case.seed]))
     seqs = {
         f"t{i}": "".join(rng.choice(list("ACGT"), case.n_sites))
@@ -126,6 +140,12 @@ def compute_case(case: GoldenCase) -> Dict:
     model = _build_model(case.model)
     rate_model = _build_rates(case.rates, patterns.n_patterns, rng)
     tree = Tree.from_tip_names(patterns.taxa, rng)
+    return patterns, model, rate_model, tree, rng
+
+
+def compute_case(case: GoldenCase) -> Dict:
+    """Recompute one golden record from scratch (fully seeded)."""
+    patterns, model, rate_model, tree, rng = build_case_instance(case)
 
     # Golden records are pinned to the einsum backend: a committed file
     # must not depend on the REPRO_ENGINE_BACKEND override the suite
@@ -137,6 +157,23 @@ def compute_case(case: GoldenCase) -> Dict:
         log_likelihood = engine.evaluate(tree.branches[0])
         oracle = ReferenceEngine(patterns, model, rate_model, tree)
         oracle_log_likelihood = oracle.evaluate(tree.branches[0])
+
+        # Full-tree gradient vector, keyed by canonical bipartition so
+        # future kernel edits are byte-diffable.  Computed before any
+        # tree mutation and without consuming rng draws, so every other
+        # recorded value is untouched.
+        g_branches, g_lnl, g_d1, g_d2 = engine.branch_gradient_full()
+        gradient = {
+            "log_likelihood": float(g_lnl[0]),
+            "branches": {
+                _branch_key(tree, b): {
+                    "length": float(b.length),
+                    "d1": float(g_d1[k]),
+                    "d2": float(g_d2[k]),
+                }
+                for k, b in enumerate(g_branches)
+            },
+        }
 
         mk_branch = tree.branches[int(rng.integers(len(tree.branches)))]
         mk_length, mk_lnl = engine.makenewz(mk_branch)
@@ -188,6 +225,7 @@ def compute_case(case: GoldenCase) -> Dict:
         },
         "log_likelihood": log_likelihood,
         "oracle_log_likelihood": oracle_log_likelihood,
+        "gradient": gradient,
         "makenewz": {"length": mk_length, "log_likelihood": mk_lnl},
         "inference": {
             "newick": inference.newick,

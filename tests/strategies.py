@@ -35,6 +35,7 @@ __all__ = [
     "positive_rate",
     "random_patterns",
     "random_instance",
+    "random_phylo_instance",
     "seeds",
     "substitution_models",
     "rate_models",
@@ -113,3 +114,18 @@ def random_instance(seed: int, n_taxa: int, n_sites: int,
     tree = Tree.from_tip_names(patterns.taxa, rng)
     model = GTR(rates, freqs)
     return patterns, tree, model
+
+
+def random_phylo_instance(seed: int, model, n_taxa: int = 7,
+                          n_sites: int = 50, gamma: bool = False):
+    """A full (patterns, tree, model, rate_model) quadruple for a seed.
+
+    Pairs a drawn substitution model with a seed-derived alignment and
+    random tree; ``gamma=True`` adds 4-category Gamma rates so both the
+    integrated and the multi-category kernel shapes get exercised.
+    """
+    rng = np.random.default_rng(seed)
+    patterns = random_patterns(rng, n_taxa, n_sites)
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    rate_model = GammaRates(0.6, 4) if gamma else None
+    return patterns, tree, model, rate_model

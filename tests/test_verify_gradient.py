@@ -1,0 +1,312 @@
+"""Tests of the one-pass full-tree branch gradient.
+
+Tier-1 pins ``branch_gradient_full`` to the per-branch derivative path
+on every backend and exercises the gradient smoothing mode on one
+golden case; the hypothesis sweeps and the full golden-corpus
+equivalence run carry ``@pytest.mark.verify`` (CI verify job, or
+locally with ``pytest -m verify``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.phylo import Alignment, GammaRates, LikelihoodEngine, Tree
+from repro.phylo.engine import create_engine
+from repro.phylo.engine.backends.compiled import compiled_available
+from repro.phylo.engine.protocol import KernelBackend
+from repro.phylo.models import GTR
+from repro.phylo.search import SearchConfig
+from repro.port.trace import Tracer
+from repro.verify import (
+    GOLDEN_CASES,
+    build_case_instance,
+    gradient_rerooting_invariance,
+    gradient_site_permutation_invariance,
+    gradient_spr_roundtrip_invariance,
+    gradient_taxon_permutation_invariance,
+)
+from tests.strategies import (
+    random_phylo_instance,
+    random_sequences,
+    seeds,
+    substitution_models,
+)
+
+#: Same sweep as the other verify suites: every registered backend plus
+#: the compiled one whenever a kernel flavor loads on the host.
+BACKEND_SPECS = ["einsum", "reference", "partitioned:1", "partitioned:2",
+                 "partitioned:7",
+                 pytest.param("compiled:2", marks=pytest.mark.skipif(
+                     compiled_available() is None,
+                     reason="no compiled kernel flavor available"))]
+
+MODEL = GTR((1.2, 2.9, 0.7, 1.1, 3.4, 1.0), (0.32, 0.18, 0.24, 0.26))
+
+
+def _engine(seed, backend=None, gamma=False, n_taxa=7, n_sites=50):
+    patterns, tree, model, rate_model = random_phylo_instance(
+        seed, MODEL, n_taxa=n_taxa, n_sites=n_sites, gamma=gamma
+    )
+    return create_engine(patterns, model, rate_model, tree, backend=backend)
+
+
+def _assert_gradient_matches_per_branch(engine, rel_tol=1e-9):
+    branches, lnl, d1, d2 = engine.branch_gradient_full()
+    assert len(branches) == len(engine.tree.branches)
+    for k, b in enumerate(branches):
+        p_lnl, p_d1, p_d2 = engine.branch_derivatives(b)
+        assert abs(float(lnl[k]) - p_lnl) <= rel_tol * max(1.0, abs(p_lnl))
+        for got, want in ((float(d1[k]), p_d1), (float(d2[k]), p_d2)):
+            assert abs(got - want) <= rel_tol * 10 * max(abs(got), abs(want)) + 1e-7
+
+
+# -- tier-1: the gradient agrees with the per-branch path --------------------
+
+
+@pytest.mark.parametrize("backend", BACKEND_SPECS)
+def test_gradient_matches_per_branch_every_backend(backend):
+    engine = _engine(31, backend=backend)
+    try:
+        _assert_gradient_matches_per_branch(engine)
+    finally:
+        engine.detach()
+
+
+@pytest.mark.parametrize("backend", ["einsum", "partitioned:2"])
+def test_gradient_matches_per_branch_gamma(backend):
+    engine = _engine(32, backend=backend, gamma=True)
+    try:
+        _assert_gradient_matches_per_branch(engine)
+    finally:
+        engine.detach()
+
+
+def test_gradient_cat_mode_per_site():
+    """CAT rates route the fused contraction through the per-site
+    kernel flavor; agreement bar is unchanged."""
+    from repro.phylo import CatRates
+
+    rng = np.random.default_rng(33)
+    patterns = Alignment.from_sequences(
+        random_sequences(rng, 6, 45)
+    ).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    cat = CatRates(rng.uniform(0.25, 4.0, patterns.n_patterns), 3)
+    engine = LikelihoodEngine(patterns, MODEL, cat, tree)
+    try:
+        _assert_gradient_matches_per_branch(engine)
+    finally:
+        engine.detach()
+
+
+def test_gradient_at_explicit_lengths():
+    """An explicit length vector evaluates the gradient away from the
+    tree's current lengths without mutating the tree."""
+    engine = _engine(34)
+    try:
+        before = [b.length for b in engine.tree.branches]
+        ts = np.asarray(before) * 1.5
+        branches, lnl, d1, d2 = engine.branch_gradient_full(lengths=ts)
+        assert [b.length for b in engine.tree.branches] == before
+        for k, b in enumerate(branches):
+            p_lnl, p_d1, _ = engine.branch_derivatives(b, float(ts[k]))
+            assert abs(float(lnl[k]) - p_lnl) <= 1e-9 * max(1.0, abs(p_lnl))
+            assert abs(float(d1[k]) - p_d1) <= 1e-8 * max(
+                1.0, abs(p_d1)) + 1e-7
+    finally:
+        engine.detach()
+
+
+def test_gradient_rejects_bad_inputs():
+    engine = _engine(35)
+    try:
+        tip = next(n for n in engine.tree.nodes if n.is_tip)
+        with pytest.raises(ValueError):
+            engine.branch_gradient_full(root=tip)
+        with pytest.raises(ValueError):
+            engine.branch_gradient_full(lengths=np.ones(3))
+    finally:
+        engine.detach()
+
+
+def test_default_protocol_delegates_to_batch():
+    """A third-party backend that only implements the batch kernel gets
+    the full-tree gradient for free through the protocol default."""
+    engine = _engine(36)
+    try:
+        backend = engine._backend
+        branches, lnl, d1, d2 = engine.branch_gradient_full()
+        ts = np.array([b.length for b in branches])
+        # Rebuild the stacks exactly as the engine does and route them
+        # through the *protocol default* instead of the override.
+        u = np.stack([engine._side(b.nodes[0], b)[0] for b in branches])
+        v = np.stack([engine._side(b.nodes[1], b)[0] for b in branches])
+        sc = np.stack([
+            engine._side(b.nodes[0], b)[1] + engine._side(b.nodes[1], b)[1]
+            for b in branches
+        ])
+        default = KernelBackend.branch_gradient_full(
+            backend, engine._transition_derivatives_batch(ts),
+            engine.model.pi, engine._cat_weights, engine.patterns.weights,
+            u, v, sc,
+        )
+        assert np.array_equal(default[0], lnl)
+        assert np.array_equal(default[1], d1)
+        assert np.array_equal(default[2], d2)
+    finally:
+        engine.detach()
+
+
+def test_gradient_counters_and_tracer():
+    tracer = Tracer(keep_events=True)
+    patterns, tree, model, rate_model = random_phylo_instance(37, MODEL)
+    engine = LikelihoodEngine(patterns, model, rate_model, tree,
+                              tracer=tracer)
+    try:
+        engine.branch_gradient_full()
+        engine.branch_gradient_full()
+        n = len(tree.branches)
+        assert engine.gradient_sweeps == 2
+        assert engine.gradient_traversals_saved == 2 * (n - 1)
+        counters = engine.perf_counters()
+        assert counters["gradient_sweeps"] == 2
+        assert counters["gradient_traversals_saved"] == 2 * (n - 1)
+        assert "gradient_fallbacks" in counters
+        assert tracer.gradient_count == 2
+        assert tracer.gradient_branches == 2 * n
+        # The second sweep reuses every cached directional CLV.
+        events = [e for e in tracer.events if e.kernel == "gradient"]
+        assert len(events) == 2 and events[0].batch == n
+        summary = tracer.summary()
+        assert summary.gradient_count == 2
+        assert summary.scale(2.0).gradient_branches == 4 * n
+    finally:
+        engine.detach()
+
+
+# -- tier-1: gradient smoothing mode -----------------------------------------
+
+
+def test_optimize_all_branches_rejects_unknown_mode():
+    engine = _engine(38)
+    try:
+        with pytest.raises(ValueError, match="mode"):
+            engine.optimize_all_branches(mode="bogus")
+    finally:
+        engine.detach()
+
+
+def test_search_config_smoothing_mode_flag():
+    assert SearchConfig().smoothing_mode == "newton"
+    assert SearchConfig(gradient_smoothing=True).smoothing_mode == "gradient"
+
+
+def _smoothing_pair(case):
+    """(newton lnL, gradient lnL) from a shared preconditioned start."""
+    results = {}
+    newicks = {}
+    for mode in ("newton", "gradient"):
+        patterns, model, rate_model, tree, _ = build_case_instance(case)
+        engine = LikelihoodEngine(patterns, model, rate_model, tree)
+        try:
+            # Two plain Newton passes precondition both runs onto the
+            # same basin; the modes must then agree at the fixed point.
+            engine.optimize_all_branches(passes=2, mode="newton")
+            results[mode] = engine.optimize_all_branches(
+                passes=10, tolerance=1e-8, mode=mode
+            )
+            newicks[mode] = tree.to_newick(digits=17)
+        finally:
+            engine.detach()
+    assert newicks["newton"].count(",") == newicks["gradient"].count(",")
+    return results["newton"], results["gradient"]
+
+
+def test_gradient_smoothing_matches_newton_one_case():
+    newton, gradient = _smoothing_pair(GOLDEN_CASES[0])
+    assert abs(newton - gradient) < 1e-6
+
+
+def test_gradient_smoothing_uses_sweeps_and_polishes():
+    case = GOLDEN_CASES[0]
+    patterns, model, rate_model, tree, _ = build_case_instance(case)
+    engine = LikelihoodEngine(patterns, model, rate_model, tree)
+    try:
+        lnl = engine.optimize_all_branches(
+            passes=10, tolerance=1e-8, mode="gradient"
+        )
+        assert np.isfinite(lnl)
+        assert engine.gradient_sweeps >= 1
+        assert engine.gradient_traversals_saved > 0
+        # A per-branch Newton pass from the gradient answer gains
+        # (almost) nothing: both modes share the fixed point.
+        polished = engine.optimize_all_branches(passes=1, mode="newton")
+        assert polished - lnl < 1e-4
+    finally:
+        engine.detach()
+
+
+# -- verify: acceptance ------------------------------------------------------
+
+
+@pytest.mark.verify
+def test_gradient_smoothing_matches_newton_golden_corpus():
+    """Acceptance bar: gradient smoothing reaches the same lnL as the
+    per-branch Newton smoother within 1e-6 on every golden case."""
+    for case in GOLDEN_CASES:
+        newton, gradient = _smoothing_pair(case)
+        assert abs(newton - gradient) < 1e-6, case.name
+
+
+@pytest.mark.verify
+def test_gradient_smoothing_never_worse_from_raw_starts():
+    """From unpreconditioned random starts the modes may walk to
+    different basins, but the gradient mode's polish pass guarantees it
+    never ends below the Newton smoother."""
+    for case in GOLDEN_CASES:
+        results = {}
+        for mode in ("newton", "gradient"):
+            patterns, model, rate_model, tree, _ = build_case_instance(case)
+            engine = LikelihoodEngine(patterns, model, rate_model, tree)
+            try:
+                results[mode] = engine.optimize_all_branches(
+                    passes=10, tolerance=1e-8, mode=mode
+                )
+            finally:
+                engine.detach()
+        assert results["gradient"] >= results["newton"] - 1e-6, case.name
+
+
+@pytest.mark.verify
+@given(seeds, substitution_models())
+@settings(max_examples=25, deadline=None)
+def test_gradient_matches_per_branch_property(seed, model):
+    rng = np.random.default_rng(seed)
+    patterns = Alignment.from_sequences(
+        random_sequences(rng, 6, 40)
+    ).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = LikelihoodEngine(patterns, model, None, tree)
+    try:
+        _assert_gradient_matches_per_branch(engine)
+    finally:
+        engine.detach()
+
+
+@pytest.mark.verify
+@given(seeds, substitution_models())
+@settings(max_examples=15, deadline=None)
+def test_gradient_invariants_property(seed, model):
+    rng = np.random.default_rng(seed)
+    sequences = random_sequences(rng, 6, 40)
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = LikelihoodEngine(patterns, model, None, tree)
+    try:
+        gradient_rerooting_invariance(engine)
+        gradient_spr_roundtrip_invariance(engine, rng)
+    finally:
+        engine.detach()
+    gradient_site_permutation_invariance(sequences, model, None, rng)
+    gradient_taxon_permutation_invariance(sequences, model, None, rng)

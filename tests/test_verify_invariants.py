@@ -15,6 +15,10 @@ from repro.phylo.models import GTR
 from repro.verify import (
     InvariantViolation,
     ReferenceEngine,
+    gradient_rerooting_invariance,
+    gradient_site_permutation_invariance,
+    gradient_spr_roundtrip_invariance,
+    gradient_taxon_permutation_invariance,
     pattern_compression_invariance,
     rerooting_invariance,
     site_permutation_invariance,
@@ -138,6 +142,66 @@ def test_spr_roundtrip_bit_identical_every_backend(backend):
     try:
         lnl_before, lnl_moved = spr_roundtrip_invariance(engine, rng)
         assert np.isfinite(lnl_moved)
+    finally:
+        engine.detach()
+
+
+@pytest.mark.parametrize("backend", BACKEND_SPECS)
+def test_gradient_invariants_every_backend(backend):
+    """Sweep-root bit-stability + per-branch pulley agreement, and the
+    SPR round-trip gradient contract, on every backend."""
+    from repro.phylo import Alignment, create_engine
+
+    sequences, rng = _fixture(23)
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = create_engine(
+        patterns, MODEL, GammaRates(0.7, 4), tree, backend=backend
+    )
+    try:
+        assert gradient_rerooting_invariance(engine) < 1e-12
+        assert gradient_spr_roundtrip_invariance(engine, rng) > 0
+    finally:
+        engine.detach()
+
+
+@pytest.mark.parametrize("seed", [24, 25])
+def test_gradient_permutation_invariances(seed):
+    sequences, rng = _fixture(seed)
+    assert gradient_site_permutation_invariance(
+        sequences, MODEL, UniformRate(), rng
+    ) == 0.0
+    assert gradient_taxon_permutation_invariance(
+        sequences, MODEL, GammaRates(0.5, 2), rng
+    ) < 1e-12
+
+
+def test_gradient_invariant_violation_is_reported():
+    """A poisoned gradient entry must trip the pulley check with a
+    diagnostic naming the offending branch."""
+
+    class _Broken:
+        def __init__(self, engine):
+            self._engine = engine
+            self.tree = engine.tree
+
+        def branch_gradient_full(self, lengths=None, root=None):
+            branches, lnl, d1, d2 = self._engine.branch_gradient_full(
+                lengths=lengths, root=root
+            )
+            lnl = np.array(lnl)
+            lnl[-1] += 1e-3
+            return branches, lnl, d1, d2
+
+    sequences, rng = _fixture(26)
+    from repro.phylo import Alignment
+
+    patterns = Alignment.from_sequences(sequences).compress()
+    tree = Tree.from_tip_names(patterns.taxa, rng)
+    engine = LikelihoodEngine(patterns, JC69(), None, tree)
+    try:
+        with pytest.raises(InvariantViolation, match="pulley|root"):
+            gradient_rerooting_invariance(_Broken(engine))
     finally:
         engine.detach()
 
