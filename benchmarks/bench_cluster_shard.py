@@ -1,0 +1,262 @@
+"""Sharded WAL append throughput vs the single-journal funnel.
+
+The seed's cluster layer serializes every durable write through the
+master's single ``RunJournal`` — workers hand results back over a pipe
+and one process appends them.  That is exactly the serial section the
+paper's offload pipeline removes from in front of its parallel workers,
+so this benchmark measures the funnel directly:
+
+* **funnel** — ``N_GROUPS`` producer processes build result records and
+  push them through one ``multiprocessing.Queue`` to a single appender
+  holding one :class:`~repro.cluster.checkpoint.RunJournal` (the seed
+  architecture);
+* **sharded** — the same producers each own a
+  :class:`~repro.cluster.shards.ShardWriter` on their own WAL shard
+  behind a manifest and append directly: no queue, no shared fd.
+
+Both arms genuinely write ``N_GROUPS * RECORDS_PER_GROUP`` records with
+representative ``replicate_done`` payloads and are timed end-to-end
+(producer start to last byte appended).  Afterwards both layouts replay
+to the same payload key set — the merge-replay equivalence that makes
+sharding a format change, not a semantics change.
+
+A second section measures what snapshot compaction buys at resume
+time: a sharded journal with a retry-heavy history (every result
+re-delivered ``DUPLICATES`` times plus scheduling chatter) is replayed
+before and after :func:`~repro.cluster.shards.compact_sharded`, and the
+compacted generation must hold O(live results) records, not O(history).
+
+Claims checked:
+
+* funnel and sharded layouts replay to identical payload key sets;
+* sharded append throughput >= ``MIN_SPEEDUP`` x funnel throughput —
+  asserted only on >= 4 cores (with fewer cores the producers serialize
+  on the CPU and the ratio measures the scheduler, not the WAL);
+* compaction shrinks the retry-heavy journal to at most
+  ``live results + 3`` records and the recovered state is identical.
+
+Wall times and throughputs are recorded unconditionally; only the
+core-gated speedup claim is asserted.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_shard.py
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from pathlib import Path
+
+from repro.cluster import RunJournal, replay
+from repro.cluster.shards import ShardWriter, ShardedJournal, compact_sharded
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+N_GROUPS = 4
+RECORDS_PER_GROUP = 2000
+MIN_SPEEDUP = 2.0
+MIN_CORES_FOR_ASSERT = 4
+
+#: Retry-heavy history for the compaction section.
+LIVE_RESULTS = 200
+DUPLICATES = 5
+
+NEWICK = ("((a:0.01,b:0.02):0.03,(c:0.01,d:0.02):0.03,"
+          "(e:0.01,f:0.02):0.03);")
+
+
+def _payload(group: int, index: int) -> dict:
+    replicate = group * RECORDS_PER_GROUP + index
+    return {
+        "kind": "bootstrap",
+        "replicate": replicate,
+        "newick": NEWICK,
+        "log_likelihood": -1234.5 - replicate,
+        "perf": {"newview_calls": 17, "pmat_hits": 5},
+    }
+
+
+def _produce_to_queue(group: int, queue) -> None:
+    for index in range(RECORDS_PER_GROUP):
+        payload = _payload(group, index)
+        queue.put((f"bootstrap/{payload['replicate']}", payload))
+    queue.put(None)
+
+
+def _run_funnel(journal_path: str) -> float:
+    """The seed architecture: one appender drains every producer."""
+    queue: "mp.Queue" = mp.Queue(maxsize=1024)
+    producers = [
+        mp.Process(target=_produce_to_queue, args=(group, queue))
+        for group in range(N_GROUPS)
+    ]
+    start = time.perf_counter()
+    for proc in producers:
+        proc.start()
+    finished = 0
+    with RunJournal(journal_path) as journal:
+        journal.append("run_started", spec={"bench": "cluster_shard"})
+        while finished < N_GROUPS:
+            item = queue.get()
+            if item is None:
+                finished += 1
+                continue
+            task, payload = item
+            journal.append("replicate_done", task=task, attempt=1,
+                           payload=payload)
+        journal.append("run_finished", n_results=N_GROUPS * RECORDS_PER_GROUP)
+    elapsed = time.perf_counter() - start
+    for proc in producers:
+        proc.join()
+    return elapsed
+
+
+def _produce_to_shard(path: str, group: int) -> None:
+    with ShardWriter(path, group=group) as shard:
+        for index in range(RECORDS_PER_GROUP):
+            payload = _payload(group, index)
+            shard.append("replicate_done",
+                         task=f"bootstrap/{payload['replicate']}",
+                         attempt=1, payload=payload)
+
+
+def _run_sharded(manifest_path: str) -> float:
+    """Each producer appends straight to its own WAL shard."""
+    journal = ShardedJournal(manifest_path, n_shards=N_GROUPS,
+                             compact_threshold=10 ** 9)
+    journal.append("run_started", spec={"bench": "cluster_shard"})
+    writers = [
+        mp.Process(target=_produce_to_shard,
+                   args=(journal.shard_path(group), group))
+        for group in range(N_GROUPS)
+    ]
+    start = time.perf_counter()
+    for proc in writers:
+        proc.start()
+    for proc in writers:
+        proc.join()
+    journal.append("run_finished", n_results=N_GROUPS * RECORDS_PER_GROUP)
+    elapsed = time.perf_counter() - start
+    journal.close()
+    return elapsed
+
+
+def _compaction_section(workdir: Path) -> dict:
+    """Replay cost before/after compacting a retry-heavy history."""
+    manifest = str(workdir / "history.jsonl")
+    journal = ShardedJournal(manifest, n_shards=N_GROUPS,
+                             compact_threshold=10 ** 9)
+    journal.append("run_started", spec={"bench": "cluster_shard"})
+    for replicate in range(LIVE_RESULTS):
+        group = replicate % N_GROUPS
+        task = f"bootstrap/{replicate}"
+        payload = {"kind": "bootstrap", "replicate": replicate,
+                   "newick": NEWICK, "log_likelihood": -1000.0 - replicate}
+        with ShardWriter(journal.shard_path(group), group=group) as shard:
+            for attempt in range(1, DUPLICATES + 1):
+                shard.append("task_started", task=task, attempt=attempt)
+                shard.append("replicate_done", task=task, attempt=attempt,
+                             payload=payload)
+                shard.append("task_finished", task=task, attempt=attempt)
+    journal.close()
+
+    history_records = journal.live_record_count()
+    start = time.perf_counter()
+    before = replay(manifest)
+    full_replay_s = time.perf_counter() - start
+
+    compact_sharded(manifest)
+    start = time.perf_counter()
+    after = replay(manifest)
+    compacted_replay_s = time.perf_counter() - start
+    # Everything replay still has to read: the snapshot plus whatever
+    # landed in the new generation's live shards (nothing, here).
+    compacted_count = (int(after.shards.get("snapshot_records") or 0)
+                       + sum(after.shards["records"].values()))
+
+    assert after.payloads == before.payloads, \
+        "compaction changed the recovered results"
+    assert compacted_count <= LIVE_RESULTS + 3, (
+        f"compacted journal holds {compacted_count} records for "
+        f"{LIVE_RESULTS} live results — replay is not O(live)"
+    )
+    return {
+        "live_results": LIVE_RESULTS,
+        "duplicates_per_result": DUPLICATES,
+        "history_records": history_records,
+        "compacted_records": compacted_count,
+        "full_replay_seconds": full_replay_s,
+        "compacted_replay_seconds": compacted_replay_s,
+        "replay_speedup": (full_replay_s / compacted_replay_s
+                           if compacted_replay_s > 0 else None),
+    }
+
+
+def main() -> int:
+    import tempfile
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-cluster-shard-"))
+    total = N_GROUPS * RECORDS_PER_GROUP
+
+    funnel_wall = _run_funnel(str(workdir / "funnel.jsonl"))
+    print(f"funnel:  {total} records through 1 journal in "
+          f"{funnel_wall:.2f}s ({total / funnel_wall:,.0f} rec/s)")
+
+    sharded_wall = _run_sharded(str(workdir / "sharded.jsonl"))
+    print(f"sharded: {total} records across {N_GROUPS} WAL shards in "
+          f"{sharded_wall:.2f}s ({total / sharded_wall:,.0f} rec/s)")
+
+    funnel_state = replay(str(workdir / "funnel.jsonl"))
+    sharded_state = replay(str(workdir / "sharded.jsonl"))
+    assert funnel_state.corrupt_records == 0
+    assert sharded_state.corrupt_records == 0
+    assert set(funnel_state.payloads) == set(sharded_state.payloads), \
+        "layouts disagree on the recovered result set"
+    assert len(funnel_state.payloads) == total
+
+    speedup = funnel_wall / sharded_wall
+    cores = os.cpu_count() or 1
+    print(f"speedup: {speedup:.2f}x on {cores} core(s)")
+    if cores >= MIN_CORES_FOR_ASSERT:
+        assert speedup >= MIN_SPEEDUP, (
+            f"sharded append only {speedup:.2f}x the funnel on "
+            f"{cores} cores (need >= {MIN_SPEEDUP}x)"
+        )
+    else:
+        print(f"speedup assertion skipped: {cores} core(s) < "
+              f"{MIN_CORES_FOR_ASSERT} (ratio recorded, not gated)")
+
+    compaction = _compaction_section(workdir)
+    print(f"compaction: {compaction['history_records']} history records "
+          f"-> {compaction['compacted_records']} live; replay "
+          f"{compaction['full_replay_seconds']:.3f}s -> "
+          f"{compaction['compacted_replay_seconds']:.3f}s")
+
+    from repro.harness.report import merge_bench_section
+
+    section = {
+        "n_groups": N_GROUPS,
+        "records_per_group": RECORDS_PER_GROUP,
+        "total_records": total,
+        "cores": cores,
+        "funnel": {"wall_seconds": funnel_wall,
+                   "records_per_second": total / funnel_wall},
+        "sharded": {"wall_seconds": sharded_wall,
+                    "records_per_second": total / sharded_wall},
+        "append_speedup": speedup,
+        "speedup_asserted": cores >= MIN_CORES_FOR_ASSERT,
+        "min_speedup": MIN_SPEEDUP,
+        "compaction": compaction,
+    }
+    merge_bench_section(RESULT_PATH, "cluster_shard", section)
+    print(f"bench_cluster_shard: OK — wrote 'cluster_shard' section to "
+          f"{RESULT_PATH.name} ({speedup:.2f}x append speedup, "
+          f"{'asserted' if section['speedup_asserted'] else 'recorded'})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -272,7 +272,8 @@ def journal_payload_digest(path: str) -> str:
 def _cluster_chaos_run(patterns, plan: FaultPlan, n_workers: int,
                        rundir: str, baseline_lnl: float,
                        baseline_digest: str,
-                       max_resumes: int) -> ChaosRunResult:
+                       max_resumes: int,
+                       n_shards: Optional[int] = None) -> ChaosRunResult:
     os.makedirs(rundir, exist_ok=True)
     journal_path = os.path.join(rundir, "journal.jsonl")
     best_path = os.path.join(rundir, "best.tree")
@@ -290,7 +291,7 @@ def _cluster_chaos_run(patterns, plan: FaultPlan, n_workers: int,
                             analysis = run_job(
                                 _cluster_spec(), patterns,
                                 journal_path=journal_path, cluster=cfg,
-                                clock=clock,
+                                clock=clock, n_shards=n_shards,
                             )
                         else:
                             resumes += 1
@@ -509,6 +510,7 @@ def run_cluster_campaign(
     start_seed: int = 0,
     patterns=None,
     max_resumes: int = 4,
+    n_shards: Optional[int] = None,
 ) -> ChaosSurvivalReport:
     """Sweep ``n_seeds`` cluster-fault adversaries over journalled runs.
 
@@ -519,6 +521,12 @@ def run_cluster_campaign(
     the replayed payload digest to match the fault-free baseline
     exactly — worker count, retries, and resume boundaries must all be
     invisible in the answer.
+
+    ``n_shards`` runs every chaos seed on a sharded journal (adding the
+    ``cluster.shard_torn`` / ``cluster.steal_race`` sites to the live
+    attack surface) while the baseline stays single-file, so a
+    surviving digest proves shard merge-replay equivalence, not just
+    crash recovery.
     """
     if patterns is None:
         patterns = campaign_patterns()
@@ -533,7 +541,10 @@ def run_cluster_campaign(
     )
     baseline_lnl = baseline.best.log_likelihood
     baseline_digest = journal_payload_digest(baseline_journal)
-    report = ChaosSurvivalReport(label=f"cluster:{n_workers}w")
+    label = f"cluster:{n_workers}w" + (
+        f":{n_shards}s" if n_shards else ""
+    )
+    report = ChaosSurvivalReport(label=label)
     for seed in range(start_seed, start_seed + n_seeds):
         plan = default_cluster_plan(seed, sites=sites)
         report.add(
@@ -541,6 +552,7 @@ def run_cluster_campaign(
                 patterns, plan, n_workers,
                 os.path.join(workdir, f"seed{seed:03d}"),
                 baseline_lnl, baseline_digest, max_resumes,
+                n_shards=n_shards,
             )
         )
     return report

@@ -32,6 +32,13 @@ site                         meaning
 ``cluster.journal_oserror``  transient ``OSError`` on journal append
 ``cluster.checkpoint_torn``  atomic checkpoint write dies after writing part
                              of the *temp* file (the target must stay intact)
+``cluster.shard_torn``       a worker's WAL-shard append writes half its
+                             record, then the worker dies (sharded journals
+                             only; the torn line must stay isolated and the
+                             merge-replay must skip it)
+``cluster.steal_race``       a work steal races its victim: the stolen task
+                             is dispatched from *both* queues and idempotent
+                             first-wins results must absorb the duplicate
 ``serve.server_kill``        the serving process dies between two journal
                              appends of a running job (typed
                              :class:`~repro.chaos.injector.InjectedCrash`);
@@ -55,6 +62,8 @@ __all__ = [
     "CLUSTER_JOURNAL_TORN",
     "CLUSTER_JOURNAL_OSERROR",
     "CLUSTER_CHECKPOINT_TORN",
+    "CLUSTER_SHARD_TORN",
+    "CLUSTER_STEAL_RACE",
     "SERVE_SERVER_KILL",
     "ENGINE_SITES",
     "CLUSTER_SITES",
@@ -78,6 +87,8 @@ CLUSTER_WORKER_HANG = "cluster.worker_hang"
 CLUSTER_JOURNAL_TORN = "cluster.journal_torn"
 CLUSTER_JOURNAL_OSERROR = "cluster.journal_oserror"
 CLUSTER_CHECKPOINT_TORN = "cluster.checkpoint_torn"
+CLUSTER_SHARD_TORN = "cluster.shard_torn"
+CLUSTER_STEAL_RACE = "cluster.steal_race"
 SERVE_SERVER_KILL = "serve.server_kill"
 
 #: Sites visited inside one likelihood engine (any backend).
@@ -95,6 +106,8 @@ CLUSTER_SITES: Tuple[str, ...] = (
     CLUSTER_JOURNAL_TORN,
     CLUSTER_JOURNAL_OSERROR,
     CLUSTER_CHECKPOINT_TORN,
+    CLUSTER_SHARD_TORN,
+    CLUSTER_STEAL_RACE,
 )
 
 #: Sites visited by the inference service front-end (repro.serve).
@@ -267,6 +280,15 @@ def default_cluster_plan(
         ),
         CLUSTER_CHECKPOINT_TORN: FaultSpec(
             CLUSTER_CHECKPOINT_TORN, probability=0.05, max_triggers=1,
+        ),
+        # Sharded-journal sites: both are unvisited in single-file runs
+        # (draws are keyed per site), so adding them leaves unsharded
+        # campaigns byte-identical.
+        CLUSTER_SHARD_TORN: FaultSpec(
+            CLUSTER_SHARD_TORN, probability=0.04, max_triggers=1,
+        ),
+        CLUSTER_STEAL_RACE: FaultSpec(
+            CLUSTER_STEAL_RACE, probability=0.15, max_triggers=2,
         ),
     }
     return FaultPlan(

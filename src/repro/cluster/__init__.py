@@ -16,6 +16,9 @@ counterpart on real host cores:
   dead-worker requeue;
 * :mod:`~repro.cluster.checkpoint` - an append-only JSONL run journal
   with exact (bit-identical) checkpoint/resume;
+* :mod:`~repro.cluster.shards` - per-worker-group WAL shards behind a
+  manifest, with a deterministic merge-replay and generation-rotating
+  snapshot compaction (replay cost O(live tasks), not O(history));
 * :mod:`~repro.cluster.scheduler` - the MGPS-inspired multigrain
   dispatch policy (coarse batches while work is plentiful, split to
   fine grain as workers go idle);
@@ -36,11 +39,25 @@ from .bootstop import (
     BootstopController,
     evaluate_convergence,
 )
-from .checkpoint import JournalState, RunJournal, replay
-from .jobs import ClusterTask, JobSpec, PendingTask, TaskGraph, expand_job
+from .checkpoint import JournalState, RunJournal, compact_journal, replay
+from .jobs import (
+    ClusterTask,
+    JobSpec,
+    PendingTask,
+    TaskGraph,
+    expand_job,
+    home_group,
+)
 from .queue import ClusterConfig, ClusterQueue, TaskExecutionError, WorkerPlans
 from .runner import job_status, resume_job, run_job
 from .scheduler import MultigrainScheduler
+from .shards import (
+    ShardedJournal,
+    ShardWriter,
+    compact_sharded,
+    is_manifest,
+    replay_sharded,
+)
 
 __all__ = [
     "BootstopCheck",
@@ -52,12 +69,19 @@ __all__ = [
     "merge_perf_counters",
     "JournalState",
     "RunJournal",
+    "compact_journal",
     "replay",
+    "ShardedJournal",
+    "ShardWriter",
+    "compact_sharded",
+    "is_manifest",
+    "replay_sharded",
     "ClusterTask",
     "JobSpec",
     "PendingTask",
     "TaskGraph",
     "expand_job",
+    "home_group",
     "ClusterConfig",
     "ClusterQueue",
     "TaskExecutionError",

@@ -180,18 +180,26 @@ class BootstopController:
         self.last_check: Optional[BootstopCheck] = None
         self._splits: Dict[int, Splits] = {}
         self._next_checkpoint = config.check_every
+        # Contiguity watermark: replicates [0, _contiguous) are all
+        # recorded.  Advanced incrementally on every note(), so the
+        # per-replicate prefix test is O(1) amortized instead of the
+        # O(k) rescan that made thousand-replicate campaigns pay O(R^2)
+        # in support bookkeeping.
+        self._contiguous = 0
 
     def note(self, replicate: int, newick: str) -> None:
         """Record one finished bootstrap replicate's bipartitions."""
         if replicate not in self._splits:
             self._splits[replicate] = newick_splits(newick)
+            while self._contiguous in self._splits:
+                self._contiguous += 1
 
     def restore(self, stop_at: int) -> None:
         """Adopt a journalled stop decision (resume past the boundary)."""
         self.stopped_at = stop_at
 
     def _prefix_complete(self, k: int) -> bool:
-        return all(r in self._splits for r in range(k))
+        return k <= self._contiguous
 
     def poll(self) -> Optional[BootstopCheck]:
         """Evaluate any newly completed checkpoints; return a stop verdict.

@@ -23,9 +23,19 @@ Durability (hardened by the chaos campaign, DESIGN.md §11):
 * Appends retry transient ``OSError`` a bounded number of times before
   surfacing the typed :class:`JournalWriteError`.
 * :func:`atomic_write` (temp file in the target directory + flush +
-  ``fsync`` + ``os.replace``) backs every whole-file artifact (best
-  trees, compacted journals, benchmark sections): a crash mid-write
-  leaves the previous version intact.
+  ``fsync`` + ``os.replace`` + directory ``fsync``) backs every
+  whole-file artifact (best trees, compacted journals, benchmark
+  sections): a crash mid-write leaves the previous version intact, and
+  the directory fsync makes the rename itself durable — without it a
+  crash right after ``os.replace`` could roll the directory entry back
+  to the old file.
+
+Sharded journals (DESIGN.md §15): a run may journal through
+per-worker-group WAL shards instead of one file.  The shard layout and
+its deterministic merge-replay live in :mod:`repro.cluster.shards`;
+:func:`replay` and :func:`compact_journal` transparently dispatch when
+*path* is a shard manifest, so every journal consumer (status, resume,
+SSE-free digests) reads both layouts through one entry point.
 
 Event vocabulary::
 
@@ -36,6 +46,7 @@ Event vocabulary::
     task_finished   {"task", "attempt", "worker"}
     task_failed     {"task", "attempt", "attempts", "backoff_ms",
                      "error", "will_retry"}
+    task_stolen     {"task", "attempt", "from_group", "to_group"}
     worker_dead     {"worker", "task", "reason"}
     bootstop_converged  {"stop_at", "requested", "metric",
                          "pass_fraction", "threshold", "seed", ...}
@@ -66,6 +77,9 @@ __all__ = [
     "JournalState",
     "atomic_write",
     "compact_journal",
+    "compaction_lines",
+    "apply_bootstop_eviction",
+    "fold_record",
     "replay",
 ]
 
@@ -235,6 +249,7 @@ def atomic_write(path: str, text: str) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        _fsync_directory(directory)
     except _chaos.InjectedCrash:
         raise
     except BaseException:
@@ -243,6 +258,27 @@ def atomic_write(path: str, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def _fsync_directory(directory: str) -> None:
+    """Make a completed rename durable by fsyncing its directory.
+
+    ``os.replace`` updates the directory entry, and that entry lives in
+    the directory's own data — without this fsync a crash right after
+    the rename can resurrect the *old* file.  Platforms that cannot open
+    a directory for reading (or fsync one) are tolerated silently; the
+    rename is still atomic there, just not guaranteed durable.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass
@@ -263,6 +299,13 @@ class JournalState:
     #: record), or None when the run never stopped early.
     bootstop: Optional[dict] = None
     events: List[dict] = field(default_factory=list)
+    #: ``task_stolen`` records: idle worker groups pulling work from the
+    #: richest other shard queue (sharded runs only).
+    steals: List[dict] = field(default_factory=list)
+    #: Shard layout info when the journal is a shard manifest
+    #: (``n_shards``, ``generation``, ``compactions``, per-shard record
+    #: counts); None for single-file journals.
+    shards: Optional[dict] = None
     #: lines skipped by replay: torn tails, CRC failures, malformed
     #: result payloads — each with a companion entry in ``warnings``.
     corrupt_records: int = 0
@@ -288,11 +331,72 @@ class JournalState:
                 totals[name] = totals.get(name, 0) + int(value)
         return totals
 
-    def _skip(self, line_no: int, reason: str) -> None:
-        message = f"journal line {line_no}: skipped ({reason})"
+    def _skip(self, label, reason: str) -> None:
+        message = f"journal line {label}: skipped ({reason})"
         self.corrupt_records += 1
         self.warnings.append(message)
         logger.warning("%s", message)
+
+
+def fold_record(state: JournalState, record: dict, label) -> None:
+    """Fold one decoded record into *state*.
+
+    Shared by single-file :func:`replay` and the sharded merge-replay
+    (:func:`repro.cluster.shards.replay_sharded`), so both layouts
+    reconstruct state through identical semantics.  *label* identifies
+    the record's origin in skip warnings (a line number, or
+    ``"shard2.g0.jsonl:17"`` for sharded journals).
+
+    Malformed ``replicate_done`` payloads are skipped and counted; every
+    other record is appended to ``state.events`` and folded by event.
+    """
+    from .jobs import validate_payload
+
+    event = record.get("event")
+    if event == "replicate_done":
+        try:
+            validate_payload(record["payload"])
+        except (KeyError, ValueError) as exc:
+            state._skip(label, f"bad result payload: {exc}")
+            return
+    state.events.append(record)
+    if event == "run_started":
+        state.spec = record["spec"]
+    elif event == "run_resumed":
+        state.resumes += 1
+    elif event == "task_started":
+        state.tasks_started += 1
+    elif event == "task_finished":
+        state.tasks_finished += 1
+    elif event == "replicate_done":
+        payload = record["payload"]
+        key = (payload["kind"], payload["replicate"])
+        state.payloads.setdefault(key, payload)
+    elif event == "task_failed":
+        state.failures.append(record)
+    elif event == "task_stolen":
+        state.steals.append(record)
+    elif event == "worker_dead":
+        state.worker_deaths.append(record)
+    elif event == "bootstop_converged":
+        state.bootstop = record
+    elif event == "run_finished":
+        state.finished = True
+
+
+def apply_bootstop_eviction(state: JournalState) -> None:
+    """Drop bootstrap payloads past the journalled stop decision.
+
+    The stop decision is authoritative: bootstrap replicates that raced
+    past the stop point (journalled before the decision was reached) are
+    excluded so resume reproduces the stopped run bit-identically.
+    """
+    if state.bootstop is None:
+        return
+    stop_at = int(state.bootstop["stop_at"])
+    for key in [k for k in state.payloads
+                if k[0] == "bootstrap" and k[1] >= stop_at]:
+        del state.payloads[key]
 
 
 def replay(path: str) -> JournalState:
@@ -303,9 +407,14 @@ def replay(path: str) -> JournalState:
     file — is skipped with a warning and counted, never trusted: the
     affected replicate simply reruns on resume (idempotent by task
     identity).
-    """
-    from .jobs import validate_payload
 
+    When *path* is a shard manifest the reconstruction dispatches to the
+    deterministic merge-replay in :mod:`repro.cluster.shards`.
+    """
+    from .shards import is_manifest, replay_sharded
+
+    if is_manifest(path):
+        return replay_sharded(path)
     state = JournalState()
     with open(path) as fh:
         for line_no, line in enumerate(fh, 1):
@@ -317,59 +426,23 @@ def replay(path: str) -> JournalState:
             except ValueError as exc:
                 state._skip(line_no, str(exc))
                 continue
-            event = record.get("event")
-            if event == "replicate_done":
-                try:
-                    validate_payload(record["payload"])
-                except (KeyError, ValueError) as exc:
-                    state._skip(line_no, f"bad result payload: {exc}")
-                    continue
-            state.events.append(record)
-            if event == "run_started":
-                state.spec = record["spec"]
-            elif event == "run_resumed":
-                state.resumes += 1
-            elif event == "task_started":
-                state.tasks_started += 1
-            elif event == "task_finished":
-                state.tasks_finished += 1
-            elif event == "replicate_done":
-                payload = record["payload"]
-                key = (payload["kind"], payload["replicate"])
-                state.payloads.setdefault(key, payload)
-            elif event == "task_failed":
-                state.failures.append(record)
-            elif event == "worker_dead":
-                state.worker_deaths.append(record)
-            elif event == "bootstop_converged":
-                state.bootstop = record
-            elif event == "run_finished":
-                state.finished = True
-    if state.bootstop is not None:
-        # The stop decision is authoritative: bootstrap replicates that
-        # raced past the stop point (journalled before the decision was
-        # reached) are excluded so resume reproduces the stopped run
-        # bit-identically.
-        stop_at = int(state.bootstop["stop_at"])
-        for key in [k for k in state.payloads
-                    if k[0] == "bootstrap" and k[1] >= stop_at]:
-            del state.payloads[key]
+            fold_record(state, record, line_no)
+    apply_bootstop_eviction(state)
     return state
 
 
-def compact_journal(path: str) -> JournalState:
-    """Rewrite a journal to its durable essence, atomically.
+def compaction_lines(state: JournalState) -> List[str]:
+    """The durable essence of a replayed run, as encoded journal lines.
 
     Keeps the run header, the first (winning) ``replicate_done`` per
-    result key, and the terminal ``run_finished`` — dropping scheduling
-    chatter, retries, and any corrupt lines.  The rewrite goes through
-    :func:`atomic_write`, so a crash mid-compaction preserves the
-    original journal.  Returns the replayed state the compaction was
-    derived from.
+    result key, the ``bootstop_converged`` decision when one was
+    reached (without it a compacted unfinished run would resume past
+    the stop point), and the terminal ``run_finished`` — dropping
+    scheduling chatter, retries, and any corrupt lines.
     """
-    state = replay(path)
     lines: List[str] = []
     seen: Set[Tuple[str, int]] = set()
+    trailer: List[str] = []
     for record in state.events:
         event = record.get("event")
         if event == "run_started":
@@ -377,10 +450,31 @@ def compact_journal(path: str) -> JournalState:
         elif event == "replicate_done":
             payload = record["payload"]
             key = (payload["kind"], payload["replicate"])
-            if key not in seen:
+            if key not in seen and key in state.payloads:
                 seen.add(key)
                 lines.append(encode_record(record))
-        elif event == "run_finished":
+        elif event == "bootstop_converged":
             lines.append(encode_record(record))
+        elif event == "run_finished":
+            trailer.append(encode_record(record))
+    return lines + trailer
+
+
+def compact_journal(path: str) -> JournalState:
+    """Rewrite a journal to its durable essence, atomically.
+
+    The single-file rewrite goes through :func:`atomic_write`, so a
+    crash mid-compaction preserves the original journal.  Shard
+    manifests dispatch to the generation-rotating
+    :func:`repro.cluster.shards.compact_sharded`, whose commit point is
+    an atomic manifest replace.  Returns the replayed state the
+    compaction was derived from.
+    """
+    from .shards import compact_sharded, is_manifest
+
+    if is_manifest(path):
+        return compact_sharded(path)
+    state = replay(path)
+    lines = compaction_lines(state)
     atomic_write(path, "".join(line + "\n" for line in lines))
     return state

@@ -28,7 +28,11 @@ from zlib import crc32
 import numpy as np
 
 from ..chaos import injector as _chaos
-from ..chaos.plan import CLUSTER_WORKER_CRASH_ACK, CLUSTER_WORKER_HANG
+from ..chaos.plan import (
+    CLUSTER_STEAL_RACE,
+    CLUSTER_WORKER_CRASH_ACK,
+    CLUSTER_WORKER_HANG,
+)
 from ..phylo.inference import default_model_for, infer_tree
 from ..phylo.models import GTR, HKY85, JC69, K80
 from ..phylo.rates import GammaRates
@@ -37,7 +41,7 @@ from ..sched.mgps import summarize_phases
 from .aggregate import StreamingAggregator
 from .bootstop import BootstopController
 from .checkpoint import RunJournal
-from .jobs import ClusterTask, JobSpec, PendingTask
+from .jobs import ClusterTask, JobSpec, PendingTask, home_group
 from .scheduler import MultigrainScheduler
 
 __all__ = [
@@ -217,9 +221,19 @@ def execute_replicate(patterns, ctx: ExecutionContext, kind: str,
 
 def _worker_main(worker_id: int, inbox, outbox, patterns,
                  ctx: ExecutionContext, plans: WorkerPlans,
-                 heartbeat_interval_s: float) -> None:
-    """Worker process: heartbeat thread + task loop."""
+                 heartbeat_interval_s: float,
+                 shard_path: Optional[str] = None,
+                 group: int = 0) -> None:
+    """Worker process: heartbeat thread + task loop.
+
+    With *shard_path* set (sharded journals, DESIGN.md §15) the worker
+    WALs each result into its group's shard *before* streaming it to
+    the master — the disk record, not the queue message, is the
+    durable one, so a master that dies mid-drain loses nothing.
+    """
     import threading
+
+    from .shards import ShardWriter
 
     stop = threading.Event()
 
@@ -232,6 +246,7 @@ def _worker_main(worker_id: int, inbox, outbox, patterns,
             stop.wait(heartbeat_interval_s)
 
     threading.Thread(target=beat, daemon=True).start()
+    shard = ShardWriter(shard_path, group) if shard_path else None
     try:
         while True:
             item = inbox.get()
@@ -266,6 +281,18 @@ def _worker_main(worker_id: int, inbox, outbox, patterns,
                     payload = execute_replicate(
                         patterns, ctx, task.kind, replicate, task.seed
                     )
+                    if shard is not None:
+                        try:
+                            shard.append(
+                                "replicate_done", task=task.task_id,
+                                attempt=attempt, payload=payload,
+                            )
+                        except _chaos.InjectedCrash:
+                            # cluster.shard_torn: the append tore and
+                            # the worker dies with it — the master's
+                            # liveness sweep requeues the task and the
+                            # merge-replay isolates the torn line.
+                            os._exit(29)
                     outbox.put(
                         ("replicate", worker_id, task.task_id, attempt,
                          payload)
@@ -285,6 +312,8 @@ def _worker_main(worker_id: int, inbox, outbox, patterns,
                 )
     finally:
         stop.set()
+        if shard is not None:
+            shard.close()
 
 
 @dataclass
@@ -292,6 +321,7 @@ class _Worker:
     proc: multiprocessing.Process
     inbox: object
     last_seen: float
+    group: int = 0
     current: Optional[Tuple[ClusterTask, int, float]] = None  # task, attempt, t0
 
 
@@ -336,7 +366,18 @@ class ClusterQueue:
         remaining = {
             key for t in tasks for key in t.keys() if key not in results
         }
-        pending: List[PendingTask] = [PendingTask(t) for t in tasks]
+        # Sharded journals partition the pending work into one queue per
+        # worker group (task identity decides the home queue); a plain
+        # journal is the degenerate single-group case, so both layouts
+        # run the same loop and stealing simply never fires with one
+        # group.
+        n_groups = int(getattr(self.journal, "n_shards", 1) or 1)
+        sharded = hasattr(self.journal, "shard_path")
+        pending: Dict[int, List[PendingTask]] = {
+            g: [] for g in range(n_groups)
+        }
+        for t in tasks:
+            pending[home_group(t.task_id, n_groups)].append(PendingTask(t))
         # Replayed results alone may already satisfy the autoMRE
         # criterion (a crash can land between the converging replicate
         # and the journalled decision); check before spawning anything.
@@ -348,22 +389,27 @@ class ClusterQueue:
         outbox = mp.Queue()
         workers: Dict[int, _Worker] = {}
         self._next_wid = 0
-        n_workers = min(self.cfg.n_workers, max(1, len(pending)))
+        n_pending = sum(len(q) for q in pending.values())
+        n_workers = min(self.cfg.n_workers, max(1, n_pending))
         self.scheduler = MultigrainScheduler(n_workers)
 
-        def spawn() -> None:
+        def spawn(group: Optional[int] = None) -> None:
             wid = self._next_wid
             self._next_wid += 1
+            if group is None:
+                group = wid % n_groups
             inbox = mp.Queue()
             proc = mp.Process(
                 target=_worker_main,
                 args=(wid, inbox, outbox, self.patterns, self.ctx,
-                      self.plans, self.cfg.heartbeat_interval_s),
+                      self.plans, self.cfg.heartbeat_interval_s,
+                      self.journal.shard_path(group) if sharded else None,
+                      group),
                 daemon=True,
             )
             proc.start()
             workers[wid] = _Worker(proc=proc, inbox=inbox,
-                                   last_seen=time.monotonic())
+                                   last_seen=time.monotonic(), group=group)
 
         def requeue(task: ClusterTask, attempt: int, error: str,
                     now: float) -> None:
@@ -382,7 +428,9 @@ class ClusterQueue:
             )
             if not will_retry:
                 raise TaskExecutionError(task, attempt, error)
-            pending.append(PendingTask(task, attempt + 1, now + backoff))
+            pending[home_group(task.task_id, n_groups)].append(
+                PendingTask(task, attempt + 1, now + backoff)
+            )
 
         for _ in range(n_workers):
             spawn()
@@ -394,18 +442,19 @@ class ClusterQueue:
                 # -- dispatch to idle workers --------------------------------
                 idle = [w for w in workers.values()
                         if w.current is None and w.proc.is_alive()]
-                if idle and pending:
-                    pending = self.scheduler.plan(pending, now)
+                if idle and any(pending.values()):
+                    pending = self.scheduler.plan_groups(pending, now)
                     for worker in idle:
-                        ready = next(
-                            (p for p in pending if p.not_before <= now), None
+                        entry, victim = self._next_entry(
+                            pending, worker.group, now
                         )
-                        if ready is None:
+                        if entry is None:
                             break
-                        pending.remove(ready)
-                        worker.current = (ready.task, ready.attempt, now)
-                        worker.inbox.put((ready.task, ready.attempt))
-                        self.scheduler.dispatched(ready)
+                        if victim is not None:
+                            self._steal(entry, victim, worker, pending)
+                        worker.current = (entry.task, entry.attempt, now)
+                        worker.inbox.put((entry.task, entry.attempt))
+                        self.scheduler.dispatched(entry)
 
                 # -- drain worker messages -----------------------------------
                 try:
@@ -445,11 +494,11 @@ class ClusterQueue:
                             requeue(task, attempt,
                                     f"worker {wid} died ({reason})", now)
                             if remaining:
-                                spawn()
+                                spawn(worker.group)
                     elif dead:
                         del workers[wid]
-                        if pending or remaining:
-                            spawn()
+                        if any(pending.values()) or remaining:
+                            spawn(worker.group)
 
             # All replicates landed; drain the trailing task_finished
             # acknowledgements so the journal closes every task.
@@ -470,10 +519,66 @@ class ClusterQueue:
             "run_progress",
             phases=summarize_phases(phases),
             splits=self.scheduler.splits,
+            steals=self.scheduler.steals,
         )
         return results
 
     # -- internals ----------------------------------------------------------
+
+    def _next_entry(self, pending: Dict[int, List[PendingTask]],
+                    home: int, now: float):
+        """Pop the next ready entry for a worker in group *home*.
+
+        Own queue first (FIFO head).  An empty home queue steals from
+        the deterministically-chosen *richest* other queue (most ready
+        entries; ties break toward the lowest group index) and takes its
+        *tail* — the entry its owner would reach last — so steals and
+        owner dispatch collide as late as possible.  Returns
+        ``(entry, victim_group)``; ``victim_group`` is None for an
+        own-queue pop, and ``(None, None)`` means nothing is ready
+        anywhere (backoff gates included).
+        """
+        own = pending.get(home, ())
+        for entry in own:
+            if entry.not_before <= now:
+                own.remove(entry)
+                return entry, None
+        victim, richest = None, 0
+        for group in sorted(pending):
+            if group == home:
+                continue
+            ready = sum(1 for p in pending[group] if p.not_before <= now)
+            if ready > richest:
+                victim, richest = group, ready
+        if victim is None:
+            return None, None
+        for entry in reversed(pending[victim]):
+            if entry.not_before <= now:
+                pending[victim].remove(entry)
+                return entry, victim
+        return None, None
+
+    def _steal(self, entry: PendingTask, victim: int, worker: _Worker,
+               pending: Dict[int, List[PendingTask]]) -> None:
+        """Account for a cross-group steal (journal + chaos site).
+
+        The ``cluster.steal_race`` fault models the distributed race
+        this single-master design is immune to by construction: the
+        victim queue keeps a duplicate of the stolen entry, so the task
+        is dispatched twice and the idempotent first-wins result map
+        must absorb the second delivery.
+        """
+        self.scheduler.stole()
+        self.journal.append(
+            "task_stolen", task=entry.task.task_id, attempt=entry.attempt,
+            from_group=victim, to_group=worker.group,
+        )
+        if _chaos._ACTIVE is not None and _chaos.fire(
+            CLUSTER_STEAL_RACE, key=f"{entry.task.task_id}:{entry.attempt}"
+        ):
+            pending[victim].append(
+                PendingTask(entry.task, entry.attempt, entry.not_before)
+            )
 
     def _bootstop_stopped_replicate(self, payload: dict) -> bool:
         """True when bootstopping has already cancelled this replicate."""
@@ -521,7 +626,10 @@ class ClusterQueue:
             check_every=self.bootstop.config.check_every,
             seed=self.bootstop.seed,
         )
-        pending = [p for p in pending if p.task.kind != "bootstrap"]
+        pending = {
+            group: [p for p in queue if p.task.kind != "bootstrap"]
+            for group, queue in pending.items()
+        }
         for key in [k for k in remaining if k[0] == "bootstrap"]:
             remaining.discard(key)
         for key in [k for k in results
@@ -553,8 +661,12 @@ class ClusterQueue:
                 if self.bootstop is not None and payload.get("is_bootstrap"):
                     self.bootstop.note(payload["replicate"],
                                        payload["newick"])
-                self.journal.append("replicate_done", task=task_id,
-                                    payload=payload)
+                if not hasattr(self.journal, "shard_path"):
+                    # Sharded runs WAL the payload in the worker before
+                    # it is streamed; journaling it again here would
+                    # re-create the single-file funnel.
+                    self.journal.append("replicate_done", task=task_id,
+                                        payload=payload)
             remaining.discard(key)
         elif kind == "finished":
             _, _, task_id, attempt = message

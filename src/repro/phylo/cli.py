@@ -136,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
                       "multigrain scheduler splits them (default 4)")
     crun.add_argument("--journal", required=True,
                       help="append-only JSONL run journal path")
+    crun.add_argument("--shards", type=int, default=None, metavar="N",
+                      help="shard the journal into N per-worker-group "
+                      "WAL files behind a manifest (removes the single-"
+                      "file append funnel; enables work stealing between "
+                      "shard queues; default: one shared journal)")
     crun.add_argument("-o", "--output",
                       help="write the best tree (newick, with support "
                       "labels when bootstrapping) here")
@@ -231,6 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workers", type=int, default=2,
                        help="cluster campaign worker processes "
                        "(default 2)")
+    chaos.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="run the cluster campaign against N-shard "
+                       "journals (the fault-free baseline stays single-"
+                       "file, so a surviving digest also proves the "
+                       "shard merge-replay is equivalent)")
     chaos.add_argument("--start-seed", type=int, default=0,
                        help="first campaign seed (default 0)")
     chaos.add_argument("--workdir", default=None,
@@ -267,6 +277,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-inflight-per-client", type=int, default=1,
                        help="concurrent jobs allowed per client "
                        "(default 1)")
+    serve.add_argument("--max-queued", type=int, default=None,
+                       metavar="N",
+                       help="total queued-job watermark: submissions "
+                       "beyond N queued jobs are rejected with 429 + "
+                       "Retry-After (default: unbounded)")
+    serve.add_argument("--max-queued-per-client", type=int, default=None,
+                       metavar="N",
+                       help="per-client queued-job watermark (default: "
+                       "unbounded)")
     return parser
 
 
@@ -451,7 +470,8 @@ def _cmd_cluster(args) -> int:
             bootstop=bootstop,
         )
         analysis = run_job(spec, n_workers=args.workers,
-                           journal_path=args.journal)
+                           journal_path=args.journal,
+                           n_shards=args.shards)
     else:  # resume
         analysis = resume_job(args.journal, n_workers=args.workers)
     _print_analysis(analysis)
@@ -538,6 +558,7 @@ def _cmd_chaos(args) -> int:
         reports.append(run_cluster_campaign(
             n_seeds=args.seeds, n_workers=args.workers,
             workdir=args.workdir, start_seed=args.start_seed,
+            n_shards=args.shards,
         ))
     if args.mode in ("serve", "all"):
         reports.append(run_serve_campaign(
@@ -586,6 +607,8 @@ def _cmd_serve(args) -> int:
             args.root, host=args.host, port=args.port,
             n_workers=args.workers,
             max_inflight_per_client=args.max_inflight_per_client,
+            max_queued_total=args.max_queued,
+            max_queued_per_client=args.max_queued_per_client,
         ))
     except KeyboardInterrupt:
         print(f"serve: interrupted; unfinished jobs remain resumable "

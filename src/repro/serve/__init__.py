@@ -12,7 +12,8 @@ determinism contract:
   scheduling a single cluster task;
 * :mod:`~repro.serve.fairness` — multi-tenant dispatch: per-client FIFO
   queues, per-client inflight caps, strict priorities with
-  round-robin tie-breaking;
+  round-robin tie-breaking, and bounded queue-depth watermarks that
+  surface as ``429 Too Many Requests`` + ``Retry-After`` backpressure;
 * :mod:`~repro.serve.jobstore` — durable job records + the
   transport-free :class:`~repro.serve.jobstore.JobService` core; a
   server killed mid-job (the ``serve.server_kill`` chaos site) restarts
@@ -29,7 +30,7 @@ exposes it through the ``bootstop`` key of a submission.
 from .api import ApiError, parse_submission, spec_from_request
 from .app import ServeApp, serve_forever
 from .cache import ResultCache, canonical_alignment_key, job_digest
-from .fairness import FairScheduler, QueuedJob
+from .fairness import FairScheduler, QueuedJob, QueueFullError
 from .jobstore import (
     JOB_DONE,
     JOB_FAILED,
@@ -38,6 +39,7 @@ from .jobstore import (
     JobRecord,
     JobService,
     JobStore,
+    digest_of,
     result_payload,
 )
 from .sse import JournalTail, format_sse, tail_to_completion
@@ -53,6 +55,8 @@ __all__ = [
     "job_digest",
     "FairScheduler",
     "QueuedJob",
+    "QueueFullError",
+    "digest_of",
     "JOB_DONE",
     "JOB_FAILED",
     "JOB_QUEUED",

@@ -49,16 +49,27 @@ _MAX_ALIGNMENT_BYTES = 4 * 1024 * 1024
 
 
 class ApiError(Exception):
-    """A client-visible request failure (maps to an HTTP error)."""
+    """A client-visible request failure (maps to an HTTP error).
 
-    def __init__(self, status: int, code: str, message: str):
+    ``retry_after`` (seconds) marks transient rejections — backpressure
+    429s — and becomes both a ``retry_after_s`` payload field and a
+    ``Retry-After`` response header.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: Optional[float] = None):
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
-    def payload(self) -> Dict[str, str]:
-        return {"error": self.code, "message": self.message}
+    def payload(self) -> Dict[str, object]:
+        body: Dict[str, object] = {"error": self.code,
+                                   "message": self.message}
+        if self.retry_after is not None:
+            body["retry_after_s"] = self.retry_after
+        return body
 
 
 def _bad(code: str, message: str) -> ApiError:

@@ -27,6 +27,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
 from .api import ApiError, parse_submission
+from .fairness import QueueFullError
 from .jobstore import JOB_DONE, JOB_FAILED, JobService
 from .sse import JournalTail, format_sse
 
@@ -36,7 +37,8 @@ logger = logging.getLogger(__name__)
 
 _REASONS = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 409: "Conflict",
-            413: "Payload Too Large", 500: "Internal Server Error"}
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error"}
 
 #: Hard ceilings on request framing (a service must bound its inputs).
 _MAX_HEADER_BYTES = 16 * 1024
@@ -88,15 +90,26 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
     return _HttpRequest(method, path, headers, body)
 
 
-def _response(status: int, payload: Dict[str, object]) -> bytes:
+def _response(status: int, payload: Dict[str, object],
+              headers: Optional[Dict[str, str]] = None) -> bytes:
     body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in (headers or {}).items())
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         f"Connection: close\r\n\r\n"
     ).encode("latin-1")
     return head + body
+
+
+def _error_headers(exc: ApiError) -> Optional[Dict[str, str]]:
+    """Headers implied by an :class:`ApiError` (Retry-After on 429s)."""
+    if exc.retry_after is None:
+        return None
+    return {"Retry-After": f"{max(1, int(round(exc.retry_after)))}"}
 
 
 class ServeApp:
@@ -250,7 +263,10 @@ class ServeApp:
             else:
                 raise ApiError(404, "not_found", f"no route: {method} {path}")
         except ApiError as exc:
-            status, payload = exc.status, exc.payload()
+            writer.write(_response(exc.status, exc.payload(),
+                                   headers=_error_headers(exc)))
+            await writer.drain()
+            return
         writer.write(_response(status, payload))
         await writer.drain()
 
@@ -262,6 +278,9 @@ class ServeApp:
             record, hit = self.service.submit(alignment, spec,
                                               client=client,
                                               priority=priority)
+        except QueueFullError as exc:
+            raise ApiError(429, "queue_full", str(exc),
+                           retry_after=exc.retry_after_s) from exc
         except ValueError as exc:
             raise ApiError(400, "alignment_invalid",
                            f"could not parse alignment: {exc}") from exc
@@ -361,10 +380,14 @@ async def serve_forever(
     port: int = 8642,
     n_workers: int = 2,
     max_inflight_per_client: int = 1,
+    max_queued_total: Optional[int] = None,
+    max_queued_per_client: Optional[int] = None,
 ) -> None:
     """Run the service until cancelled (the ``repro-phylo serve`` loop)."""
     service = JobService(root, n_workers=n_workers,
-                         max_inflight_per_client=max_inflight_per_client)
+                         max_inflight_per_client=max_inflight_per_client,
+                         max_queued_total=max_queued_total,
+                         max_queued_per_client=max_queued_per_client)
     app = ServeApp(service, host=host, port=port)
     await app.start()
     try:

@@ -106,6 +106,16 @@ class ResultCache:
     def path(self, digest: str) -> str:
         return os.path.join(self.root, f"{digest}.json")
 
+    def contains(self, digest: str) -> bool:
+        """Existence probe that leaves the hit/miss counters untouched.
+
+        Used by admission control to decide whether a submission will
+        be served from cache (and may therefore bypass the queue-depth
+        watermarks) without double-counting the later authoritative
+        :meth:`get`.
+        """
+        return os.path.exists(self.path(digest))
+
     def get(self, digest: str) -> Optional[Dict[str, object]]:
         try:
             with open(self.path(digest)) as fh:

@@ -13,7 +13,12 @@ deterministic:
 * dispatch picks among the eligible queue heads by ``(priority,
   least-recently-served client, arrival order)`` — strict priorities
   first (lower number wins), round-robin across clients inside a
-  priority band, FIFO within a client.
+  priority band, FIFO within a client;
+* queue depth is *bounded* (``max_queued_total`` /
+  ``max_queued_per_client`` watermarks): a submission over a watermark
+  raises :class:`QueueFullError` instead of enqueueing, which the HTTP
+  layer surfaces as ``429 Too Many Requests`` with a ``Retry-After``
+  hint — backpressure, not unbounded memory growth.
 
 Every decision is a pure function of the submission history, so a
 restarted server that re-enqueues its journalled jobs reproduces the
@@ -26,7 +31,26 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
-__all__ = ["QueuedJob", "FairScheduler"]
+__all__ = ["QueuedJob", "QueueFullError", "FairScheduler"]
+
+
+class QueueFullError(Exception):
+    """A submission hit a queue-depth watermark (HTTP 429 upstream).
+
+    ``scope`` is ``"total"`` or ``"client"``; ``retry_after_s`` is the
+    hint the transport layer should hand back as ``Retry-After``.
+    """
+
+    def __init__(self, scope: str, depth: int, limit: int,
+                 retry_after_s: float):
+        self.scope = scope
+        self.depth = depth
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"{scope} queue is full ({depth}/{limit}); "
+            f"retry in {retry_after_s:g}s"
+        )
 
 
 @dataclass(frozen=True)
@@ -43,10 +67,21 @@ class QueuedJob:
 class FairScheduler:
     """Deterministic per-client FIFO dispatch with inflight caps."""
 
-    def __init__(self, max_inflight_per_client: int = 1):
+    def __init__(self, max_inflight_per_client: int = 1,
+                 max_queued_total: Optional[int] = None,
+                 max_queued_per_client: Optional[int] = None,
+                 retry_after_s: float = 5.0):
         if max_inflight_per_client < 1:
             raise ValueError("max_inflight_per_client must be >= 1")
+        if max_queued_total is not None and max_queued_total < 1:
+            raise ValueError("max_queued_total must be >= 1")
+        if max_queued_per_client is not None and max_queued_per_client < 1:
+            raise ValueError("max_queued_per_client must be >= 1")
         self.max_inflight_per_client = max_inflight_per_client
+        self.max_queued_total = max_queued_total
+        self.max_queued_per_client = max_queued_per_client
+        self.retry_after_s = retry_after_s
+        self.rejected = 0
         self._queues: "OrderedDict[str, Deque[QueuedJob]]" = OrderedDict()
         self._inflight: Dict[str, int] = {}
         self._last_served: Dict[str, int] = {}
@@ -56,9 +91,37 @@ class FairScheduler:
 
     # -- submission ---------------------------------------------------------
 
+    def check_capacity(self, client: str) -> None:
+        """Raise :class:`QueueFullError` if *client* may not enqueue now.
+
+        Checked *before* any durable side effect of a submission, so a
+        rejected request leaves no record behind.  Inflight jobs do not
+        count against the watermarks — they already hold executor
+        slots, and counting them would let a slow job lower the
+        admission ceiling.
+        """
+        if self.max_queued_total is not None \
+                and self.n_queued >= self.max_queued_total:
+            self.rejected += 1
+            raise QueueFullError("total", self.n_queued,
+                                 self.max_queued_total, self.retry_after_s)
+        if self.max_queued_per_client is not None:
+            depth = len(self._queues.get(client, ()))
+            if depth >= self.max_queued_per_client:
+                self.rejected += 1
+                raise QueueFullError("client", depth,
+                                     self.max_queued_per_client,
+                                     self.retry_after_s)
+
     def submit(self, job_id: str, client: str, priority: int = 10
                ) -> QueuedJob:
-        """Append a job to its client's FIFO; returns the queued entry."""
+        """Append a job to its client's FIFO; returns the queued entry.
+
+        Enforces the depth watermarks itself as a last line of defense;
+        callers with durable side effects should call
+        :meth:`check_capacity` first.
+        """
+        self.check_capacity(client)
         self._seq += 1
         entry = QueuedJob(job_id=job_id, client=client, priority=priority,
                           seq=self._seq)
@@ -126,4 +189,7 @@ class FairScheduler:
             "inflight": {c: n for c, n in self._inflight.items() if n},
             "dispatched": self.dispatched,
             "max_inflight_per_client": self.max_inflight_per_client,
+            "max_queued_total": self.max_queued_total,
+            "max_queued_per_client": self.max_queued_per_client,
+            "rejected": self.rejected,
         }

@@ -43,6 +43,7 @@ __all__ = [
     "JobRecord",
     "JobStore",
     "JobService",
+    "digest_of",
     "load_alignment_text",
     "result_payload",
 ]
@@ -64,6 +65,12 @@ def load_alignment_text(text: str, aa: bool = False):
     if text.lstrip().startswith(">"):
         return cls.from_fasta(text)
     return cls.from_phylip(text)
+
+
+def digest_of(alignment_text: str, spec: JobSpec) -> str:
+    """The content-addressed digest of a submission (parses once)."""
+    patterns = load_alignment_text(alignment_text, aa=spec.aa).compress()
+    return job_digest(patterns, spec)
 
 
 @dataclass
@@ -195,15 +202,18 @@ class JobStore:
     # -- submission ---------------------------------------------------------
 
     def submit(self, alignment_text: str, spec: JobSpec, client: str,
-               priority: int = 10) -> Tuple[JobRecord, bool]:
+               priority: int = 10, digest: Optional[str] = None
+               ) -> Tuple[JobRecord, bool]:
         """Create a job record; returns ``(record, cache_hit)``.
 
         On a cache hit the record is born ``done`` with ``cached=True``
         and no cluster work is ever scheduled for it — the digest
-        already addresses a finished result.
+        already addresses a finished result.  Callers that computed the
+        digest already (e.g. for an admission-control check) pass it in
+        to skip the second alignment parse.
         """
-        patterns = load_alignment_text(alignment_text, aa=spec.aa).compress()
-        digest = job_digest(patterns, spec)
+        if digest is None:
+            digest = digest_of(alignment_text, spec)
         alignment_file = self.alignment_path(digest)
         if not os.path.exists(alignment_file):
             atomic_write(alignment_file, alignment_text)
@@ -311,9 +321,15 @@ class JobService:
         max_inflight_per_client: int = 1,
         cluster: Optional[ClusterConfig] = None,
         clock: Optional[Callable[[], float]] = None,
+        max_queued_total: Optional[int] = None,
+        max_queued_per_client: Optional[int] = None,
     ):
         self.store = JobStore(root, clock=clock)
-        self.scheduler = FairScheduler(max_inflight_per_client)
+        self.scheduler = FairScheduler(
+            max_inflight_per_client,
+            max_queued_total=max_queued_total,
+            max_queued_per_client=max_queued_per_client,
+        )
         self.n_workers = n_workers
         self.cluster = cluster
 
@@ -343,8 +359,19 @@ class JobService:
     def submit(self, alignment_text: str, spec: JobSpec,
                client: str = "anonymous", priority: int = 10
                ) -> Tuple[JobRecord, bool]:
+        """Admit, persist and enqueue one submission.
+
+        Backpressure runs *before* any durable side effect: a rejected
+        submission (:class:`~repro.serve.fairness.QueueFullError`)
+        leaves no record, alignment file or journal behind, so clients
+        can blindly retry after ``Retry-After``.  Cache hits bypass the
+        watermarks entirely — they never consume queue capacity.
+        """
+        digest = digest_of(alignment_text, spec)
+        if not self.store.cache.contains(digest):
+            self.scheduler.check_capacity(client)
         record, hit = self.store.submit(alignment_text, spec, client,
-                                        priority)
+                                        priority, digest=digest)
         if not hit:
             self.scheduler.submit(record.job_id, record.client,
                                   record.priority)

@@ -137,6 +137,24 @@ class TestBootstopController:
         assert ctl.poll() is None
         assert ctl.stopped_at == 8
 
+    def test_contiguity_watermark_advances_incrementally(self):
+        # The watermark makes the prefix test O(1) amortized: it only
+        # moves when the next missing replicate lands, jumps across any
+        # backlog it unblocks, and duplicate notes never double-count.
+        ctl = self.controller()
+        assert ctl._contiguous == 0
+        for replicate in (1, 2, 3, 5):
+            ctl.note(replicate, NEWICK_STABLE)
+        assert ctl._contiguous == 0  # replicate 0 still missing
+        ctl.note(0, NEWICK_STABLE)
+        assert ctl._contiguous == 4  # jumped over the recorded backlog
+        ctl.note(0, NEWICK_OTHER)  # duplicate: ignored, watermark fixed
+        assert ctl._contiguous == 4
+        ctl.note(4, NEWICK_STABLE)
+        assert ctl._contiguous == 6
+        assert ctl._prefix_complete(6)
+        assert not ctl._prefix_complete(7)
+
     def test_newick_splits_is_canonical(self):
         splits = newick_splits(NEWICK_STABLE)
         assert frozenset({"a", "b"}) in splits or \

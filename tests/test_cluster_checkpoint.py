@@ -206,6 +206,31 @@ class TestJournalHardening:
         assert after.tasks_started == 0  # scheduling chatter dropped
         assert len(open(path).read().splitlines()) == 3
 
+    def test_atomic_write_fsyncs_the_parent_directory(self, tmp_path,
+                                                      monkeypatch):
+        """``os.replace`` only updates the directory entry; without a
+        directory fsync a crash right after the rename can resurrect
+        the old file.  atomic_write must therefore fsync the target's
+        parent exactly once, after the replace has landed."""
+        from repro.cluster import checkpoint
+
+        calls = []
+        real = checkpoint._fsync_directory
+
+        def recording(directory):
+            # The rename must already be visible when the fsync runs —
+            # otherwise the fsync hardens nothing.
+            calls.append((directory, target.read_text()))
+            real(directory)
+
+        monkeypatch.setattr(checkpoint, "_fsync_directory", recording)
+        target = tmp_path / "snapshot.json"
+        checkpoint.atomic_write(str(target), "durable\n")
+        assert target.read_text() == "durable\n"
+        assert calls == [(str(tmp_path), "durable\n")]
+        # No temp file survives a successful write.
+        assert [p.name for p in tmp_path.iterdir()] == ["snapshot.json"]
+
     def test_single_worker_runs_journal_identically(
             self, tiny_patterns, fast_config, tmp_path):
         """With one worker and an injected deterministic clock, two runs

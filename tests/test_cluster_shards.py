@@ -1,0 +1,467 @@
+"""Sharded WAL journal tests: merge determinism, compaction, stealing.
+
+The acceptance bar mirrors the single-journal contract: a sharded run
+— including one with work stealing, torn shard appends, and kills at
+arbitrary points — must produce bit-identical trees, log likelihoods,
+and bootstrap supports to the uninterrupted serial reference, and
+``replay(compact(journal))`` must equal ``replay(journal)`` for any
+journal, however damaged.
+"""
+
+import json
+import os
+import random
+import shutil
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultSpec, inject
+from repro.chaos.injector import _uniform
+from repro.chaos.plan import CLUSTER_SHARD_TORN, CLUSTER_STEAL_RACE
+from repro.cluster import (
+    ClusterConfig,
+    JobSpec,
+    RunJournal,
+    home_group,
+    replay,
+    resume_job,
+    run_job,
+)
+from repro.cluster.checkpoint import compact_journal
+from repro.cluster.shards import (
+    ShardedJournal,
+    ShardWriter,
+    is_manifest,
+    load_manifest,
+)
+
+FAULT_CFG = dict(retry_backoff_s=0.01, heartbeat_interval_s=0.1)
+
+
+def _cfg(n_workers):
+    return ClusterConfig(n_workers=n_workers, **FAULT_CFG)
+
+
+def _steal_spec(fast_config):
+    """1 inference + 4 single-replicate bootstraps, seed 9.
+
+    With 2 shards the CRC32 home groups split 4-vs-1 (``bootstrap/0-3``
+    all hash to group 0, ``inference/0`` to group 1), so group 1's
+    worker goes idle after one task and must steal — the same logical
+    job as the ``serial_reference`` fixture (batch size never affects
+    results).
+    """
+    return JobSpec(n_inferences=1, n_bootstraps=4, seed=9, batch_size=1,
+                   config=fast_config)
+
+
+def _assert_identical(analysis, reference):
+    assert analysis.best.newick == reference.best.newick
+    assert analysis.best.log_likelihood == reference.best.log_likelihood
+    assert [b.newick for b in analysis.bootstraps] == \
+        [b.newick for b in reference.bootstraps]
+    assert [b.log_likelihood for b in analysis.bootstraps] == \
+        [b.log_likelihood for b in reference.bootstraps]
+    assert analysis.supports == reference.supports
+
+
+def _essence(state):
+    """The resume-relevant projection of a replayed state: everything a
+    compaction must preserve (scheduling chatter and corrupt-line counts
+    are deliberately excluded — dropping those is compaction's job)."""
+    return {
+        "spec": state.spec,
+        "payloads": state.payloads,
+        "done_inferences": state.done_inferences,
+        "done_bootstraps": state.done_bootstraps,
+        "bootstop": state.bootstop,
+        "finished": state.finished,
+        "perf": state.perf_totals(),
+    }
+
+
+def _payload(kind, replicate, rng):
+    return {
+        "kind": kind,
+        "replicate": replicate,
+        "newick": f"(t0:0.{rng.randrange(9)},t1:0.1,t2:0.2);",
+        "log_likelihood": -100.0 - rng.random(),
+        "is_bootstrap": kind == "bootstrap",
+        "perf": {"newview_calls": rng.randrange(1, 50)},
+    }
+
+
+def _corrupt_lines(path, rng):
+    """Chaos-seeded damage: garbage lines, CRC flips, and a torn tail."""
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        return
+    out = []
+    for i, line in enumerate(lines):
+        roll = rng.random()
+        if i > 0 and roll < 0.10:
+            out.append("{not json at all")  # malformed line
+        elif i > 0 and roll < 0.20:
+            out.append(line.replace('"', "'", 1))  # CRC-breaking flip
+        else:
+            out.append(line)
+    text = "\n".join(out) + "\n"
+    if rng.random() < 0.5:  # writer died mid-append
+        text += out[-1][: max(1, len(out[-1]) // 2)]
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+# -- manifest format ----------------------------------------------------------
+
+class TestManifest:
+    def test_fresh_sharded_journal_creates_manifest_and_shards(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with ShardedJournal(path, n_shards=3) as journal:
+            assert journal.n_shards == 3
+            assert journal.generation == 0
+            for group in range(3):
+                assert os.path.exists(journal.shard_path(group))
+        assert is_manifest(path)
+        manifest = load_manifest(path)
+        assert manifest["shards"][0].startswith("meta.")
+        assert len(manifest["shards"]) == 4  # meta + 3 worker groups
+
+    def test_plain_journal_and_missing_file_are_not_manifests(self, tmp_path):
+        plain = str(tmp_path / "plain.jsonl")
+        with RunJournal(plain) as journal:
+            journal.append("run_started", spec={})
+        assert not is_manifest(plain)
+        assert not is_manifest(str(tmp_path / "missing.jsonl"))
+
+    def test_shard_path_range_checked(self, tmp_path):
+        with ShardedJournal(str(tmp_path / "r.jsonl"), n_shards=2) as journal:
+            with pytest.raises(ValueError, match="out of range"):
+                journal.shard_path(2)
+
+    def test_newer_manifest_version_is_rejected(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text(json.dumps({
+            "format": "repro-cluster-shard-manifest", "version": 99,
+            "n_shards": 1, "generation": 0, "compactions": 0,
+            "snapshot": None, "shards": [],
+        }) + "\n")
+        with pytest.raises(ValueError, match="newer than this reader"):
+            load_manifest(str(path))
+
+    def test_home_group_is_stable_and_degenerate_safe(self):
+        assert home_group("bootstrap/0", 1) == 0
+        groups = {home_group(f"bootstrap/{i}", 4) for i in range(32)}
+        assert groups <= set(range(4)) and len(groups) > 1
+        # Same id, same group — forever (the partition is part of the
+        # replay contract).
+        assert home_group("inference/0", 2) == home_group("inference/0", 2)
+
+
+# -- merge determinism --------------------------------------------------------
+
+class TestMergeDeterminism:
+    def _write(self, path, order):
+        """One logical run written with append order *order* (a list of
+        (shard_group_or_None, event, fields) tuples; None = meta)."""
+        clock = lambda: 0.0  # noqa: E731 — fixed stamp isolates ordering
+        journal = ShardedJournal(path, n_shards=2, clock=clock)
+        writers = {g: ShardWriter(journal.shard_path(g), g, clock=clock)
+                   for g in range(2)}
+        for group, event, fields in order:
+            if group is None:
+                journal.append(event, **fields)
+            else:
+                writers[group].append(event, **fields)
+        for writer in writers.values():
+            writer.close()
+        journal.close()
+
+    def test_interleaving_never_changes_the_replayed_stream(self, tmp_path):
+        rng = random.Random(7)
+        records = [(None, "run_started", {"spec": {"n_inferences": 1}})]
+        for i in range(6):
+            group = home_group(f"bootstrap/{i}", 2)
+            records.append((None, "task_started",
+                            {"task": f"bootstrap/{i}", "attempt": 1,
+                             "worker": group}))
+            records.append((group, "replicate_done",
+                            {"task": f"bootstrap/{i}", "attempt": 1,
+                             "payload": _payload("bootstrap", i, rng)}))
+        records.append((None, "run_finished", {"n_results": 6, "perf": {}}))
+
+        a = str(tmp_path / "a.jsonl")
+        self._write(a, records)
+        # Same logical records, worker shards drained in reverse order
+        # and frame events interleaved differently.
+        shuffled = [records[-1]] + records[:-1]
+        shuffled[1:-1] = list(reversed(shuffled[1:-1]))
+        b = str(tmp_path / "b.jsonl")
+        self._write(b, shuffled)
+
+        state_a, state_b = replay(a), replay(b)
+        assert state_a.events == state_b.events
+        assert _essence(state_a) == _essence(state_b)
+        # The merged stream opens with the header and closes terminal,
+        # matching single-file journal shape.
+        assert state_a.events[0]["event"] == "run_started"
+        assert state_a.events[-1]["event"] == "run_finished"
+
+    def test_duplicate_results_across_shards_first_wins(self, tmp_path):
+        rng = random.Random(3)
+        payload = _payload("bootstrap", 0, rng)
+        path = str(tmp_path / "dup.jsonl")
+        self._write(path, [
+            (None, "run_started", {"spec": {}}),
+            (1, "replicate_done", {"task": "bootstrap/0", "attempt": 2,
+                                   "payload": payload}),
+            (0, "replicate_done", {"task": "bootstrap/0", "attempt": 1,
+                                   "payload": payload}),
+        ])
+        state = replay(path)
+        assert len(state.payloads) == 1
+        assert state.payloads[("bootstrap", 0)] == payload
+
+
+# -- compaction ---------------------------------------------------------------
+
+class TestCompactionProperty:
+    """replay(compact(journal)) == replay(journal), for any damage."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_single_file_journal(self, tmp_path, seed):
+        rng = random.Random(seed)
+        path = str(tmp_path / "j.jsonl")
+        with RunJournal(path) as journal:
+            journal.append("run_started",
+                           spec={"n_inferences": 1, "n_bootstraps": 8})
+            for _ in range(rng.randrange(4, 14)):
+                kind = "bootstrap" if rng.random() < 0.75 else "inference"
+                rep = rng.randrange(0, 8)
+                task = f"{kind}/{rep}"
+                journal.append("task_started", task=task, attempt=1, worker=0)
+                journal.append("replicate_done", task=task, attempt=1,
+                               payload=_payload(kind, rep, rng))
+                journal.append("task_finished", task=task, attempt=1,
+                               worker=0)
+            if rng.random() < 0.3:
+                journal.append("bootstop_converged", stop_at=4, requested=8,
+                               metric=0.01, pass_fraction=1.0)
+            if rng.random() < 0.5:
+                journal.append("run_finished", n_results=1, perf={})
+        _corrupt_lines(path, rng)
+
+        before = replay(path)
+        compact_journal(path)
+        after = replay(path)
+        assert _essence(after) == _essence(before)
+        assert after.corrupt_records == 0  # damage never survives compaction
+        with open(path) as fh:
+            n_lines = sum(1 for _ in fh)
+        assert n_lines <= (1 + len(before.payloads)
+                           + (1 if before.bootstop else 0)
+                           + (1 if before.finished else 0))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sharded_journal(self, tmp_path, seed):
+        rng = random.Random(1000 + seed)
+        path = str(tmp_path / "run.jsonl")
+        n_shards = rng.choice([2, 3])
+        journal = ShardedJournal(path, n_shards=n_shards)
+        journal.append("run_started",
+                       spec={"n_inferences": 1, "n_bootstraps": 8},
+                       n_shards=n_shards)
+        writers = [ShardWriter(journal.shard_path(g), g)
+                   for g in range(n_shards)]
+        for _ in range(rng.randrange(5, 20)):
+            kind = "bootstrap" if rng.random() < 0.75 else "inference"
+            rep = rng.randrange(0, 8)
+            task = f"{kind}/{rep}"
+            journal.append("task_started", task=task, attempt=1, worker=0)
+            # Duplicates may land in *different* shards (a steal raced a
+            # retry); results are bit-identical so first-wins is safe.
+            for _ in range(1 + (rng.random() < 0.2)):
+                writers[rng.randrange(n_shards)].append(
+                    "replicate_done", task=task, attempt=1,
+                    payload=_payload(kind, rep, rng),
+                )
+        if rng.random() < 0.3:
+            journal.append("bootstop_converged", stop_at=4, requested=8,
+                           metric=0.01, pass_fraction=1.0)
+        if rng.random() < 0.5:
+            journal.append("run_finished", n_results=1, perf={})
+        for writer in writers:
+            writer.close()
+        journal.close()
+        for name in load_manifest(path)["shards"]:
+            _corrupt_lines(os.path.join(path + ".d", name), rng)
+
+        before = replay(path)
+        compact_journal(path)
+        after = replay(path)
+        assert _essence(after) == _essence(before)
+        assert after.corrupt_records == 0
+        assert after.shards["generation"] == before.shards["generation"] + 1
+        assert after.shards["compactions"] == \
+            before.shards["compactions"] + 1
+        # Replay is O(live tasks) now: the snapshot holds exactly the
+        # durable essence, the live shards are empty.
+        assert after.shards["snapshot_records"] <= len(before.payloads) + 3
+        assert sum(after.shards["records"].values()) == 0
+
+    def test_open_for_append_compacts_over_threshold(self, tmp_path):
+        rng = random.Random(42)
+        path = str(tmp_path / "run.jsonl")
+        with ShardedJournal(path, n_shards=2) as journal:
+            journal.append("run_started", spec={}, n_shards=2)
+            with ShardWriter(journal.shard_path(0), 0) as writer:
+                for i in range(10):
+                    writer.append("replicate_done", task=f"bootstrap/{i}",
+                                  attempt=1,
+                                  payload=_payload("bootstrap", i, rng))
+        before = replay(path)
+        resumed = ShardedJournal(path, append=True, compact_threshold=4)
+        resumed.close()
+        assert resumed.compactions == 1
+        assert _essence(replay(path)) == _essence(before)
+
+
+# -- end-to-end sharded runs --------------------------------------------------
+
+class TestShardedRuns:
+    def test_sharded_run_matches_serial_reference_and_steals(
+            self, tiny_patterns, fast_config, serial_reference,
+            cluster_workers, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        analysis = run_job(_steal_spec(fast_config), alignment=tiny_patterns,
+                           journal_path=journal, n_shards=2,
+                           cluster=_cfg(cluster_workers))
+        _assert_identical(analysis, serial_reference)
+        assert is_manifest(journal)
+        state = replay(journal)
+        assert state.finished
+        assert state.shards["n_shards"] == 2
+        # Group 1 owns only the inference; its worker must pull
+        # bootstraps from group 0's queue, and every steal is journalled.
+        assert len(state.steals) >= 1
+        for steal in state.steals:
+            assert steal["from_group"] != steal["to_group"]
+            assert steal["task"].startswith(("bootstrap/", "inference/"))
+
+    @pytest.mark.parametrize("kill_seed", [101, 202, 303])
+    def test_kill_and_resume_is_bit_identical(
+            self, tiny_patterns, fast_config, serial_reference,
+            cluster_workers, tmp_path, kill_seed):
+        """Steal-heavy campaign killed at a seeded point: truncate the
+        shards mid-run (including a torn half-record), resume, and the
+        result must still be the serial reference bit for bit."""
+        source = str(tmp_path / "full.jsonl")
+        run_job(_steal_spec(fast_config), alignment=tiny_patterns,
+                journal_path=source, n_shards=2,
+                cluster=_cfg(cluster_workers))
+
+        journal = str(tmp_path / f"killed{kill_seed}.jsonl")
+        shutil.copy(source, journal)
+        shutil.copytree(source + ".d", journal + ".d")
+        rng = random.Random(kill_seed)
+        for name in load_manifest(journal)["shards"]:
+            path = os.path.join(journal + ".d", name)
+            with open(path) as fh:
+                lines = fh.read().splitlines(True)
+            if not lines:
+                continue
+            floor = 1 if name.startswith("meta") else 0  # keep the header
+            keep = rng.randint(floor, len(lines))
+            text = "".join(lines[:keep])
+            if keep < len(lines) and rng.random() < 0.5:
+                torn = lines[keep]
+                text += torn[: max(1, len(torn) // 2)]  # died mid-write
+            with open(path, "w") as fh:
+                fh.write(text)
+
+        analysis = resume_job(journal, alignment=tiny_patterns,
+                              cluster=_cfg(cluster_workers))
+        _assert_identical(analysis, serial_reference)
+        state = replay(journal)
+        assert state.resumes == 1
+        assert state.finished
+
+
+# -- chaos sites --------------------------------------------------------------
+
+def _shard_torn_token(task, attempt, kind, replicate):
+    # Mirrors ShardWriter._chaos_token for a single-replicate task.
+    return f"replicate_done:{task}:{attempt}:{kind}:{replicate}"
+
+
+def _seed_tearing_one_task(spec, probability):
+    """A plan seed whose draw tears exactly one task's first-attempt
+    shard append — and none of that task's retries, so the requeue must
+    land the record whole.  (CRC32 draws are correlated across
+    equal-length tokens, so only the fired task's retry tokens are
+    constrained.)"""
+    tasks = [("inference/0", "inference", 0)] + [
+        (f"bootstrap/{i}", "bootstrap", i)
+        for i in range(spec.n_bootstraps)
+    ]
+    for seed in range(5000):
+        fired = [
+            t for t in tasks
+            if _uniform(seed, CLUSTER_SHARD_TORN,
+                        _shard_torn_token(t[0], 1, t[1], t[2]))
+            < probability
+        ]
+        if len(fired) != 1:
+            continue
+        task, kind, rep = fired[0]
+        if any(_uniform(seed, CLUSTER_SHARD_TORN,
+                        _shard_torn_token(task, attempt, kind, rep))
+               < probability for attempt in (2, 3)):
+            continue
+        return seed
+    raise AssertionError("no suitable plan seed in range")
+
+
+class TestShardChaos:
+    def test_torn_shard_append_is_isolated_and_recovered(
+            self, tiny_patterns, fast_config, serial_reference,
+            cluster_workers, tmp_path):
+        spec = _steal_spec(fast_config)
+        probability = 0.3
+        seed = _seed_tearing_one_task(spec, probability)
+        plan = FaultPlan(seed=seed, specs=(
+            FaultSpec(CLUSTER_SHARD_TORN, probability=probability),
+        ))
+        journal = str(tmp_path / "run.jsonl")
+        with inject(plan):
+            analysis = run_job(spec, alignment=tiny_patterns,
+                               journal_path=journal, n_shards=2,
+                               cluster=_cfg(cluster_workers))
+        _assert_identical(analysis, serial_reference)
+        state = replay(journal)
+        # The writer died with its torn line; the master requeued the
+        # task and the merge-replay quarantined the damage.
+        assert len(state.worker_deaths) >= 1
+        assert state.corrupt_records >= 1
+        assert state.finished
+
+    def test_steal_race_duplicate_is_absorbed(
+            self, tiny_patterns, fast_config, serial_reference,
+            cluster_workers, tmp_path):
+        # Fire on every steal: the victim queue keeps a duplicate of the
+        # stolen entry, so the task may run twice — first-wins ingest
+        # and bit-identical payloads make the race harmless.
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(CLUSTER_STEAL_RACE, probability=1.0, max_triggers=16),
+        ))
+        journal = str(tmp_path / "run.jsonl")
+        with inject(plan):
+            analysis = run_job(_steal_spec(fast_config),
+                               alignment=tiny_patterns,
+                               journal_path=journal, n_shards=2,
+                               cluster=_cfg(cluster_workers))
+        _assert_identical(analysis, serial_reference)
+        state = replay(journal)
+        assert len(state.steals) >= 1
+        assert state.finished

@@ -1,8 +1,9 @@
-"""Multi-tenant fairness: per-client FIFO, caps, priorities."""
+"""Multi-tenant fairness: per-client FIFO, caps, priorities,
+queue-depth watermarks (backpressure)."""
 
 import pytest
 
-from repro.serve import FairScheduler
+from repro.serve import FairScheduler, QueueFullError
 
 
 class TestFairScheduler:
@@ -84,3 +85,80 @@ class TestFairScheduler:
     def test_cap_validation(self):
         with pytest.raises(ValueError):
             FairScheduler(max_inflight_per_client=0)
+
+
+class TestBackpressure:
+    """Bounded submission: depth watermarks reject instead of queueing."""
+
+    def test_unbounded_by_default(self):
+        sched = FairScheduler()
+        for i in range(100):
+            sched.submit(f"j{i}", "alice")
+        assert sched.n_queued == 100
+        assert sched.rejected == 0
+
+    def test_total_watermark_rejects_with_diagnostics(self):
+        sched = FairScheduler(max_queued_total=2, retry_after_s=7.5)
+        sched.submit("j0", "alice")
+        sched.submit("j1", "bob")
+        with pytest.raises(QueueFullError) as exc_info:
+            sched.submit("j2", "carol")
+        exc = exc_info.value
+        assert exc.scope == "total"
+        assert exc.depth == 2
+        assert exc.limit == 2
+        assert exc.retry_after_s == 7.5
+        assert "retry in 7.5s" in str(exc)
+        # The rejected job was never enqueued.
+        assert sched.n_queued == 2
+        assert sched.rejected == 1
+
+    def test_per_client_watermark_isolates_the_flooder(self):
+        sched = FairScheduler(max_queued_per_client=2)
+        sched.submit("a0", "alice")
+        sched.submit("a1", "alice")
+        with pytest.raises(QueueFullError) as exc_info:
+            sched.submit("a2", "alice")
+        assert exc_info.value.scope == "client"
+        # Bob is unaffected by alice's full queue.
+        sched.submit("b0", "bob")
+        assert sched.n_queued == 3
+
+    def test_inflight_jobs_do_not_count_against_watermarks(self):
+        # A dispatched job holds an executor slot, not a queue slot:
+        # admission must reopen as soon as the queue drains, even while
+        # the job is still running.
+        sched = FairScheduler(max_queued_total=1)
+        sched.submit("j0", "alice")
+        with pytest.raises(QueueFullError):
+            sched.submit("j1", "alice")
+        assert sched.next().job_id == "j0"  # now inflight, queue empty
+        sched.submit("j1", "alice")  # admitted despite j0 running
+        assert sched.n_queued == 1
+
+    def test_check_capacity_is_a_pure_probe_until_it_rejects(self):
+        sched = FairScheduler(max_queued_total=1)
+        sched.check_capacity("alice")  # below watermark: no effect
+        assert sched.rejected == 0
+        sched.submit("j0", "alice")
+        with pytest.raises(QueueFullError):
+            sched.check_capacity("alice")
+        assert sched.rejected == 1
+        assert sched.n_queued == 1
+
+    def test_snapshot_exposes_watermarks_and_rejections(self):
+        sched = FairScheduler(max_queued_total=1,
+                              max_queued_per_client=1)
+        sched.submit("j0", "alice")
+        with pytest.raises(QueueFullError):
+            sched.submit("j1", "bob")
+        snap = sched.snapshot()
+        assert snap["max_queued_total"] == 1
+        assert snap["max_queued_per_client"] == 1
+        assert snap["rejected"] == 1
+
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError):
+            FairScheduler(max_queued_total=0)
+        with pytest.raises(ValueError):
+            FairScheduler(max_queued_per_client=0)
