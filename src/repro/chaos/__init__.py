@@ -93,11 +93,13 @@ __all__ = [
     "run_engine_campaign",
     "run_cluster_campaign",
     "run_serve_campaign",
+    "run_resilience_campaign",
     "journal_payload_digest",
 ]
 
 _LAZY = ("run_engine_campaign", "run_cluster_campaign",
-         "run_serve_campaign", "journal_payload_digest")
+         "run_serve_campaign", "run_resilience_campaign",
+         "journal_payload_digest")
 
 
 def __getattr__(name):

@@ -22,10 +22,16 @@ Two campaign flavours:
   appends of a running job, a fresh service recovers the same store
   root, and the finished result (plus the content-addressed cache
   behaviour) must be byte-identical to the fault-free baseline.
+* :func:`run_resilience_campaign` — a *live* HTTP server under hostile
+  clients (slowloris submits, mid-SSE disconnects) and wedged workers
+  (``cluster.worker_stall``, ``cluster.worker_oom``), every step under
+  its own watchdog: typed errors, journalled degradation, or
+  bit-identical results — never a hang.
 """
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import json
 import os
@@ -42,9 +48,12 @@ from ..phylo.search import SearchConfig
 from ..phylo.simulate import synthetic_dataset
 from .injector import InjectedCrash, inject
 from .plan import (
+    SERVE_CLIENT_DISCONNECT_MID_SSE,
+    SERVE_SLOW_CLIENT,
     FaultPlan,
     default_cluster_plan,
     default_engine_plan,
+    default_resilience_plan,
     default_serve_plan,
 )
 from .report import (
@@ -64,6 +73,7 @@ __all__ = [
     "run_engine_campaign",
     "run_cluster_campaign",
     "run_serve_campaign",
+    "run_resilience_campaign",
     "journal_payload_digest",
 ]
 
@@ -555,4 +565,324 @@ def run_cluster_campaign(
                 n_shards=n_shards,
             )
         )
+    return report
+
+# -- resilience campaign ------------------------------------------------------
+#
+# The live-server arm (ISSUE 10): a real ServeApp over HTTP attacked by
+# hostile *clients* (slowloris submits, mid-SSE disconnects) while its
+# workers wedge (cluster.worker_stall) or balloon (cluster.worker_oom)
+# underneath.  The contract is the zero-hang closure: every step runs
+# under its own asyncio watchdog, and a seed either survives with a
+# result byte-identical to the fault-free baseline (journalled
+# degradation allowed), or dies with a typed error — never a hang.
+
+#: Per-HTTP-step watchdog; a step that outlives this is a hang, which
+#: is classified untyped and fails the campaign.
+RESILIENCE_STEP_TIMEOUT_S = 60.0
+
+#: End-to-end watchdog for one seed's job reaching a terminal state
+#: (covers a stalled worker costing one task timeout plus the rerun).
+RESILIENCE_JOB_TIMEOUT_S = 300.0
+
+
+def _resilience_spec() -> JobSpec:
+    """The campaign job exactly as the HTTP API would build it.
+
+    No custom ``SearchConfig``: the submission surface only exposes the
+    ``model`` block, so the baseline must use the same default search
+    the API-built spec implies — otherwise the two runs answer
+    different questions and the byte-identity check is meaningless.
+    """
+    return JobSpec(n_inferences=1, n_bootstraps=4, seed=9, batch_size=2)
+
+
+def _resilience_cluster_config(n_workers: int) -> ClusterConfig:
+    """Small timeouts + an RSS ceiling sized against the OOM ballast.
+
+    The ceiling sits roughly half a ballast above the *current* process
+    RSS: forked workers start near the parent's resident size, so a
+    healthy worker stays far below it while the injected
+    ``cluster.worker_oom`` ballast (one full ballast of resident pages)
+    sails far above — robust to whatever the parent happens to weigh.
+    """
+    from ..cluster.queue import _OOM_BALLAST_MB, _rss_bytes
+
+    parent_rss = _rss_bytes(os.getpid()) or 256 * 1024 * 1024
+    limit_mb = parent_rss / (1024.0 * 1024.0) + _OOM_BALLAST_MB / 2.0
+    return ClusterConfig(
+        n_workers=n_workers,
+        task_timeout_s=8.0,
+        max_retries=2,
+        retry_backoff_s=0.01,
+        retry_backoff_cap_s=0.1,
+        heartbeat_interval_s=0.05,
+        heartbeat_timeout_s=1.5,
+        max_worker_rss_mb=limit_mb,
+    )
+
+
+async def _http_json(host: str, port: int, method: str, path: str,
+                     payload: Optional[dict] = None,
+                     timeout: float = RESILIENCE_STEP_TIMEOUT_S
+                     ) -> Tuple[int, Optional[dict]]:
+    """One bounded HTTP/1.1 round-trip returning (status, JSON body)."""
+
+    async def _go() -> Tuple[int, Optional[dict]]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            body = (b"" if payload is None
+                    else json.dumps(payload).encode())
+            head = f"{method} {path} HTTP/1.1\r\nHost: campaign\r\n"
+            if body:
+                head += ("Content-Type: application/json\r\n"
+                         f"Content-Length: {len(body)}\r\n")
+            head += "\r\n"
+            writer.write(head.encode() + body)
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        status = int(raw.split(b" ", 2)[1])
+        blob = raw.split(b"\r\n\r\n", 1)[1]
+        return status, (json.loads(blob) if blob.strip() else None)
+
+    return await asyncio.wait_for(_go(), timeout)
+
+
+async def _slow_client_probe(host: str, port: int,
+                             header_timeout_s: float) -> None:
+    """Play a slowloris submit; the server must answer a typed 408.
+
+    Sends a partial request head and then stalls.  Within the server's
+    header timeout (plus slack) the connection must come back with a
+    408 — or be closed outright — never sit open.
+    """
+
+    async def _go() -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(b"POST /jobs HTTP/1.1\r\nHost: slow")
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        status_line = raw.split(b"\r\n", 1)[0]
+        if raw and b" 408 " not in status_line:
+            raise RuntimeError(
+                f"slow client got {status_line!r}, expected 408 or close"
+            )
+
+    await asyncio.wait_for(_go(), header_timeout_s + 30.0)
+
+
+async def _sse_disconnect_probe(host: str, port: int, job_id: str,
+                                app) -> None:
+    """Open the job's SSE stream, drop it abruptly, assert release.
+
+    The server must notice the dead consumer and release the tailing
+    task within one poll interval (observed via the ``sse_streams``
+    gauge on /healthz) instead of pinning it for the job's runtime.
+    """
+
+    async def _go() -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(
+            f"GET /jobs/{job_id}/events HTTP/1.1\r\n"
+            "Host: campaign\r\n\r\n".encode()
+        )
+        await writer.drain()
+        await reader.read(256)  # response head; the stream is now live
+        writer.transport.abort()  # RST, not FIN: the rudest disconnect
+        deadline = asyncio.get_event_loop().time() + 10.0
+        while asyncio.get_event_loop().time() < deadline:
+            if app._sse_active == 0:
+                return
+            await asyncio.sleep(app.poll_interval)
+        raise RuntimeError(
+            "server did not release the SSE stream after disconnect"
+        )
+
+    await asyncio.wait_for(_go(), RESILIENCE_STEP_TIMEOUT_S)
+
+
+async def _poll_terminal(host: str, port: int, job_id: str) -> dict:
+    """Poll /jobs/{id} until the record reaches done/failed."""
+
+    async def _go() -> dict:
+        while True:
+            _status, body = await _http_json(host, port,
+                                             "GET", f"/jobs/{job_id}")
+            if body is not None and body.get("state") in ("done", "failed"):
+                return body
+            await asyncio.sleep(0.1)
+
+    return await asyncio.wait_for(_go(), RESILIENCE_JOB_TIMEOUT_S)
+
+
+def _typed_error_text(error: Optional[str]) -> bool:
+    """Whether a failed record's error string names a typed failure."""
+    if not error:
+        return False
+    typed_names = tuple(t.__name__ for t in TYPED_ERRORS) + (
+        "TaskCancelled", "AlignmentError", "ResourceLimitError",
+    )
+    return error.startswith(typed_names)
+
+
+async def _resilience_seed(seed: int, fasta: str, spec: JobSpec,
+                           n_workers: int, rundir: str,
+                           baseline_canonical: str) -> ChaosRunResult:
+    from ..serve.app import ServeApp
+    from ..serve.jobstore import JobService
+
+    plan = default_resilience_plan(seed)
+    fired: Dict[str, int] = {}
+    try:
+        with inject(plan) as injector:
+            try:
+                service = JobService(
+                    rundir, n_workers=n_workers,
+                    cluster=_resilience_cluster_config(n_workers),
+                    clock=_make_clock(),
+                )
+                app = ServeApp(service, port=0, poll_interval=0.05,
+                               header_timeout_s=0.5, body_timeout_s=5.0,
+                               drain_grace_s=20.0)
+                await app.start()
+                try:
+                    host, port = app.host, app.port
+                    # Scenario draws: whether this seed plays each
+                    # hostile-client behaviour (one draw per seed, so
+                    # the schedule is independent of request count).
+                    slow = injector.fire(SERVE_SLOW_CLIENT,
+                                         key=f"seed{seed}")
+                    sse_drop = injector.fire(SERVE_CLIENT_DISCONNECT_MID_SSE,
+                                             key=f"seed{seed}")
+                    if slow:
+                        await _slow_client_probe(host, port,
+                                                 app.header_timeout_s)
+                    status, body = await _http_json(
+                        host, port, "POST", "/jobs",
+                        {"alignment": fasta,
+                         "model": {"n_inferences": spec.n_inferences,
+                                   "n_bootstraps": spec.n_bootstraps,
+                                   "seed": spec.seed,
+                                   "batch_size": spec.batch_size},
+                         "client": "campaign"},
+                    )
+                    if status not in (200, 201):
+                        raise RuntimeError(
+                            f"submit rejected: {status} {body}")
+                    job_id = body["job_id"]
+                    if sse_drop:
+                        await _sse_disconnect_probe(host, port, job_id,
+                                                    app)
+                    record = await _poll_terminal(host, port, job_id)
+                    if record["state"] == "failed":
+                        raise RuntimeError(
+                            f"job failed: {record.get('error')}")
+                    _status, result = await _http_json(
+                        host, port, "GET", f"/jobs/{job_id}/result")
+                finally:
+                    await asyncio.wait_for(app.stop(),
+                                           app.drain_grace_s + 30.0)
+                # Worker faults fire in forked children (their injector
+                # counters die with them); observe them from the journal.
+                journal = service.store.journal_path(job_id)
+                if os.path.exists(journal):
+                    state = replay(journal)
+                    for death in state.worker_deaths:
+                        reason = str(death.get("reason"))
+                        key = f"observed.worker_{reason}"
+                        fired[key] = fired.get(key, 0) + 1
+            finally:
+                for site, count in injector.fired.items():
+                    fired[site] = fired.get(site, 0) + count
+        if _canonical_result(result) == baseline_canonical:
+            classification = SURVIVED_IDENTICAL
+        elif result is not None and result.get("degraded"):
+            classification = SURVIVED_DEGRADED
+        else:
+            classification = SILENT_CORRUPTION
+        return ChaosRunResult(
+            seed=seed, classification=classification,
+            log_likelihood=(result or {}).get("best_log_likelihood"),
+            fired=fired,
+        )
+    except asyncio.TimeoutError:
+        return ChaosRunResult(
+            seed=seed, classification=UNTYPED_FAILURE, fired=fired,
+            error="Hang: step watchdog expired",
+        )
+    except TYPED_ERRORS as exc:
+        return ChaosRunResult(
+            seed=seed, classification=TYPED_FAILURE, fired=fired,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    except RuntimeError as exc:
+        # A failed job record carries its (string-typed) error; honour
+        # the typed/untyped split it encodes.
+        failed_typed = str(exc).startswith("job failed: ") and \
+            _typed_error_text(str(exc)[len("job failed: "):])
+        return ChaosRunResult(
+            seed=seed,
+            classification=TYPED_FAILURE if failed_typed
+            else UNTYPED_FAILURE,
+            fired=fired, error=f"{type(exc).__name__}: {exc}",
+        )
+    except Exception as exc:  # noqa: BLE001 — the untyped-failure gate
+        return ChaosRunResult(
+            seed=seed, classification=UNTYPED_FAILURE, fired=fired,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def run_resilience_campaign(
+    n_seeds: int = 15,
+    n_workers: int = 2,
+    workdir: Optional[str] = None,
+    start_seed: int = 0,
+    fasta: Optional[str] = None,
+    spec: Optional[JobSpec] = None,
+) -> ChaosSurvivalReport:
+    """Sweep hostile clients + wedged workers against a live server.
+
+    Each seed boots a real :class:`~repro.serve.app.ServeApp` on an
+    ephemeral port over a fresh store root and, per
+    :func:`~repro.chaos.plan.default_resilience_plan`, plays a
+    slowloris submit (expects a typed 408), drops an SSE stream mid-job
+    (expects release within one poll interval), and lets
+    ``cluster.worker_stall`` / ``cluster.worker_oom`` fire inside the
+    forked workers (expects the task timeout / RSS watchdog to journal
+    and requeue).  Every step runs under its own watchdog: a hang is an
+    automatic campaign failure.  Survival requires the final result to
+    be byte-identical to the fault-free baseline.
+    """
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-resilience-")
+    if fasta is None:
+        fasta = _serve_workload()
+    if spec is None:
+        spec = _resilience_spec()
+    baseline, _restarts, _svc = _serve_run_to_completion(
+        os.path.join(workdir, "baseline"), fasta, spec, n_workers,
+        max_restarts=0,
+    )
+    baseline_canonical = _canonical_result(baseline)
+    report = ChaosSurvivalReport(label=f"resilience:{n_workers}w")
+    for seed in range(start_seed, start_seed + n_seeds):
+        report.add(asyncio.run(_resilience_seed(
+            seed, fasta, spec, n_workers,
+            os.path.join(workdir, f"seed{seed:03d}"),
+            baseline_canonical,
+        )))
     return report

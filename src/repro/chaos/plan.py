@@ -44,6 +44,21 @@ site                         meaning
                              :class:`~repro.chaos.injector.InjectedCrash`);
                              a restarted server must resume the job to a
                              bit-identical result
+``serve.slow_client``        a client trickles its request bytes slower than
+                             the server's header/body read timeouts (driven
+                             client-side by the resilience campaign); the
+                             server must answer with a typed 408, never hold
+                             the connection open indefinitely
+``serve.client_disconnect_mid_sse``  a client drops its connection in the
+                             middle of an SSE journal stream; the server must
+                             release the tailing task within one poll interval
+``cluster.worker_stall``     worker wedges *while still heartbeating* (a
+                             livelock, not a crash); the per-task timeout must
+                             requeue the work
+``cluster.worker_oom``       worker pins a runaway allocation resident and
+                             stalls; the master's RSS watchdog must journal
+                             ``worker_rss_exceeded`` and requeue instead of
+                             letting the kernel OOM-kill silently
 ===========================  ====================================================
 """
 
@@ -64,16 +79,22 @@ __all__ = [
     "CLUSTER_CHECKPOINT_TORN",
     "CLUSTER_SHARD_TORN",
     "CLUSTER_STEAL_RACE",
+    "CLUSTER_WORKER_STALL",
+    "CLUSTER_WORKER_OOM",
     "SERVE_SERVER_KILL",
+    "SERVE_SLOW_CLIENT",
+    "SERVE_CLIENT_DISCONNECT_MID_SSE",
     "ENGINE_SITES",
     "CLUSTER_SITES",
     "SERVE_SITES",
+    "RESILIENCE_SITES",
     "ALL_SITES",
     "FaultSpec",
     "FaultPlan",
     "default_engine_plan",
     "default_cluster_plan",
     "default_serve_plan",
+    "default_resilience_plan",
 ]
 
 # -- the site taxonomy --------------------------------------------------------
@@ -89,7 +110,11 @@ CLUSTER_JOURNAL_OSERROR = "cluster.journal_oserror"
 CLUSTER_CHECKPOINT_TORN = "cluster.checkpoint_torn"
 CLUSTER_SHARD_TORN = "cluster.shard_torn"
 CLUSTER_STEAL_RACE = "cluster.steal_race"
+CLUSTER_WORKER_STALL = "cluster.worker_stall"
+CLUSTER_WORKER_OOM = "cluster.worker_oom"
 SERVE_SERVER_KILL = "serve.server_kill"
+SERVE_SLOW_CLIENT = "serve.slow_client"
+SERVE_CLIENT_DISCONNECT_MID_SSE = "serve.client_disconnect_mid_sse"
 
 #: Sites visited inside one likelihood engine (any backend).
 ENGINE_SITES: Tuple[str, ...] = (
@@ -115,7 +140,20 @@ SERVE_SITES: Tuple[str, ...] = (
     SERVE_SERVER_KILL,
 )
 
-ALL_SITES: Tuple[str, ...] = ENGINE_SITES + CLUSTER_SITES + SERVE_SITES
+#: Sites of the resilience campaign (ISSUE 10): hostile clients against
+#: a live server plus wedged/ballooning workers underneath it.  Kept
+#: out of CLUSTER_SITES/SERVE_SITES so the existing campaigns' draw
+#: schedules stay byte-identical (draws are keyed per site).
+RESILIENCE_SITES: Tuple[str, ...] = (
+    SERVE_SLOW_CLIENT,
+    SERVE_CLIENT_DISCONNECT_MID_SSE,
+    CLUSTER_WORKER_STALL,
+    CLUSTER_WORKER_OOM,
+)
+
+ALL_SITES: Tuple[str, ...] = (
+    ENGINE_SITES + CLUSTER_SITES + SERVE_SITES + RESILIENCE_SITES
+)
 
 
 @dataclass(frozen=True)
@@ -289,6 +327,39 @@ def default_cluster_plan(
         ),
         CLUSTER_STEAL_RACE: FaultSpec(
             CLUSTER_STEAL_RACE, probability=0.15, max_triggers=2,
+        ),
+    }
+    return FaultPlan(
+        seed=seed, specs=tuple(catalogue[s] for s in sites)
+    )
+
+
+def default_resilience_plan(
+    seed: int, sites: Optional[Tuple[str, ...]] = None
+) -> FaultPlan:
+    """The standard resilience adversary for one campaign seed.
+
+    The client-side sites are *scenario* draws — the campaign driver
+    consults them once per run to decide whether to play the hostile
+    client — so their probabilities are per job, not per visit.  The
+    worker sites fire inside forked workers keyed on
+    ``task_id:attempt`` like every other process fault; a campaign job
+    has a handful of attempts, so roughly half the seeds wedge at least
+    one worker.
+    """
+    sites = RESILIENCE_SITES if sites is None else sites
+    catalogue = {
+        SERVE_SLOW_CLIENT: FaultSpec(
+            SERVE_SLOW_CLIENT, probability=0.5, max_triggers=1,
+        ),
+        SERVE_CLIENT_DISCONNECT_MID_SSE: FaultSpec(
+            SERVE_CLIENT_DISCONNECT_MID_SSE, probability=0.5, max_triggers=1,
+        ),
+        CLUSTER_WORKER_STALL: FaultSpec(
+            CLUSTER_WORKER_STALL, probability=0.08, max_triggers=1,
+        ),
+        CLUSTER_WORKER_OOM: FaultSpec(
+            CLUSTER_WORKER_OOM, probability=0.08, max_triggers=1,
         ),
     }
     return FaultPlan(

@@ -33,6 +33,7 @@ counterpart on real host cores:
 """
 
 from .aggregate import StreamingAggregator, consensus_newick, merge_perf_counters
+from .cancel import REASON_DEADLINE, REASON_DRAIN, CancelToken, TaskCancelled
 from .bootstop import (
     BootstopCheck,
     BootstopConfig,
@@ -60,6 +61,10 @@ from .shards import (
 )
 
 __all__ = [
+    "CancelToken",
+    "TaskCancelled",
+    "REASON_DEADLINE",
+    "REASON_DRAIN",
     "BootstopCheck",
     "BootstopConfig",
     "BootstopController",

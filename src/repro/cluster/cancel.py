@@ -1,0 +1,125 @@
+"""Cooperative cancellation: deadlines and drain for cluster runs.
+
+RAxML-Cell's offload discipline is that no processor may be held
+hostage by a slow peer; the service-level analogue is that no job may
+hold workers past its deadline and no SIGTERM may wait forever on a
+wedged replicate.  This module is the shared vocabulary: a
+:class:`CancelToken` carries an optional absolute deadline plus an
+explicit cancel flag, and every layer of a run — master dispatch loop,
+forked worker, hill-climbing search, likelihood engine — polls it at
+*safe points* and unwinds with a typed :class:`TaskCancelled`.
+
+Design notes:
+
+* Deadlines are **absolute** ``time.monotonic()`` instants.  On Linux
+  the monotonic clock is shared across ``fork()``, so the master can
+  hand the raw float to each worker and both sides agree on expiry
+  without any message traffic.
+* Cancellation is **cooperative**: a check never interrupts a kernel
+  mid-operation, so an unwound replicate leaves no partial state.  A
+  replicate that raises :class:`TaskCancelled` is *discarded* — only
+  fully streamed replicates enter the journal, which is what keeps
+  post-deadline salvage and post-drain resume bit-identical.
+* The token is deliberately duck-typed: callers in ``repro.phylo``
+  accept any object with ``check()`` so the phylo layer keeps zero
+  imports from the cluster layer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = [
+    "CancelToken",
+    "TaskCancelled",
+    "REASON_DEADLINE",
+    "REASON_DRAIN",
+]
+
+#: The job's ``deadline_s`` budget ran out (salvage what finished).
+REASON_DEADLINE = "deadline"
+#: The service is draining (checkpoint and unwind; resume later).
+REASON_DRAIN = "drain"
+
+
+class TaskCancelled(RuntimeError):
+    """A cooperative cancellation point fired.
+
+    ``reason`` is one of the ``REASON_*`` constants (or a caller-chosen
+    string); it decides the unwind policy upstream — ``deadline``
+    finalizes a degraded result, ``drain`` leaves the journal open for
+    a bit-identical resume.
+    """
+
+    def __init__(self, reason: str, message: Optional[str] = None):
+        self.reason = reason
+        super().__init__(message or f"task cancelled ({reason})")
+
+
+class CancelToken:
+    """Deadline + explicit-cancel flag, polled at safe points.
+
+    The token is cheap to check (two attribute reads and at most one
+    clock call) so it can sit inside per-candidate search loops.  It is
+    shared between the serving event loop and the executor thread that
+    owns a cluster run; plain attribute assignment is atomic under the
+    GIL, which is all the synchronisation the two readers need.
+    """
+
+    def __init__(self, deadline: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        #: Absolute ``clock()`` instant after which the token trips.
+        self.deadline = deadline
+        self._clock = clock
+        self._reason: Optional[str] = None
+
+    @classmethod
+    def with_timeout(cls, seconds: float,
+                     clock: Callable[[], float] = time.monotonic
+                     ) -> "CancelToken":
+        return cls(deadline=clock() + seconds, clock=clock)
+
+    # -- mutation -----------------------------------------------------------
+
+    def cancel(self, reason: str = REASON_DRAIN) -> None:
+        """Trip the token explicitly (first reason wins)."""
+        if self._reason is None:
+            self._reason = reason
+
+    def cap_deadline(self, seconds: float) -> None:
+        """Tighten the deadline to at most ``seconds`` from now."""
+        candidate = self._clock() + seconds
+        if self.deadline is None or candidate < self.deadline:
+            self.deadline = candidate
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether checking this token can ever trip (cheap gate)."""
+        return self.deadline is not None or self._reason is not None
+
+    @property
+    def cancelled(self) -> bool:
+        return self.reason is not None
+
+    @property
+    def reason(self) -> Optional[str]:
+        if self._reason is not None:
+            return self._reason
+        if self.deadline is not None and self._clock() >= self.deadline:
+            return REASON_DEADLINE
+        return None
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (None when no deadline is set)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self._clock())
+
+    def check(self) -> None:
+        """Raise :class:`TaskCancelled` if the token has tripped."""
+        reason = self.reason
+        if reason is not None:
+            raise TaskCancelled(reason)

@@ -50,7 +50,10 @@ Event vocabulary::
     worker_dead     {"worker", "task", "reason"}
     bootstop_converged  {"stop_at", "requested", "metric",
                          "pass_fraction", "threshold", "seed", ...}
-    run_finished    {"n_results", "phases", "perf"}
+    task_deadline_exceeded  {"remaining", "n_done"}   # deadline tripped
+    run_cancelled   {"reason", "remaining", "n_done"} # e.g. drain
+    worker_rss_exceeded {"worker", "task", "rss_mb", "limit_mb"}
+    run_finished    {"n_results", "phases", "perf"[, "degraded"]}
 """
 
 from __future__ import annotations
@@ -306,6 +309,14 @@ class JournalState:
     #: (``n_shards``, ``generation``, ``compactions``, per-shard record
     #: counts); None for single-file journals.
     shards: Optional[dict] = None
+    #: the run finished *degraded*: its deadline expired and the
+    #: ``run_finished`` record salvages only the completed replicates.
+    degraded: bool = False
+    #: a ``task_deadline_exceeded`` event was journalled.
+    deadline_exceeded: bool = False
+    #: ``run_cancelled`` reasons seen (e.g. ``"drain"``); the journal
+    #: is still resumable — the event is informational.
+    cancellations: List[str] = field(default_factory=list)
     #: lines skipped by replay: torn tails, CRC failures, malformed
     #: result payloads — each with a companion entry in ``warnings``.
     corrupt_records: int = 0
@@ -380,8 +391,14 @@ def fold_record(state: JournalState, record: dict, label) -> None:
         state.worker_deaths.append(record)
     elif event == "bootstop_converged":
         state.bootstop = record
+    elif event == "task_deadline_exceeded":
+        state.deadline_exceeded = True
+    elif event == "run_cancelled":
+        state.cancellations.append(str(record.get("reason")))
     elif event == "run_finished":
         state.finished = True
+        if record.get("degraded"):
+            state.degraded = True
 
 
 def apply_bootstop_eviction(state: JournalState) -> None:
@@ -454,6 +471,9 @@ def compaction_lines(state: JournalState) -> List[str]:
                 seen.add(key)
                 lines.append(encode_record(record))
         elif event == "bootstop_converged":
+            lines.append(encode_record(record))
+        elif event == "task_deadline_exceeded":
+            # Provenance of a degraded finalize must survive compaction.
             lines.append(encode_record(record))
         elif event == "run_finished":
             trailer.append(encode_record(record))

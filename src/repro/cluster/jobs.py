@@ -51,6 +51,12 @@ class JobSpec:
     autoMRE-style early-stop policy (:mod:`repro.cluster.bootstop`):
     ``n_bootstraps`` then becomes the replicate *budget*, and the run
     may journal a ``bootstop_converged`` decision and finish with fewer.
+    ``deadline_s`` is a wall-clock budget for the whole run: when it
+    expires the master journals ``task_deadline_exceeded``, discards
+    in-flight replicates, and finalizes a *degraded* result from the
+    completed ones (:mod:`repro.cluster.cancel`).  Like
+    ``alignment_path`` it is execution policy, not content — the result
+    cache digest ignores it.
     """
 
     n_inferences: int
@@ -62,6 +68,7 @@ class JobSpec:
     model_name: Optional[str] = None
     alpha: Optional[float] = None
     categories: int = 4
+    deadline_s: Optional[float] = None
     config: Optional[SearchConfig] = None
     bootstop: Optional[BootstopConfig] = None
 

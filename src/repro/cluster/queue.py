@@ -1,6 +1,11 @@
 """Fault-tolerant multiprocessing work queue (the live master-worker).
 
-The master owns per-worker inboxes and one shared outbox.  Workers run
+The master owns per-worker inboxes and one *per-worker* result pipe.
+(A single shared outbox queue would hold a cross-process write lock:
+terminating a worker — RSS watchdog, task timeout, staleness sweep —
+while its feeder thread holds that lock wedges every other worker's
+messages.  Per-worker pipes confine the damage of a kill to the dead
+worker's own channel, which the master simply discards.)  Workers run
 a daemon heartbeat thread, stream one message per finished *replicate*
 (so a batch that dies mid-way loses only its tail), and report failures
 with full tracebacks.  The master requeues work from dead, hung, or
@@ -17,8 +22,8 @@ order, and task granularity are all invisible in the final
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection as mp_connection
 import os
-import queue as _queue
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -32,6 +37,8 @@ from ..chaos.plan import (
     CLUSTER_STEAL_RACE,
     CLUSTER_WORKER_CRASH_ACK,
     CLUSTER_WORKER_HANG,
+    CLUSTER_WORKER_OOM,
+    CLUSTER_WORKER_STALL,
 )
 from ..phylo.inference import default_model_for, infer_tree
 from ..phylo.models import GTR, HKY85, JC69, K80
@@ -40,6 +47,7 @@ from ..phylo.search import SearchConfig
 from ..sched.mgps import summarize_phases
 from .aggregate import StreamingAggregator
 from .bootstop import BootstopController
+from .cancel import REASON_DEADLINE, CancelToken, TaskCancelled
 from .checkpoint import RunJournal
 from .jobs import ClusterTask, JobSpec, PendingTask, home_group
 from .scheduler import MultigrainScheduler
@@ -85,6 +93,21 @@ class ClusterConfig:
     retry_jitter: float = 0.25
     heartbeat_interval_s: float = 0.2
     heartbeat_timeout_s: float = 10.0
+    #: Per-worker resident-set ceiling in MiB (None = watchdog off).
+    #: A worker over the ceiling is journalled (``worker_rss_exceeded``)
+    #: and terminated, and its task requeued as a retry — a visible,
+    #: bounded recovery instead of a silent kernel OOM-kill.
+    max_worker_rss_mb: Optional[float] = None
+
+
+def _rss_bytes(pid: int) -> Optional[int]:
+    """Resident set size of *pid* via ``/proc`` (None if unsupported)."""
+    try:
+        with open(f"/proc/{pid}/statm") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, IndexError, ValueError):
+        return None
 
 
 def retry_backoff(cfg: ClusterConfig, task_id: str, attempt: int) -> float:
@@ -179,11 +202,15 @@ def _build_model(ctx: ExecutionContext, patterns):
 
 
 def execute_replicate(patterns, ctx: ExecutionContext, kind: str,
-                      replicate: int, seed: int) -> dict:
+                      replicate: int, seed: int, cancel=None) -> dict:
     """Run one replicate; the seed derivation of ``parallel.TaskSpec``.
 
     Returns a JSON-safe payload (Newick, log likelihood, kernel call
-    counts, and the engine's :meth:`perf_counters` snapshot).
+    counts, and the engine's :meth:`perf_counters` snapshot).  A
+    tripped *cancel* token unwinds with ``TaskCancelled`` before any
+    partial result is produced — a cancelled replicate is discarded
+    whole, never streamed, so the result set stays a pure function of
+    the completed replicate keys.
     """
     collector = _CounterCollector()
     model = _build_model(ctx, patterns)
@@ -192,7 +219,7 @@ def execute_replicate(patterns, ctx: ExecutionContext, kind: str,
     if kind == "inference":
         result = infer_tree(
             patterns, model=model, rate_model=rate_model, config=ctx.config,
-            seed=seed, tracer=collector, replicate=replicate,
+            seed=seed, tracer=collector, replicate=replicate, cancel=cancel,
         )
     elif kind == "bootstrap":
         rng = np.random.default_rng(
@@ -202,6 +229,7 @@ def execute_replicate(patterns, ctx: ExecutionContext, kind: str,
             patterns.bootstrap_replicate(rng), model=model,
             rate_model=rate_model, config=ctx.config, seed=seed + 1,
             tracer=collector, is_bootstrap=True, replicate=replicate,
+            cancel=cancel,
         )
     else:
         raise ValueError(f"unknown task kind {kind!r}")
@@ -219,28 +247,67 @@ def execute_replicate(patterns, ctx: ExecutionContext, kind: str,
     }
 
 
+#: Pages the ``cluster.worker_oom`` site pins resident, in MiB.
+_OOM_BALLAST_MB = 192
+
+
 def _worker_main(worker_id: int, inbox, outbox, patterns,
                  ctx: ExecutionContext, plans: WorkerPlans,
                  heartbeat_interval_s: float,
                  shard_path: Optional[str] = None,
-                 group: int = 0) -> None:
+                 group: int = 0,
+                 deadline: Optional[float] = None) -> None:
     """Worker process: heartbeat thread + task loop.
+
+    *outbox* is this worker's private end of a master-held pipe; a
+    worker killed mid-send can tear its own channel but nobody else's.
+    ``Connection.send`` is not thread-safe, so the heartbeat thread and
+    the task loop share a process-local lock (which dies with the
+    process — the master never waits on it).
 
     With *shard_path* set (sharded journals, DESIGN.md §15) the worker
     WALs each result into its group's shard *before* streaming it to
     the master — the disk record, not the queue message, is the
     durable one, so a master that dies mid-drain loses nothing.
+
+    *deadline* is the run's absolute ``time.monotonic()`` expiry (the
+    monotonic clock survives ``fork``, so master and worker agree on it
+    without traffic).  The worker polls it at the search's safe points
+    and reports a ``cancelled`` message instead of a result; the master
+    trips its own copy of the deadline at the same instant.
     """
+    import signal as _signal
     import threading
 
     from .shards import ShardWriter
 
+    # A fork child inherits the parent's signal handlers.  Under the
+    # serve CLI the parent is an asyncio process whose SIGTERM handler
+    # only writes to a wakeup fd — harmless there, but inherited here
+    # it swallows the master's ``terminate()`` and the worker becomes
+    # unkillable (until SIGKILL).  Restore defaults: SIGTERM kills,
+    # SIGINT is ignored (shutdown is the master's call, not the
+    # terminal's).
+    try:
+        _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+        _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+        _signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
     stop = threading.Event()
+    token = CancelToken(deadline=deadline) if deadline is not None else None
+    send_lock = threading.Lock()
+    conn = outbox
+
+    def send(message) -> None:
+        with send_lock:
+            conn.send(message)
 
     def beat():
         while not stop.is_set():
             try:
-                outbox.put(("heartbeat", worker_id))
+                send(("heartbeat", worker_id))
             except Exception:
                 return
             stop.wait(heartbeat_interval_s)
@@ -253,7 +320,7 @@ def _worker_main(worker_id: int, inbox, outbox, patterns,
             if item is None:
                 break
             task, attempt = item
-            outbox.put(("started", worker_id, task.task_id, attempt))
+            send(("started", worker_id, task.task_id, attempt))
             # Chaos process faults are decided on (task_id, attempt) —
             # worker-count- and dispatch-order-independent — by the
             # injector this forked process inherited from the master.
@@ -273,13 +340,30 @@ def _worker_main(worker_id: int, inbox, outbox, patterns,
                     # timeout, is what must catch this.
                     stop.set()
                     time.sleep(3600)
+                if _chaos._ACTIVE is not None and _chaos.fire(
+                    CLUSTER_WORKER_STALL, key=chaos_key
+                ):
+                    # Wedge while *still heartbeating* (a livelocked
+                    # worker, not a dead one): the task timeout, not the
+                    # staleness sweep, must catch this.
+                    time.sleep(3600)
+                if _chaos._ACTIVE is not None and _chaos.fire(
+                    CLUSTER_WORKER_OOM, key=chaos_key
+                ):
+                    # Runaway allocation: pin pages resident, then stall
+                    # with the heartbeat alive so the RSS watchdog (when
+                    # configured) is what must journal and requeue.
+                    ballast = np.ones((_OOM_BALLAST_MB * 1024 * 1024) // 8)
+                    ballast[0] = 2.0
+                    time.sleep(3600)
                 crash = attempt in plans.crash.get(task.task_id, ())
                 last = len(task.replicates) - 1
                 for position, replicate in enumerate(task.replicates):
                     if crash and position == last:
                         os._exit(17)  # simulated mid-task worker death
                     payload = execute_replicate(
-                        patterns, ctx, task.kind, replicate, task.seed
+                        patterns, ctx, task.kind, replicate, task.seed,
+                        cancel=token,
                     )
                     if shard is not None:
                         try:
@@ -293,7 +377,7 @@ def _worker_main(worker_id: int, inbox, outbox, patterns,
                             # liveness sweep requeues the task and the
                             # merge-replay isolates the torn line.
                             os._exit(29)
-                    outbox.put(
+                    send(
                         ("replicate", worker_id, task.task_id, attempt,
                          payload)
                     )
@@ -304,9 +388,15 @@ def _worker_main(worker_id: int, inbox, outbox, patterns,
                     # task-finished ack: the master must reconcile a
                     # fully-delivered task against a dead worker.
                     os._exit(23)
-                outbox.put(("finished", worker_id, task.task_id, attempt))
+                send(("finished", worker_id, task.task_id, attempt))
+            except TaskCancelled:
+                # Deadline tripped mid-replicate: the partial replicate
+                # is discarded whole (already-streamed replicates of the
+                # batch stand).  No requeue — the master's own copy of
+                # the deadline ends the run.
+                send(("cancelled", worker_id, task.task_id, attempt))
             except BaseException:
-                outbox.put(
+                send(
                     ("failed", worker_id, task.task_id, attempt,
                      traceback.format_exc())
                 )
@@ -320,6 +410,7 @@ def _worker_main(worker_id: int, inbox, outbox, patterns,
 class _Worker:
     proc: multiprocessing.Process
     inbox: object
+    conn: object  # master's receive end of the worker's result pipe
     last_seen: float
     group: int = 0
     current: Optional[Tuple[ClusterTask, int, float]] = None  # task, attempt, t0
@@ -346,17 +437,29 @@ class ClusterQueue:
         self.aggregator = aggregator or StreamingAggregator()
         self.bootstop = bootstop
         self.scheduler: Optional[MultigrainScheduler] = None
+        #: why the run stopped early (``REASON_*``), None on completion
+        self.cancelled_reason: Optional[str] = None
+        self._force_shutdown = False
 
     def run(
         self,
         tasks: List[ClusterTask],
         already: Optional[Dict[Tuple[str, int], dict]] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> Dict[Tuple[str, int], dict]:
         """Execute *tasks*; returns ``(kind, replicate) -> payload``.
 
         *already* seeds results replayed from a journal (their tasks
         must not be in *tasks* - :func:`~repro.cluster.jobs.expand_job`
         handles the exclusion).
+
+        *cancel* is the run's cooperative cancellation token.  The
+        master polls it once per loop iteration; workers inherit its
+        absolute deadline across ``fork``.  When it trips, the master
+        journals the event (``task_deadline_exceeded`` for a deadline,
+        ``run_cancelled`` otherwise — e.g. a drain), sets
+        :attr:`cancelled_reason`, terminates the workers, and returns
+        the completed results so the caller can salvage or checkpoint.
         """
         results: Dict[Tuple[str, int], dict] = dict(already or {})
         for payload in results.values():
@@ -386,12 +489,13 @@ class ClusterQueue:
             return results
 
         mp = multiprocessing.get_context("fork")
-        outbox = mp.Queue()
         workers: Dict[int, _Worker] = {}
         self._next_wid = 0
         n_pending = sum(len(q) for q in pending.values())
         n_workers = min(self.cfg.n_workers, max(1, n_pending))
         self.scheduler = MultigrainScheduler(n_workers)
+
+        worker_deadline = cancel.deadline if cancel is not None else None
 
         def spawn(group: Optional[int] = None) -> None:
             wid = self._next_wid
@@ -399,17 +503,55 @@ class ClusterQueue:
             if group is None:
                 group = wid % n_groups
             inbox = mp.Queue()
+            rx, tx = mp.Pipe(duplex=False)
             proc = mp.Process(
                 target=_worker_main,
-                args=(wid, inbox, outbox, self.patterns, self.ctx,
+                args=(wid, inbox, tx, self.patterns, self.ctx,
                       self.plans, self.cfg.heartbeat_interval_s,
                       self.journal.shard_path(group) if sharded else None,
-                      group),
+                      group, worker_deadline),
                 daemon=True,
             )
             proc.start()
-            workers[wid] = _Worker(proc=proc, inbox=inbox,
+            # Close the master's copy of the send end: once the worker
+            # dies, its pipe reads EOF instead of blocking forever on a
+            # torn frame.
+            tx.close()
+            workers[wid] = _Worker(proc=proc, inbox=inbox, conn=rx,
                                    last_seen=time.monotonic(), group=group)
+
+        def reap(wid: int) -> None:
+            """Forget a worker and discard its (possibly torn) pipe."""
+            worker = workers.pop(wid)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+        def drain_messages(timeout: float) -> None:
+            """Receive from every readable worker pipe.
+
+            A dead worker's pipe raises EOF/OSError mid-``recv`` — the
+            partial frame is discarded here and the liveness sweep
+            journals the death; no other worker's channel is affected.
+            """
+            conns = {w.conn: None for w in workers.values()}
+            if not conns:
+                time.sleep(timeout)
+                return
+            try:
+                ready = mp_connection.wait(list(conns), timeout)
+            except OSError:
+                return
+            for conn in ready:
+                try:
+                    while True:
+                        self._handle(conn.recv(), workers, results,
+                                     remaining, requeue, time.monotonic())
+                        if not conn.poll():
+                            break
+                except (EOFError, OSError):
+                    continue  # worker died mid-write; the sweep reaps it
 
         def requeue(task: ClusterTask, attempt: int, error: str,
                     now: float) -> None:
@@ -435,9 +577,30 @@ class ClusterQueue:
         for _ in range(n_workers):
             spawn()
 
+        rss_limit = (None if self.cfg.max_worker_rss_mb is None
+                     else self.cfg.max_worker_rss_mb * 1024 * 1024)
+
         try:
             while remaining:
                 now = time.monotonic()
+
+                # -- cooperative cancellation --------------------------------
+                if cancel is not None and cancel.cancelled:
+                    reason = cancel.reason
+                    self.cancelled_reason = reason
+                    self._force_shutdown = True
+                    if reason == REASON_DEADLINE:
+                        self.journal.append(
+                            "task_deadline_exceeded",
+                            remaining=len(remaining),
+                            n_done=len(results),
+                        )
+                    else:
+                        self.journal.append(
+                            "run_cancelled", reason=reason,
+                            remaining=len(remaining), n_done=len(results),
+                        )
+                    break
 
                 # -- dispatch to idle workers --------------------------------
                 idle = [w for w in workers.values()
@@ -457,31 +620,33 @@ class ClusterQueue:
                         self.scheduler.dispatched(entry)
 
                 # -- drain worker messages -----------------------------------
-                try:
-                    message = outbox.get(timeout=0.05)
-                except _queue.Empty:
-                    message = None
-                while message is not None:
-                    now = time.monotonic()
-                    self._handle(message, workers, results, remaining,
-                                 requeue, now)
-                    try:
-                        message = outbox.get_nowait()
-                    except _queue.Empty:
-                        message = None
+                drain_messages(0.05)
                 pending = self._bootstop_check(pending, remaining, results)
 
-                # -- liveness / timeout sweep --------------------------------
+                # -- liveness / timeout / RSS sweep --------------------------
                 now = time.monotonic()
                 for wid, worker in list(workers.items()):
                     dead = not worker.proc.is_alive()
+                    over_rss = False
+                    if rss_limit is not None and not dead:
+                        rss = _rss_bytes(worker.proc.pid)
+                        if rss is not None and rss > rss_limit:
+                            over_rss = True
+                            self.journal.append(
+                                "worker_rss_exceeded", worker=wid,
+                                task=(worker.current[0].task_id
+                                      if worker.current else None),
+                                rss_mb=round(rss / 1048576.0, 1),
+                                limit_mb=self.cfg.max_worker_rss_mb,
+                            )
                     if worker.current is not None:
                         task, attempt, t0 = worker.current
                         timed_out = now - t0 > self.cfg.task_timeout_s
                         stale = (now - worker.last_seen
                                  > self.cfg.heartbeat_timeout_s)
-                        if dead or timed_out or stale:
+                        if dead or timed_out or stale or over_rss:
                             reason = ("crash" if dead else
+                                      "rss" if over_rss else
                                       "timeout" if timed_out else "heartbeat")
                             self.journal.append(
                                 "worker_dead", worker=wid,
@@ -490,27 +655,33 @@ class ClusterQueue:
                             if not dead:
                                 worker.proc.terminate()
                                 worker.proc.join(timeout=2.0)
-                            del workers[wid]
+                                if worker.proc.is_alive():
+                                    worker.proc.kill()
+                                    worker.proc.join(timeout=1.0)
+                            reap(wid)
                             requeue(task, attempt,
                                     f"worker {wid} died ({reason})", now)
                             if remaining:
                                 spawn(worker.group)
-                    elif dead:
-                        del workers[wid]
+                    elif dead or over_rss:
+                        if not dead:
+                            worker.proc.terminate()
+                            worker.proc.join(timeout=2.0)
+                            if worker.proc.is_alive():
+                                worker.proc.kill()
+                                worker.proc.join(timeout=1.0)
+                        reap(wid)
                         if any(pending.values()) or remaining:
                             spawn(worker.group)
 
             # All replicates landed; drain the trailing task_finished
-            # acknowledgements so the journal closes every task.
-            deadline = time.monotonic() + 1.0
+            # acknowledgements so the journal closes every task.  A
+            # cancelled run skips this — its workers are being killed.
+            deadline = time.monotonic() + \
+                (0.0 if self.cancelled_reason else 1.0)
             while (any(w.current is not None for w in workers.values())
                    and time.monotonic() < deadline):
-                try:
-                    message = outbox.get(timeout=0.05)
-                except _queue.Empty:
-                    continue
-                self._handle(message, workers, results, remaining,
-                             requeue, time.monotonic())
+                drain_messages(0.05)
         finally:
             self._shutdown(workers)
 
@@ -674,6 +845,11 @@ class ClusterQueue:
                                 attempt=attempt, worker=wid)
             if worker is not None:
                 worker.current = None
+        elif kind == "cancelled":
+            # The worker's copy of the deadline tripped; no requeue —
+            # the master's own token ends the run on its next loop.
+            if worker is not None:
+                worker.current = None
         elif kind == "failed":
             _, _, task_id, attempt, error = message
             if worker is not None and worker.current is not None:
@@ -682,6 +858,18 @@ class ClusterQueue:
                 requeue(task, attempt, error, now)
 
     def _shutdown(self, workers: Dict[int, _Worker]) -> None:
+        if self._force_shutdown:
+            # Cancelled run: don't wait on wedged or mid-replicate
+            # workers — completed replicates are already journalled,
+            # partial ones are discarded by design.
+            for worker in workers.values():
+                worker.proc.terminate()
+            for worker in workers.values():
+                worker.proc.join(timeout=2.0)
+                if worker.proc.is_alive():
+                    worker.proc.kill()
+                    worker.proc.join(timeout=1.0)
+            return
         for worker in workers.values():
             try:
                 worker.inbox.put(None)
@@ -692,4 +880,9 @@ class ClusterQueue:
             worker.proc.join(timeout=max(0.1, deadline - time.monotonic()))
             if worker.proc.is_alive():
                 worker.proc.terminate()
+                worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():
+                # SIGTERM didn't land (blocked in C code or a captured
+                # handler): escalate so the run can't leak a process.
+                worker.proc.kill()
                 worker.proc.join(timeout=1.0)

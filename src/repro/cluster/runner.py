@@ -14,6 +14,7 @@ from ..phylo.alignment import Alignment, PatternAlignment
 from ..phylo.inference import AnalysisResult
 from .aggregate import StreamingAggregator
 from .bootstop import BootstopController
+from .cancel import REASON_DEADLINE, CancelToken, TaskCancelled
 from .checkpoint import JournalState, RunJournal, replay
 from .jobs import JobSpec, expand_job
 from .queue import ClusterConfig, ClusterQueue, ExecutionContext, WorkerPlans
@@ -74,17 +75,61 @@ def _load_patterns(spec: JobSpec) -> PatternAlignment:
     return cls.from_phylip(text).compress()
 
 
-def _finalize(journal: RunJournal, aggregator: StreamingAggregator
-              ) -> AnalysisResult:
+def _finalize(journal: RunJournal, aggregator: StreamingAggregator,
+              degraded: bool = False) -> AnalysisResult:
     analysis = aggregator.analysis()
+    extra = {"degraded": True} if degraded else {}
     journal.append(
         "run_finished",
         n_results=len(aggregator.payloads()),
         best_log_likelihood=analysis.best.log_likelihood,
         perf=aggregator.perf_totals(),
+        **extra,
     )
     journal.close()
+    analysis.degraded = degraded
     return analysis
+
+
+def _resolve_cancel(spec: JobSpec,
+                    cancel: Optional[CancelToken]) -> Optional[CancelToken]:
+    """Fold ``spec.deadline_s`` into the caller's token (if any).
+
+    The deadline budget starts *now* — a resumed run gets a fresh
+    budget, since the salvageable work is exactly what is left.
+    """
+    if spec.deadline_s is None:
+        return cancel
+    token = cancel if cancel is not None else CancelToken()
+    token.cap_deadline(spec.deadline_s)
+    return token
+
+
+def _settle(queue: ClusterQueue, journal) -> AnalysisResult:
+    """Finalize a (possibly cancelled) queue run.
+
+    * completed → normal ``run_finished``;
+    * deadline → degraded ``run_finished`` salvaged from completed
+      replicates (typed ``TaskCancelled`` when not even one inference
+      finished — there is nothing to salvage);
+    * drain/explicit cancel → no ``run_finished`` at all: the journal
+      stays open-ended so a later resume completes it bit-identically,
+      and the caller sees a typed ``TaskCancelled``.
+    """
+    reason = queue.cancelled_reason
+    if reason is None:
+        return _finalize(journal, queue.aggregator)
+    if reason == REASON_DEADLINE:
+        if queue.aggregator.n_inferences == 0:
+            journal.close()
+            raise TaskCancelled(
+                REASON_DEADLINE,
+                "deadline exceeded before any inference completed; "
+                "nothing to salvage",
+            )
+        return _finalize(journal, queue.aggregator, degraded=True)
+    journal.close()
+    raise TaskCancelled(reason)
 
 
 def run_job(
@@ -96,6 +141,7 @@ def run_job(
     plans: Optional[WorkerPlans] = None,
     clock=None,
     n_shards: Optional[int] = None,
+    cancel: Optional[CancelToken] = None,
 ) -> AnalysisResult:
     """Execute a job from scratch, journalling to *journal_path*.
 
@@ -107,6 +153,10 @@ def run_job(
     switches the journal to per-worker-group WAL shards
     (:mod:`repro.cluster.shards`): workers persist their own results
     instead of funnelling them through the master's file handle.
+    ``cancel`` is an external cancellation token (the serve layer's
+    drain); ``spec.deadline_s`` is folded into it, and a tripped token
+    either salvages a degraded result (deadline) or raises a typed
+    ``TaskCancelled`` leaving the journal resumable (drain).
     """
     patterns = (_as_patterns(alignment) if alignment is not None
                 else _load_patterns(spec))
@@ -123,11 +173,11 @@ def run_job(
         journal=journal, plans=plans, bootstop=_bootstop_controller(spec),
     )
     try:
-        queue.run(expand_job(spec))
+        queue.run(expand_job(spec), cancel=_resolve_cancel(spec, cancel))
     except BaseException:
         journal.close()
         raise
-    return _finalize(journal, queue.aggregator)
+    return _settle(queue, journal)
 
 
 def resume_job(
@@ -137,6 +187,7 @@ def resume_job(
     cluster: Optional[ClusterConfig] = None,
     plans: Optional[WorkerPlans] = None,
     clock=None,
+    cancel: Optional[CancelToken] = None,
 ) -> AnalysisResult:
     """Resume an interrupted run from its journal.
 
@@ -186,11 +237,12 @@ def resume_job(
         journal=journal, plans=plans, bootstop=bootstop,
     )
     try:
-        queue.run(tasks, already=dict(state.payloads))
+        queue.run(tasks, already=dict(state.payloads),
+                  cancel=_resolve_cancel(spec, cancel))
     except BaseException:
         journal.close()
         raise
-    return _finalize(journal, queue.aggregator)
+    return _settle(queue, journal)
 
 
 def job_status(journal_path: str) -> Dict[str, object]:
@@ -242,6 +294,8 @@ def job_status(journal_path: str) -> Dict[str, object]:
         "worker_deaths": state.worker_deaths,
         "steals": state.steals,
         "shards": state.shards,
+        "degraded": state.degraded,
+        "deadline_exceeded": state.deadline_exceeded,
         "perf": state.perf_totals(),
     }
 

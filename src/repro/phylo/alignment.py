@@ -24,7 +24,35 @@ import numpy as np
 
 from . import dna
 
-__all__ = ["Alignment", "PatternAlignment", "parse_fasta", "parse_phylip"]
+__all__ = [
+    "Alignment",
+    "AlignmentError",
+    "PatternAlignment",
+    "parse_alignment",
+    "parse_fasta",
+    "parse_phylip",
+]
+
+
+class AlignmentError(ValueError):
+    """A malformed alignment, with a stable machine-readable ``code``.
+
+    Subclasses :class:`ValueError` so existing callers that catch the
+    broad class keep working; the service layer catches this type at
+    admission and maps ``code`` onto its HTTP error vocabulary.  Codes
+    are part of the API surface — add, never rename.
+
+    Known codes: ``empty``, ``empty_sequence``, ``length_mismatch``,
+    ``illegal_character``, ``duplicate_taxon``, ``fasta_empty_name``,
+    ``fasta_data_before_header``, ``phylip_header``,
+    ``phylip_truncated``, ``phylip_line``, ``phylip_length``,
+    ``parse_error`` (the catch-all: a parser bug leaked an untyped
+    exception and the hardened entry point contained it).
+    """
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        super().__init__(message)
 
 
 @dataclass
@@ -268,18 +296,21 @@ def parse_fasta(text: str) -> Dict[str, str]:
                 sequences[name] = "".join(chunks)
             name = line[1:].split()[0] if len(line) > 1 else ""
             if not name:
-                raise ValueError("FASTA record with empty name")
+                raise AlignmentError("fasta_empty_name",
+                                     "FASTA record with empty name")
             if name in sequences:
-                raise ValueError(f"duplicate FASTA record {name!r}")
+                raise AlignmentError("duplicate_taxon",
+                                     f"duplicate FASTA record {name!r}")
             chunks = []
         else:
             if name is None:
-                raise ValueError("FASTA sequence data before first header")
+                raise AlignmentError("fasta_data_before_header",
+                                     "FASTA sequence data before first header")
             chunks.append(line)
     if name is not None:
         sequences[name] = "".join(chunks)
     if not sequences:
-        raise ValueError("no FASTA records found")
+        raise AlignmentError("empty", "no FASTA records found")
     return sequences
 
 
@@ -287,27 +318,94 @@ def parse_phylip(text: str) -> Dict[str, str]:
     """Parse sequential relaxed-PHYLIP text (name, whitespace, sequence)."""
     lines = [ln for ln in text.splitlines() if ln.strip()]
     if not lines:
-        raise ValueError("empty PHYLIP input")
+        raise AlignmentError("empty", "empty PHYLIP input")
     header = lines[0].split()
     if len(header) != 2:
-        raise ValueError("PHYLIP header must be 'n_taxa n_sites'")
-    n_taxa, n_sites = int(header[0]), int(header[1])
+        raise AlignmentError("phylip_header",
+                             "PHYLIP header must be 'n_taxa n_sites'")
+    try:
+        n_taxa, n_sites = int(header[0]), int(header[1])
+    except ValueError:
+        raise AlignmentError(
+            "phylip_header",
+            f"non-numeric PHYLIP header: {lines[0].strip()!r}"
+        ) from None
+    if n_taxa < 1 or n_sites < 1:
+        raise AlignmentError(
+            "phylip_header",
+            f"PHYLIP header counts must be positive, got {n_taxa} {n_sites}"
+        )
     if len(lines) - 1 < n_taxa:
-        raise ValueError(f"expected {n_taxa} sequence lines, got {len(lines) - 1}")
+        raise AlignmentError(
+            "phylip_truncated",
+            f"expected {n_taxa} sequence lines, got {len(lines) - 1}"
+        )
     sequences: Dict[str, str] = {}
     for line in lines[1 : 1 + n_taxa]:
         parts = line.split(None, 1)
         if len(parts) != 2:
-            raise ValueError(f"malformed PHYLIP line: {line!r}")
+            raise AlignmentError("phylip_line",
+                                 f"malformed PHYLIP line: {line!r}")
         name, seq = parts[0], parts[1].replace(" ", "")
         if len(seq) != n_sites:
-            raise ValueError(
+            raise AlignmentError(
+                "phylip_length",
                 f"taxon {name!r} has {len(seq)} sites, header says {n_sites}"
             )
         if name in sequences:
-            raise ValueError(f"duplicate taxon {name!r}")
+            raise AlignmentError("duplicate_taxon",
+                                 f"duplicate taxon {name!r}")
         sequences[name] = seq
     return sequences
+
+
+def parse_alignment(text: str, cls: Optional[type] = None) -> "Alignment":
+    """Hardened parse entry point for untrusted alignment text.
+
+    Detects the format (FASTA when the first non-blank character is
+    ``>``, PHYLIP otherwise), validates shape invariants the individual
+    parsers leave to downstream code (equal, non-zero sequence
+    lengths), and guarantees that *every* failure surfaces as a typed
+    :class:`AlignmentError` — a ``ValueError``/``KeyError``/
+    ``IndexError`` leaking from a parser bug is contained as the
+    ``parse_error`` code rather than crashing an admission path.
+
+    ``cls`` selects the alignment class (``Alignment`` by default;
+    pass ``ProteinAlignment`` for amino-acid data).
+    """
+    if cls is None:
+        cls = Alignment
+    try:
+        if not isinstance(text, str) or not text.strip():
+            raise AlignmentError("empty", "empty alignment input")
+        if text.lstrip().startswith(">"):
+            sequences = parse_fasta(text)
+        else:
+            sequences = parse_phylip(text)
+        lengths = {name: len(seq) for name, seq in sequences.items()}
+        empties = [name for name, n in lengths.items() if n == 0]
+        if empties:
+            raise AlignmentError(
+                "empty_sequence",
+                f"zero-length sequence for taxa {empties!r}"
+            )
+        if len(set(lengths.values())) > 1:
+            raise AlignmentError(
+                "length_mismatch",
+                f"sequences have unequal lengths: {sorted(set(lengths.values()))}"
+            )
+        return cls.from_sequences(sequences)
+    except AlignmentError:
+        raise
+    except (ValueError, KeyError, IndexError) as exc:
+        message = str(exc)
+        if "character" in message or "invalid state masks" in message:
+            raise AlignmentError("illegal_character", message) from exc
+        if "unequal lengths" in message:
+            raise AlignmentError("length_mismatch", message) from exc
+        if "duplicate" in message:
+            raise AlignmentError("duplicate_taxon", message) from exc
+        raise AlignmentError("parse_error", message or repr(exc)) from exc
 
 
 def _read_source(source: Union[str, os.PathLike]) -> str:

@@ -221,12 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seeds", type=int, default=25,
                        help="campaign seeds per flavour (default 25)")
     chaos.add_argument("--mode",
-                       choices=["engine", "cluster", "serve", "both", "all"],
+                       choices=["engine", "cluster", "serve", "resilience",
+                                "both", "all"],
                        default="both",
                        help="which fault layer to campaign against: "
                        "engine, cluster, serve (server-kill/restart "
-                       "loops), both = engine+cluster, all = every "
-                       "layer (default both)")
+                       "loops), resilience (live HTTP server under "
+                       "hostile clients + wedged workers), both = "
+                       "engine+cluster, all = every layer (default both)")
     chaos.add_argument("--backend", default=None, metavar="NAME",
                        help="kernel backend for the engine campaign, or "
                        "'all' for einsum + reference + partitioned:2 "
@@ -282,6 +284,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="total queued-job watermark: submissions "
                        "beyond N queued jobs are rejected with 429 + "
                        "Retry-After (default: unbounded)")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="graceful-drain budget on SIGTERM/SIGINT: "
+                       "in-flight jobs get this long to reach a "
+                       "checkpoint before the process exits (they "
+                       "resume bit-identically on restart; default 10)")
+    serve.add_argument("--max-job-memory-mb", type=float, default=None,
+                       metavar="MB",
+                       help="admission-time memory ceiling: submissions "
+                       "whose estimated working set exceeds this are "
+                       "rejected with 413 job_too_large (default: no "
+                       "ceiling)")
     serve.add_argument("--max-queued-per-client", type=int, default=None,
                        metavar="N",
                        help="per-client queued-job watermark (default: "
@@ -536,6 +550,7 @@ def _cmd_chaos(args) -> int:
     from ..chaos import (
         run_cluster_campaign,
         run_engine_campaign,
+        run_resilience_campaign,
         run_serve_campaign,
     )
 
@@ -565,6 +580,11 @@ def _cmd_chaos(args) -> int:
             n_seeds=args.seeds, n_workers=args.workers,
             workdir=args.workdir, start_seed=args.start_seed,
         ))
+    if args.mode in ("resilience", "all"):
+        reports.append(run_resilience_campaign(
+            n_seeds=args.seeds, n_workers=args.workers,
+            workdir=args.workdir, start_seed=args.start_seed,
+        ))
 
     for report in reports:
         if args.json:
@@ -573,22 +593,33 @@ def _cmd_chaos(args) -> int:
             print(report.summary())
 
     if args.bench:
+        import json as _json
+        import os as _os
+
         from ..harness.report import merge_bench_section
 
-        section = {
-            "n_seeds": args.seeds,
-            "start_seed": args.start_seed,
-            "campaigns": {
-                report.label: {
-                    "n_runs": len(report.runs),
-                    "counts": report.counts,
-                    "faults_fired": report.faults_fired,
-                    "ok": report.ok,
-                }
-                for report in reports
-            },
-        }
-        merge_bench_section(args.bench, "chaos_campaign", section)
+        # Merge per campaign label, never replace the section wholesale:
+        # CI runs engine, cluster, and resilience arms as separate
+        # invocations against the same file, and each must keep the
+        # others' committed stats.
+        campaigns = {}
+        if _os.path.isfile(args.bench):
+            with open(args.bench) as fh:
+                campaigns = dict(
+                    _json.load(fh).get("chaos_campaign", {})
+                    .get("campaigns", {})
+                )
+        for report in reports:
+            campaigns[report.label] = {
+                "n_seeds": args.seeds,
+                "start_seed": args.start_seed,
+                "n_runs": len(report.runs),
+                "counts": report.counts,
+                "faults_fired": report.faults_fired,
+                "ok": report.ok,
+            }
+        merge_bench_section(args.bench, "chaos_campaign",
+                            {"campaigns": campaigns})
         print(f"merged chaos_campaign section into {args.bench}")
 
     return 0 if all(report.ok for report in reports) else 1
@@ -609,6 +640,8 @@ def _cmd_serve(args) -> int:
             max_inflight_per_client=args.max_inflight_per_client,
             max_queued_total=args.max_queued,
             max_queued_per_client=args.max_queued_per_client,
+            drain_grace_s=args.drain_grace,
+            max_job_memory_mb=args.max_job_memory_mb,
         ))
     except KeyboardInterrupt:
         print(f"serve: interrupted; unfinished jobs remain resumable "

@@ -200,6 +200,11 @@ class LikelihoodEngine:
         self.numerical_faults = 0
         self.fault_recoveries = 0
         self.degraded_evaluations = 0
+        #: optional cooperative cancellation token (any object with a
+        #: ``check()`` method); polled at the top of every guarded
+        #: kernel dispatch so a deadline trips between operations, not
+        #: inside one.
+        self.cancel = None
 
         if tracer is not None and hasattr(tracer, "add_counter_source"):
             tracer.add_counter_source(self.perf_counters)
@@ -277,6 +282,8 @@ class LikelihoodEngine:
         """
         if self._in_guard:
             return fn()
+        if self.cancel is not None:
+            self.cancel.check()
         self._in_guard = True
         try:
             attempt = 0

@@ -52,12 +52,19 @@ class InferenceResult:
 
 @dataclass
 class AnalysisResult:
-    """A full analysis: best tree, all searches, branch supports."""
+    """A full analysis: best tree, all searches, branch supports.
+
+    ``degraded`` marks a deadline-salvaged analysis: the best tree and
+    supports were assembled from the replicates that *completed* before
+    the run's deadline, not the full requested set.  Degraded analyses
+    are served but never enter the content-addressed result cache.
+    """
 
     best: InferenceResult
     inferences: List[InferenceResult]
     bootstraps: List[InferenceResult]
     supports: Dict[FrozenSet[str], float] = field(default_factory=dict)
+    degraded: bool = False
 
     @property
     def best_tree(self) -> Tree:
@@ -102,6 +109,7 @@ def infer_tree(
     is_bootstrap: bool = False,
     replicate: int = 0,
     backend=None,
+    cancel=None,
 ) -> InferenceResult:
     """One complete ML tree search from a randomized parsimony start.
 
@@ -111,19 +119,26 @@ def infer_tree(
     workload for platform simulation.  ``backend`` selects the kernel
     backend (default: the ``REPRO_ENGINE_BACKEND`` environment
     override); chaos campaigns use it to sweep all backends through the
-    same inference seeds.
+    same inference seeds.  ``cancel`` is a cooperative cancellation
+    token threaded into the search loop (and the engine's guarded
+    kernel dispatch); a tripped token unwinds with
+    ``TaskCancelled`` and the partial replicate is discarded whole.
     """
     patterns = _as_patterns(alignment)
     model = model or default_model_for(patterns)
     rate_model = rate_model or GammaRates(alpha=1.0, n_categories=4)
     rng = np.random.default_rng(np.random.SeedSequence([seed, replicate]))
 
+    if cancel is not None:
+        cancel.check()
     tree = stepwise_addition_tree(patterns, rng)
     engine = create_engine(
         patterns, model, rate_model, tree, tracer=tracer, backend=backend
     )
+    if cancel is not None:
+        engine.cancel = cancel
     try:
-        search = hill_climb(engine, config, rng)
+        search = hill_climb(engine, config, rng, cancel=cancel)
         return InferenceResult(
             newick=search.newick,
             log_likelihood=search.log_likelihood,

@@ -270,6 +270,7 @@ def _hill_climb_nni(
     engine: LikelihoodEngine,
     config: SearchConfig,
     rng: np.random.Generator,
+    cancel=None,
 ) -> SearchResult:
     """Hill climbing over nearest-neighbour interchanges only."""
     tree = engine.tree
@@ -280,6 +281,8 @@ def _hill_climb_nni(
     accepted = 0
     evaluated = 0
     while rounds < config.max_rounds:
+        if cancel is not None:
+            cancel.check()
         rounds += 1
         improved = False
         candidate_ids = [
@@ -288,6 +291,8 @@ def _hill_climb_nni(
         ]
         rng.shuffle(candidate_ids)
         for branch_id in candidate_ids:
+            if cancel is not None:
+                cancel.check()
             try:
                 branch = tree.branch_by_id(branch_id)
             except KeyError:
@@ -341,16 +346,25 @@ def hill_climb(
     engine: LikelihoodEngine,
     config: Optional[SearchConfig] = None,
     rng: Optional[np.random.Generator] = None,
+    cancel=None,
 ) -> SearchResult:
     """Run hill climbing on the engine's tree (modified in place).
 
     The default move set is RAxML's lazy SPR; ``move_set="nni"``
     restricts the search to nearest-neighbour interchanges.
+
+    ``cancel`` is an optional cooperative cancellation token (any
+    object with a ``check()`` method that raises to unwind, e.g.
+    :class:`repro.cluster.cancel.CancelToken`).  It is polled at safe
+    points — round boundaries and between candidate prune branches —
+    so a deadline or drain never interrupts a kernel mid-operation.
+    A cancelled search discards the replicate entirely; partial search
+    state is never observable upstream.
     """
     config = config or SearchConfig()
     rng = rng or np.random.default_rng()
     if config.move_set == "nni":
-        return _hill_climb_nni(engine, config, rng)
+        return _hill_climb_nni(engine, config, rng, cancel=cancel)
     tree = engine.tree
 
     best = engine.optimize_all_branches(
@@ -362,6 +376,8 @@ def hill_climb(
     evaluated = 0
 
     while rounds < config.max_rounds:
+        if cancel is not None:
+            cancel.check()
         rounds += 1
         improved_this_round = False
 
@@ -369,6 +385,8 @@ def hill_climb(
         candidate_ids = [b.index for b in tree.branches]
         rng.shuffle(candidate_ids)
         for branch_id in candidate_ids:
+            if cancel is not None:
+                cancel.check()
             try:
                 prune_branch = tree.branch_by_id(branch_id)
             except KeyError:

@@ -20,7 +20,13 @@ determinism contract:
   and resumes to a bit-identical result;
 * :mod:`~repro.serve.sse` — live progress streaming by tailing the run
   journal as server-sent events;
-* :mod:`~repro.serve.app` — the asyncio HTTP front-end and routes.
+* :mod:`~repro.serve.resilience` — admission-time memory preflight
+  (``413 job_too_large``), the drain/deadline error vocabulary, and
+  re-exports of the cluster cancellation API;
+* :mod:`~repro.serve.app` — the asyncio HTTP front-end and routes,
+  including ``/readyz`` readiness and SIGTERM-triggered graceful drain
+  (in-flight jobs checkpoint within a bounded grace and resume
+  bit-identically on the next start).
 
 autoMRE bootstopping itself lives in :mod:`repro.cluster.bootstop` (it
 is a cluster aggregation policy, not a service feature); the service
@@ -41,6 +47,14 @@ from .jobstore import (
     JobStore,
     digest_of,
     result_payload,
+)
+from .resilience import (
+    CancelToken,
+    DrainingError,
+    ResourceLimitError,
+    TaskCancelled,
+    estimate_job_memory_mb,
+    preflight,
 )
 from .sse import JournalTail, format_sse, tail_to_completion
 
@@ -65,6 +79,12 @@ __all__ = [
     "JobService",
     "JobStore",
     "result_payload",
+    "CancelToken",
+    "DrainingError",
+    "ResourceLimitError",
+    "TaskCancelled",
+    "estimate_job_memory_mb",
+    "preflight",
     "JournalTail",
     "format_sse",
     "tail_to_completion",

@@ -13,7 +13,7 @@ A submission body looks like::
       "model": {
         "n_inferences": 1, "n_bootstraps": 20, "seed": 42,
         "aa": false, "model_name": null, "alpha": null,
-        "categories": 4, "batch_size": 2
+        "categories": 4, "batch_size": 2, "deadline_s": null
       },
       "bootstop": true | {"check_every": 10, "threshold": 0.03, ...},
       "client": "alice",
@@ -43,7 +43,11 @@ _MODEL_FIELDS = {
     "model_name": (str, lambda v: bool(v)),
     "alpha": (float, lambda v: v > 0),
     "categories": (int, lambda v: 1 <= v <= 16),
+    "deadline_s": (float, lambda v: v > 0),
 }
+
+#: ``model`` fields where an explicit JSON ``null`` means "default".
+_NULLABLE_FIELDS = ("model_name", "alpha", "deadline_s")
 
 _MAX_ALIGNMENT_BYTES = 4 * 1024 * 1024
 
@@ -57,18 +61,22 @@ class ApiError(Exception):
     """
 
     def __init__(self, status: int, code: str, message: str,
-                 retry_after: Optional[float] = None):
+                 retry_after: Optional[float] = None,
+                 extra: Optional[Dict[str, object]] = None):
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
         self.retry_after = retry_after
+        self.extra = extra
 
     def payload(self) -> Dict[str, object]:
         body: Dict[str, object] = {"error": self.code,
                                    "message": self.message}
         if self.retry_after is not None:
             body["retry_after_s"] = self.retry_after
+        if self.extra:
+            body.update(self.extra)
         return body
 
 
@@ -87,7 +95,7 @@ def spec_from_request(model: object, bootstop: object = None) -> JobSpec:
     fields: Dict[str, object] = {}
     for name, value in model.items():
         expected, check = _MODEL_FIELDS[name]
-        if value is None and name in ("model_name", "alpha"):
+        if value is None and name in _NULLABLE_FIELDS:
             continue
         if expected in (int, float) and isinstance(value, bool):
             raise _bad("model_invalid",

@@ -9,7 +9,8 @@ stay responsive while replicates grind in worker processes.
 
 Routes::
 
-    GET  /healthz            liveness probe
+    GET  /healthz            liveness probe + degradation counters
+    GET  /readyz             readiness probe (503 once draining)
     POST /jobs               submit (alignment + model + seed) -> job id
     GET  /jobs               list job summaries
     GET  /jobs/{id}          durable record + live journal progress
@@ -26,9 +27,11 @@ import logging
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
+from ..phylo.alignment import AlignmentError
 from .api import ApiError, parse_submission
 from .fairness import QueueFullError
 from .jobstore import JOB_DONE, JOB_FAILED, JobService
+from .resilience import DrainingError, ResourceLimitError, TaskCancelled
 from .sse import JournalTail, format_sse
 
 __all__ = ["ServeApp", "serve_forever"]
@@ -36,9 +39,10 @@ __all__ = ["ServeApp", "serve_forever"]
 logger = logging.getLogger(__name__)
 
 _REASONS = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 409: "Conflict",
-            413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error"}
+            405: "Method Not Allowed", 408: "Request Timeout",
+            409: "Conflict", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
 
 #: Hard ceilings on request framing (a service must bound its inputs).
 _MAX_HEADER_BYTES = 16 * 1024
@@ -54,10 +58,25 @@ class _HttpRequest:
         self.body = body
 
 
-async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
-    """Parse one HTTP/1.1 request; None on clean EOF before any bytes."""
+async def _read_request(
+    reader: asyncio.StreamReader,
+    header_timeout: Optional[float] = None,
+    body_timeout: Optional[float] = None,
+) -> Optional[_HttpRequest]:
+    """Parse one HTTP/1.1 request; None on clean EOF before any bytes.
+
+    Both reads are bounded in *time* as well as size: a client that
+    trickles bytes slower than the timeouts (the classic slowloris
+    posture, and the ``serve.slow_client`` chaos site) gets a typed 408
+    instead of pinning a connection open indefinitely.
+    """
     try:
-        head = await reader.readuntil(b"\r\n\r\n")
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=header_timeout
+        )
+    except asyncio.TimeoutError:
+        raise ApiError(408, "header_timeout",
+                       "request head not received in time")
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
@@ -86,7 +105,15 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
         if length > _MAX_BODY_BYTES:
             raise ApiError(413, "body_too_large",
                            f"body exceeds {_MAX_BODY_BYTES} bytes")
-        body = await reader.readexactly(length)
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=body_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ApiError(408, "body_timeout",
+                           "request body not received in time")
+        except asyncio.IncompleteReadError:
+            raise ApiError(400, "bad_request", "truncated request body")
     return _HttpRequest(method, path, headers, body)
 
 
@@ -106,7 +133,7 @@ def _response(status: int, payload: Dict[str, object],
 
 
 def _error_headers(exc: ApiError) -> Optional[Dict[str, str]]:
-    """Headers implied by an :class:`ApiError` (Retry-After on 429s)."""
+    """Headers implied by an :class:`ApiError` (Retry-After on 429/503)."""
     if exc.retry_after is None:
         return None
     return {"Retry-After": f"{max(1, int(round(exc.retry_after)))}"}
@@ -122,17 +149,24 @@ class ServeApp:
         port: int = 8642,
         max_concurrent_jobs: int = 1,
         poll_interval: float = 0.1,
+        drain_grace_s: float = 10.0,
+        header_timeout_s: float = 5.0,
+        body_timeout_s: float = 15.0,
     ):
         self.service = service
         self.host = host
         self.port = port
         self.poll_interval = poll_interval
+        self.drain_grace_s = drain_grace_s
+        self.header_timeout_s = header_timeout_s
+        self.body_timeout_s = body_timeout_s
         self._executor = ThreadPoolExecutor(
             max_workers=max_concurrent_jobs,
             thread_name_prefix="repro-serve-job",
         )
         self._max_concurrent = max_concurrent_jobs
         self._inflight: set = set()
+        self._sse_active = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._stopping = asyncio.Event()
@@ -154,7 +188,47 @@ class ServeApp:
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
         logger.info("repro-serve listening on %s:%d", self.host, self.port)
 
+    @property
+    def draining(self) -> bool:
+        return self.service.draining
+
+    def begin_drain(self) -> None:
+        """Flip /readyz, reject new submits, cancel in-flight runs.
+
+        Idempotent; the actual unwinding is cooperative — each running
+        job trips at its next safe point, journals its progress, and
+        leaves a resumable journal behind.  :meth:`stop` bounds how
+        long we wait for that.
+        """
+        if not self.service.draining:
+            logger.info("drain requested: rejecting new submissions")
+        self.service.begin_drain()
+        self._wakeup.set()
+
     async def stop(self) -> None:
+        """Graceful, *bounded* shutdown.
+
+        Drain first, give in-flight jobs ``drain_grace_s`` seconds to
+        reach a checkpoint, then abandon the executor without waiting —
+        a stop must complete in bounded time even if a worker is
+        wedged.  Abandoned jobs stay ``running`` on disk; the next
+        start resumes them bit-identically.
+        """
+        self.begin_drain()
+        # Keep the listener open while in-flight jobs unwind: load
+        # balancers see /readyz 503 and clients get typed "draining"
+        # rejections for the whole grace window instead of connection
+        # refusals the moment the signal lands.
+        if self._inflight:
+            _done, pending = await asyncio.wait(
+                set(self._inflight), timeout=self.drain_grace_s
+            )
+            if pending:
+                logger.warning(
+                    "%d job(s) still running after %.1fs drain grace; "
+                    "abandoning (journals resume on restart)",
+                    len(pending), self.drain_grace_s,
+                )
         self._stopping.set()
         self._wakeup.set()
         if self._server is not None:
@@ -162,9 +236,7 @@ class ServeApp:
             await self._server.wait_closed()
         if self._dispatcher is not None:
             await self._dispatcher
-        if self._inflight:
-            await asyncio.gather(*self._inflight, return_exceptions=True)
-        self._executor.shutdown(wait=True)
+        self._executor.shutdown(wait=False, cancel_futures=True)
 
     # -- dispatch -----------------------------------------------------------
 
@@ -173,7 +245,8 @@ class ServeApp:
         loop = asyncio.get_event_loop()
         while not self._stopping.is_set():
             started = False
-            while len(self._inflight) < self._max_concurrent:
+            while (not self.draining
+                   and len(self._inflight) < self._max_concurrent):
                 record = self.service.next_job()
                 if record is None:
                     break
@@ -193,8 +266,12 @@ class ServeApp:
 
     def _job_done(self, future) -> None:
         self._inflight.discard(future)
-        exc = future.exception()
-        if exc is not None:
+        exc = future.exception() if not future.cancelled() else None
+        if isinstance(exc, TaskCancelled):
+            # The expected unwinding of a drained job: its record stays
+            # running on disk and resumes on the next start.
+            logger.info("job drained to checkpoint: %s", exc)
+        elif exc is not None:
             # service.execute only lets a simulated server-kill escape;
             # anything else here is a bug worth a loud log line.
             logger.error("job execution raised: %s", exc)
@@ -206,14 +283,18 @@ class ServeApp:
                                  writer: asyncio.StreamWriter) -> None:
         try:
             try:
-                request = await _read_request(reader)
+                request = await _read_request(
+                    reader,
+                    header_timeout=self.header_timeout_s,
+                    body_timeout=self.body_timeout_s,
+                )
             except ApiError as exc:
                 writer.write(_response(exc.status, exc.payload()))
                 await writer.drain()
                 return
             if request is None:
                 return
-            await self._route(request, writer)
+            await self._route(request, reader, writer)
         except (ConnectionResetError, BrokenPipeError):
             pass
         except Exception:  # noqa: BLE001 — a connection must not kill the app
@@ -227,18 +308,36 @@ class ServeApp:
                 pass
         finally:
             try:
+                # shutdown(SHUT_WR) the socket, don't just close the fd:
+                # forked cluster workers inherit accepted connections, so
+                # a plain close sends no FIN until the last worker exits
+                # and a client reading to EOF hangs for the whole run.
+                if writer.can_write_eof():
+                    writer.write_eof()
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
     async def _route(self, request: _HttpRequest,
+                     reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
         method, path = request.method, request.path.split("?", 1)[0]
         try:
             if path == "/healthz" and method == "GET":
-                payload: Dict[str, object] = {"ok": True}
+                payload = self.service.health()
+                payload["sse_streams"] = self._sse_active
                 status = 200
+            elif path == "/readyz" and method == "GET":
+                # Readiness flips the moment a drain begins so a load
+                # balancer stops routing here before the listener goes
+                # away; liveness (/healthz) stays 200 throughout.
+                if self.draining:
+                    status, payload = 503, {"ready": False,
+                                            "draining": True}
+                else:
+                    status, payload = 200, {"ready": True,
+                                            "draining": False}
             elif path == "/jobs" and method == "POST":
                 status, payload = self._submit(request.body)
                 self._wakeup.set()
@@ -254,7 +353,7 @@ class ServeApp:
                 if len(parts) == 1:
                     status, payload = self._status(parts[0])
                 elif len(parts) == 2 and parts[1] == "events":
-                    await self._stream_events(parts[0], writer)
+                    await self._stream_events(parts[0], reader, writer)
                     return
                 elif len(parts) == 2 and parts[1] == "result":
                     status, payload = self._result(parts[0])
@@ -278,9 +377,25 @@ class ServeApp:
             record, hit = self.service.submit(alignment, spec,
                                               client=client,
                                               priority=priority)
+        except DrainingError as exc:
+            raise ApiError(503, "draining", str(exc),
+                           retry_after=exc.retry_after_s) from exc
         except QueueFullError as exc:
             raise ApiError(429, "queue_full", str(exc),
                            retry_after=exc.retry_after_s) from exc
+        except ResourceLimitError as exc:
+            raise ApiError(
+                413, "job_too_large", str(exc),
+                extra={"estimated_mb": round(exc.estimated_mb, 1),
+                       "limit_mb": exc.limit_mb},
+            ) from exc
+        except AlignmentError as exc:
+            # The top-level code stays "alignment_invalid" (the
+            # pre-existing contract); the parser's stable per-category
+            # code rides along for programmatic clients.
+            raise ApiError(400, "alignment_invalid",
+                           f"could not parse alignment: {exc}",
+                           extra={"alignment_code": exc.code}) from exc
         except ValueError as exc:
             raise ApiError(400, "alignment_invalid",
                            f"could not parse alignment: {exc}") from exc
@@ -322,8 +437,30 @@ class ServeApp:
         return 200, result
 
     async def _stream_events(self, job_id: str,
+                             reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
-        """SSE-stream the job's journal until its terminal event."""
+        """SSE-stream the job's journal until its terminal event.
+
+        The loop watches for two early exits: a client disconnect
+        (noticed within one poll interval — a dropped consumer must
+        not pin a tailing task for the job's whole runtime) and a
+        server drain (the stream ends with a ``server_draining`` event
+        so clients know to reconnect elsewhere).
+        """
+        self._sse_active += 1
+        try:
+            await self._stream_events_inner(job_id, reader, writer)
+        finally:
+            self._sse_active -= 1
+
+    @staticmethod
+    def _client_gone(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> bool:
+        return reader.at_eof() or writer.is_closing()
+
+    async def _stream_events_inner(self, job_id: str,
+                                   reader: asyncio.StreamReader,
+                                   writer: asyncio.StreamWriter) -> None:
         record = self.service.store.get(job_id)
         if record is None:
             writer.write(_response(
@@ -350,6 +487,8 @@ class ServeApp:
             return
         tail = JournalTail(self.service.store.journal_path(job_id))
         while True:
+            if self._client_gone(reader, writer):
+                return
             blocks = []
             terminal = False
             for journal_record in tail.poll():
@@ -371,6 +510,12 @@ class ServeApp:
                 ).encode())
                 await writer.drain()
                 return
+            if self._stopping.is_set() or self.draining:
+                writer.write(format_sse(
+                    {"event": "server_draining"}, tail.next_id,
+                ).encode())
+                await writer.drain()
+                return
             await asyncio.sleep(self.poll_interval)
 
 
@@ -382,17 +527,48 @@ async def serve_forever(
     max_inflight_per_client: int = 1,
     max_queued_total: Optional[int] = None,
     max_queued_per_client: Optional[int] = None,
+    drain_grace_s: float = 10.0,
+    max_job_memory_mb: Optional[float] = None,
+    install_signal_handlers: bool = True,
 ) -> None:
-    """Run the service until cancelled (the ``repro-phylo serve`` loop)."""
+    """Run the service until cancelled (the ``repro-phylo serve`` loop).
+
+    SIGTERM/SIGINT trigger a graceful drain: readiness flips, new
+    submissions get 503 + Retry-After, in-flight jobs get
+    ``drain_grace_s`` seconds to reach a checkpoint, and the process
+    exits cleanly — the next start resumes any interrupted journals
+    bit-identically.
+    """
     service = JobService(root, n_workers=n_workers,
                          max_inflight_per_client=max_inflight_per_client,
                          max_queued_total=max_queued_total,
-                         max_queued_per_client=max_queued_per_client)
-    app = ServeApp(service, host=host, port=port)
+                         max_queued_per_client=max_queued_per_client,
+                         max_job_memory_mb=max_job_memory_mb)
+    app = ServeApp(service, host=host, port=port,
+                   drain_grace_s=drain_grace_s)
     await app.start()
+    shutdown = asyncio.Event()
+    loop = asyncio.get_event_loop()
+    installed = []
+    if install_signal_handlers:
+        import signal as _signal
+
+        def _on_signal(signum: int) -> None:
+            logger.info("received signal %d: draining", signum)
+            app.begin_drain()
+            shutdown.set()
+
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, _on_signal, signum)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without support
     try:
-        await asyncio.Event().wait()
+        await shutdown.wait()
     except asyncio.CancelledError:
         pass
     finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
         await app.stop()

@@ -28,9 +28,10 @@ deliberate flip side of collapsing duplicated sites.
 
 The model/search half of the key comes from the canonical JSON of the
 :class:`~repro.cluster.jobs.JobSpec` minus its execution details
-(``alignment_path``, ``batch_size``): worker count, batching, and
-scheduling are invisible in the result by the cluster's determinism
-contract, so they must be invisible in the cache key too.
+(``alignment_path``, ``batch_size``, ``deadline_s``): worker count,
+batching, scheduling, and deadlines are invisible in the result by the
+cluster's determinism contract (a *degraded* deadline salvage is never
+cached at all), so they must be invisible in the cache key too.
 """
 
 from __future__ import annotations
@@ -52,9 +53,13 @@ __all__ = [
     "ResultCache",
 ]
 
-#: Spec fields that never influence the result (scheduling knobs and
-#: the submission-local file path) and are excluded from the digest.
-_EXECUTION_ONLY_FIELDS = ("alignment_path", "batch_size")
+#: Spec fields that never influence the result (scheduling knobs, the
+#: submission-local file path, and the wall-clock deadline — execution
+#: *policy*, not content) and are excluded from the digest.  A job
+#: submitted with a deadline therefore hits the cache entry of the same
+#: job without one; the reverse only holds when the deadlined run
+#: finished un-degraded, because degraded results are never cached.
+_EXECUTION_ONLY_FIELDS = ("alignment_path", "batch_size", "deadline_s")
 
 
 def canonical_alignment_key(patterns: PatternAlignment) -> bytes:

@@ -31,9 +31,16 @@ from ..cluster.checkpoint import atomic_write, replay
 from ..cluster.jobs import JobSpec
 from ..cluster.queue import ClusterConfig
 from ..cluster.runner import job_status, resume_job, run_job
-from ..phylo.alignment import Alignment
+from ..phylo.alignment import Alignment, parse_alignment
 from .cache import ResultCache, job_digest
 from .fairness import FairScheduler
+from .resilience import (
+    REASON_DRAIN,
+    CancelToken,
+    DrainingError,
+    TaskCancelled,
+    preflight,
+)
 
 __all__ = [
     "JOB_QUEUED",
@@ -55,16 +62,22 @@ JOB_FAILED = "failed"
 
 
 def load_alignment_text(text: str, aa: bool = False):
-    """Parse submitted FASTA/PHYLIP text into an alignment object."""
+    """Parse submitted FASTA/PHYLIP text into an alignment object.
+
+    Routed through the hardened entry point
+    (:func:`repro.phylo.alignment.parse_alignment`), so any malformed
+    submission surfaces as a typed
+    :class:`~repro.phylo.alignment.AlignmentError` with a stable
+    ``code`` — never a bare ``IndexError``/``ValueError`` from deep in
+    a parser.
+    """
     if aa:
         from ..phylo.protein import ProteinAlignment
 
         cls = ProteinAlignment
     else:
         cls = Alignment
-    if text.lstrip().startswith(">"):
-        return cls.from_fasta(text)
-    return cls.from_phylip(text)
+    return parse_alignment(text, cls=cls)
 
 
 def digest_of(alignment_text: str, spec: JobSpec) -> str:
@@ -88,6 +101,8 @@ class JobRecord:
     error: Optional[str] = None
     created: float = 0.0
     updated: float = 0.0
+    #: A deadline-salvaged partial result: served, never cached.
+    degraded: bool = False
 
     def to_json(self) -> Dict[str, object]:
         payload = asdict(self)
@@ -133,6 +148,7 @@ def result_payload(digest: str, spec: JobSpec, journal_path: str
         "consensus_newick": status["consensus_newick"],
         "consensus_supports": consensus_supports,
         "perf": status["perf"],
+        "degraded": bool(status["degraded"]),
     }
 
 
@@ -158,6 +174,13 @@ class JobStore:
             os.makedirs(path, exist_ok=True)
         self.cache = ResultCache(os.path.join(self.root, "cache"))
         self.runs_executed = 0
+        self.degraded_served = 0
+        # Engine degradation totals accumulated from finished jobs'
+        # perf counters — surfaced by /healthz so an operator can see
+        # numerical-fault pressure without scraping journals.
+        self.engine_counters: Dict[str, int] = {
+            "fault_recoveries": 0, "degraded_evaluations": 0,
+        }
         self._next_seq = 1 + max(
             (r.submitted_seq for r in self.load_all()), default=0
         )
@@ -258,8 +281,16 @@ class JobStore:
         return clock
 
     def execute(self, record: JobRecord, n_workers: int = 2,
-                cluster: Optional[ClusterConfig] = None) -> Dict[str, object]:
-        """Run (or resume) the job's cluster analysis; cache the result."""
+                cluster: Optional[ClusterConfig] = None,
+                cancel: Optional[CancelToken] = None) -> Dict[str, object]:
+        """Run (or resume) the job's cluster analysis; cache the result.
+
+        ``cancel`` threads the service's drain token (and the spec's
+        own ``deadline_s``) down to every worker.  A deadline that
+        trips after at least one inference finished yields a *degraded*
+        result: journalled, servable, marked on the record — but never
+        cached, so an identical resubmission recomputes in full.
+        """
         with open(self.alignment_path(record.digest)) as fh:
             text = fh.read()
         patterns = load_alignment_text(text, aa=record.spec.aa).compress()
@@ -272,21 +303,42 @@ class JobStore:
         resumable = (os.path.exists(journal)
                      and replay(journal).spec is not None)
         if resumable:
-            resume_job(journal, patterns, n_workers=n_workers,
-                       cluster=cluster, clock=self._run_clock())
+            analysis = resume_job(journal, patterns, n_workers=n_workers,
+                                  cluster=cluster, clock=self._run_clock(),
+                                  cancel=cancel)
         else:
-            run_job(record.spec, patterns, n_workers=n_workers,
-                    journal_path=journal, cluster=cluster,
-                    clock=self._run_clock())
+            analysis = run_job(record.spec, patterns, n_workers=n_workers,
+                               journal_path=journal, cluster=cluster,
+                               clock=self._run_clock(), cancel=cancel)
         payload = result_payload(record.digest, record.spec, journal)
-        self.cache.put(record.digest, payload)
+        perf = payload.get("perf") or {}
+        self.engine_counters["fault_recoveries"] += int(
+            perf.get("fault_recoveries", 0))
+        self.engine_counters["degraded_evaluations"] += int(
+            perf.get("degraded", 0))
+        if analysis.degraded:
+            self.degraded_served += 1
+        else:
+            # Only complete analyses enter the content-addressed cache:
+            # a digest must always name the full requested result.
+            self.cache.put(record.digest, payload)
         record.state = JOB_DONE
+        record.degraded = analysis.degraded
         record.error = None
         self.save(record)
         return payload
 
     def result(self, record: JobRecord) -> Optional[Dict[str, object]]:
-        return self.cache.get(record.digest)
+        payload = self.cache.get(record.digest)
+        if payload is not None:
+            return payload
+        if record.degraded:
+            # Degraded results are deliberately uncached; rebuild the
+            # servable payload from the job's own journal instead.
+            journal = self.journal_path(record.job_id)
+            if os.path.exists(journal):
+                return result_payload(record.digest, record.spec, journal)
+        return None
 
     def progress(self, record: JobRecord) -> Optional[Dict[str, object]]:
         """Live journal-derived progress for a running/interrupted job."""
@@ -308,6 +360,7 @@ class JobStore:
 
     def counters(self) -> Dict[str, int]:
         return {"runs_executed": self.runs_executed,
+                "degraded_served": self.degraded_served,
                 **self.cache.counters()}
 
 
@@ -323,6 +376,7 @@ class JobService:
         clock: Optional[Callable[[], float]] = None,
         max_queued_total: Optional[int] = None,
         max_queued_per_client: Optional[int] = None,
+        max_job_memory_mb: Optional[float] = None,
     ):
         self.store = JobStore(root, clock=clock)
         self.scheduler = FairScheduler(
@@ -332,6 +386,30 @@ class JobService:
         )
         self.n_workers = n_workers
         self.cluster = cluster
+        self.max_job_memory_mb = max_job_memory_mb
+        self.draining = False
+        # Live cancel tokens of in-flight executes, keyed by job id.
+        # begin_drain() trips them all; each execute registers its own
+        # on entry and removes it on exit (all under the GIL — the
+        # executor threads and the event loop share one interpreter).
+        self._active_tokens: Dict[str, CancelToken] = {}
+
+    # -- drain --------------------------------------------------------------
+
+    def begin_drain(self) -> int:
+        """Stop admitting work and cancel every in-flight run.
+
+        Idempotent.  Returns the number of tokens tripped.  Cancelled
+        runs unwind with ``TaskCancelled(reason="drain")`` at the next
+        safe point, leaving their journals *without* a terminal record
+        — exactly the state :meth:`recover` resumes bit-identically.
+        """
+        self.draining = True
+        tripped = 0
+        for token in list(self._active_tokens.values()):
+            token.cancel(REASON_DRAIN)
+            tripped += 1
+        return tripped
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -361,14 +439,25 @@ class JobService:
                ) -> Tuple[JobRecord, bool]:
         """Admit, persist and enqueue one submission.
 
-        Backpressure runs *before* any durable side effect: a rejected
-        submission (:class:`~repro.serve.fairness.QueueFullError`)
+        Admission control runs *before* any durable side effect: a
+        rejected submission — drain
+        (:class:`~repro.serve.resilience.DrainingError`), malformed
+        alignment (:class:`~repro.phylo.alignment.AlignmentError`),
+        memory preflight
+        (:class:`~repro.serve.resilience.ResourceLimitError`), or
+        backpressure (:class:`~repro.serve.fairness.QueueFullError`) —
         leaves no record, alignment file or journal behind, so clients
         can blindly retry after ``Retry-After``.  Cache hits bypass the
-        watermarks entirely — they never consume queue capacity.
+        watermarks and the preflight entirely — they never consume
+        queue capacity or worker memory.
         """
-        digest = digest_of(alignment_text, spec)
+        if self.draining:
+            raise DrainingError()
+        patterns = load_alignment_text(alignment_text, aa=spec.aa).compress()
+        digest = job_digest(patterns, spec)
         if not self.store.cache.contains(digest):
+            preflight(patterns, spec, self.max_job_memory_mb,
+                      n_workers=self.n_workers)
             self.scheduler.check_capacity(client)
         record, hit = self.store.submit(alignment_text, spec, client,
                                         priority, digest=digest)
@@ -398,18 +487,38 @@ class JobService:
         An :class:`~repro.chaos.injector.InjectedCrash` models the
         server process dying and is re-raised untouched — the record
         stays ``running`` on disk, which is exactly what
-        :meth:`recover` expects to find after a real kill.
+        :meth:`recover` expects to find after a real kill.  A drain
+        cancellation propagates the same way: the record stays
+        ``running``, the journal stays open-ended, and the restarted
+        service resumes it bit-identically.  A deadline that salvaged
+        nothing fails the job with a typed error.
         """
+        token = CancelToken()
+        # Register before checking the flag: begin_drain() sets
+        # ``draining`` and then cancels every registered token, so
+        # whichever side loses the race still sees the other's write —
+        # checking first would let a drain landing in between miss this
+        # job entirely.
+        self._active_tokens[record.job_id] = token
+        if self.draining:  # drain began between claim and execute
+            token.cancel(REASON_DRAIN)
         try:
             self.store.execute(record, n_workers=self.n_workers,
-                               cluster=self.cluster)
+                               cluster=self.cluster, cancel=token)
         except _chaos.InjectedCrash:
             raise
+        except TaskCancelled as exc:
+            if exc.reason == REASON_DRAIN:
+                raise
+            record.state = JOB_FAILED
+            record.error = f"TaskCancelled: {exc}"
+            self.store.save(record)
         except Exception as exc:  # noqa: BLE001 — job faults stay local
             record.state = JOB_FAILED
             record.error = f"{type(exc).__name__}: {exc}"
             self.store.save(record)
         finally:
+            self._active_tokens.pop(record.job_id, None)
             # The crash path never reaches this in a real death; for the
             # in-process simulation the restarted service rebuilds its
             # scheduler from disk anyway.
@@ -437,6 +546,7 @@ class JobService:
             "digest": record.digest,
             "state": record.state,
             "cached": record.cached,
+            "degraded": record.degraded,
             "error": record.error,
             "created": record.created,
             "updated": record.updated,
@@ -455,5 +565,17 @@ class JobService:
     def stats(self) -> Dict[str, object]:
         return {
             "scheduler": self.scheduler.snapshot(),
+            "draining": self.draining,
             **self.store.counters(),
+        }
+
+    def health(self) -> Dict[str, object]:
+        """The /healthz body: liveness plus degradation pressure."""
+        return {
+            "ok": True,
+            "draining": self.draining,
+            "queue_depth": self.scheduler.n_queued,
+            "inflight_jobs": len(self._active_tokens),
+            "degraded_served": self.store.degraded_served,
+            "engine": dict(self.store.engine_counters),
         }

@@ -1,0 +1,123 @@
+"""Malformed-alignment corpus: every broken input gets a typed error.
+
+The serve path admits untrusted alignment text, so the parser must
+never leak a bare ``ValueError``/``IndexError`` — each corpus entry
+asserts a :class:`~repro.phylo.alignment.AlignmentError` with a
+*stable* machine-readable code, and the HTTP layer maps it to a 400
+whose top-level ``error`` stays ``alignment_invalid`` (the published
+contract) with the parser code carried in ``alignment_code``.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.phylo.alignment import (
+    Alignment,
+    AlignmentError,
+    parse_alignment,
+)
+from repro.serve import JobService, ServeApp
+
+# (label, text, expected code) — one entry per malformation class the
+# issue names, plus the parser-specific failures around them.
+CORPUS = [
+    ("fasta_truncated_record", ">a\nACGT\n>b\n", "empty_sequence"),
+    ("fasta_length_mismatch", ">a\nACGT\n>b\nACG\n", "length_mismatch"),
+    ("fasta_duplicate_taxon", ">a\nACGT\n>a\nACGT\n", "duplicate_taxon"),
+    ("fasta_illegal_character", ">a\nAC!T\n>b\nACGT\n",
+     "illegal_character"),
+    ("fasta_empty_name", ">\nACGT\n", "fasta_empty_name"),
+    ("fasta_data_before_header", "ACGT\n>a\nACGT\n", "phylip_header"),
+    ("empty_input", "", "empty"),
+    ("whitespace_input", "  \n\t\n", "empty"),
+    ("phylip_missing_rows", "3 4\nt1 ACGT\nt2 ACGA\n", "phylip_truncated"),
+    ("phylip_row_too_short", "2 4\nt1 ACGT\nt2 ACG\n", "phylip_length"),
+    ("phylip_bad_header", "junk header\nt1 ACGT\n", "phylip_header"),
+    ("phylip_one_token_header", "2\nt1 ACGT\nt2 ACGA\n", "phylip_header"),
+    ("phylip_zero_sites", "2 0\nt1 \nt2 \n", "phylip_header"),
+    ("phylip_duplicate_taxon", "2 4\nt1 ACGT\nt1 ACGA\n",
+     "duplicate_taxon"),
+    ("phylip_name_only_line", "2 4\nt1 ACGT\nlonesome\n", "phylip_line"),
+    ("phylip_illegal_character", "2 4\nt1 AC?T\nt2 ACG%\n",
+     "illegal_character"),
+]
+
+
+class TestMalformedCorpus:
+    @pytest.mark.parametrize(
+        "text, code",
+        [(text, code) for _, text, code in CORPUS],
+        ids=[label for label, _, _ in CORPUS],
+    )
+    def test_typed_rejection(self, text, code):
+        with pytest.raises(AlignmentError) as excinfo:
+            parse_alignment(text)
+        assert excinfo.value.code == code
+        # AlignmentError subclasses ValueError so legacy `except
+        # ValueError` call sites keep working.
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_no_bare_exception_leaks(self):
+        """Nothing in the corpus escapes as an untyped exception."""
+        for label, text, _ in CORPUS:
+            try:
+                parse_alignment(text)
+            except AlignmentError:
+                continue
+            raise AssertionError(f"{label}: parsed without error")
+
+    def test_well_formed_inputs_still_parse(self):
+        fasta = parse_alignment(">a\nACGT\n>b\nACGA\n>c\nTCGA\n")
+        assert isinstance(fasta, Alignment)
+        assert fasta.taxa == ["a", "b", "c"]
+        phylip = parse_alignment("3 4\nt1 ACGT\nt2 ACGA\nt3 TCGA\n")
+        assert phylip.taxa == ["t1", "t2", "t3"]
+        # Ambiguity codes and gaps are legal, not "illegal characters".
+        assert parse_alignment(">a\nAC-N\n>b\nRYGT\n").n_sites == 4
+
+
+class TestServeMapping:
+    """The HTTP surface turns parser codes into one stable 400."""
+
+    def test_submit_maps_corpus_to_400_with_alignment_code(self, tmp_path):
+        async def scenario():
+            app = ServeApp(JobService(str(tmp_path / "root")), port=0)
+            await app.start()
+            try:
+                reader_writer = await asyncio.open_connection(
+                    app.host, app.port)
+                reader, writer = reader_writer
+                payload = json.dumps({
+                    "alignment": "2 4\nt1 ACGT\nt2 ACG\n",
+                    "model": {"n_inferences": 1, "n_bootstraps": 0,
+                              "seed": 0},
+                }).encode()
+                writer.write(
+                    b"POST /jobs HTTP/1.1\r\nHost: t\r\n"
+                    + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+                    + payload)
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                status = int(raw.split(b" ", 2)[1])
+                body = json.loads(raw.partition(b"\r\n\r\n")[2])
+                assert status == 400
+                assert body["error"] == "alignment_invalid"
+                assert body["alignment_code"] == "phylip_length"
+            finally:
+                await app.stop()
+
+        asyncio.run(scenario())
+
+    def test_service_submit_raises_typed_error(self, tmp_path):
+        from repro.cluster import JobSpec
+
+        service = JobService(str(tmp_path / "root"))
+        with pytest.raises(AlignmentError) as excinfo:
+            service.submit(">a\nACGT\n>a\nACGT\n",
+                           JobSpec(n_inferences=1, n_bootstraps=0, seed=0))
+        assert excinfo.value.code == "duplicate_taxon"
+        # The rejection left no durable job record behind.
+        assert service.store.load_all() == []
